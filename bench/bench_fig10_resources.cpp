@@ -1,0 +1,75 @@
+// Fig. 10 — switch resource usage and Ring Table scaling.
+//
+// On the Tofino, MARS consumes fixed shares of PHV, hash bits, TCAM and
+// action data (pipeline resources, independent of history depth) plus
+// SRAM that scales with the Ring Table size. We model the fixed shares
+// with the prototype's reported footprint and compute the SRAM curve
+// exactly from RtRecord's layout; the shape to verify is linear SRAM
+// growth while everything else stays flat.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "telemetry/tables.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mars;
+
+// Tofino pipeline shares of the MARS P4 program (fractions of the chip,
+// from the prototype's compilation report; constant in RT size).
+constexpr double kPhvShare = 0.12;
+constexpr double kHashBitsShare = 0.09;
+constexpr double kTcamShare = 0.04;
+constexpr double kActionDataShare = 0.06;
+// Tofino-class SRAM available to one pipeline for register storage.
+constexpr double kSramBudgetBytes = 12.0 * 1024 * 1024;
+
+void BM_RingTableInsert(benchmark::State& state) {
+  telemetry::RingTable rt(static_cast<std::size_t>(state.range(0)));
+  telemetry::RtRecord rec;
+  util::Rng rng(1);
+  for (auto _ : state) {
+    rec.latency = static_cast<sim::Time>(rng.below(1'000'000));
+    rt.insert(rec);
+    benchmark::DoNotOptimize(rt.size());
+  }
+  state.counters["sram_bytes"] = static_cast<double>(rt.memory_bytes());
+}
+BENCHMARK(BM_RingTableInsert)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192);
+
+void BM_RingTableSnapshot(benchmark::State& state) {
+  telemetry::RingTable rt(static_cast<std::size_t>(state.range(0)));
+  for (int i = 0; i < state.range(0); ++i) rt.insert({});
+  for (auto _ : state) {
+    auto snap = rt.snapshot();
+    benchmark::DoNotOptimize(snap);
+  }
+}
+BENCHMARK(BM_RingTableSnapshot)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Fig. 10: switch resource usage vs Ring Table size ==\n");
+  std::printf(
+      "  RT size | PHV%% | HashBits%% | TCAM%% | ActionData%% | SRAM bytes "
+      "| SRAM%% of budget\n");
+  for (const std::size_t size : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    const telemetry::RingTable rt(size);
+    const double sram = static_cast<double>(rt.memory_bytes());
+    std::printf("  %7zu | %4.1f | %9.1f | %5.1f | %11.1f | %10.0f | %6.2f%%\n",
+                size, 100 * kPhvShare, 100 * kHashBitsShare, 100 * kTcamShare,
+                100 * kActionDataShare, sram,
+                100.0 * sram / kSramBudgetBytes);
+  }
+  std::printf("(pipeline shares are constant; only SRAM scales with RT "
+              "size — MARS \"fits in the Tofino pipeline comfortably\")\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Fig. 11 — FSM algorithm comparison on MARS-style abnormal sets.
+//
+// The paper benchmarks PrefixSpan, LAPIN, GSP, SPADE, SPAM, CM-SPADE and
+// CM-SPAM on the path databases produced by its fault scenarios, with max
+// pattern length 2 (MARS's switches + links) and unrestricted, reporting
+// runtime and memory. PrefixSpan wins there; the shape to check here is
+// the same ordering and the benefit of the max-length cap.
+
+#include <benchmark/benchmark.h>
+
+#include "fsm/miner.hpp"
+#include "net/fat_tree.hpp"
+#include "net/routing.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mars;
+
+/// An abnormal-set-like database: fat-tree paths with traffic-estimation
+/// weights, biased so paths through a "faulty" switch dominate — the shape
+/// the RCA hands to the miners.
+fsm::SequenceDatabase make_path_database(int k, std::size_t weight_scale,
+                                         std::uint64_t seed) {
+  const auto ft = net::build_fat_tree({.k = k});
+  const net::RoutingTable routing(ft.topology);
+  const auto paths = routing.enumerate_edge_paths();
+  util::Rng rng(seed);
+  const net::SwitchId faulty =
+      ft.agg[rng.below(ft.agg.size())];
+  fsm::SequenceDatabase db;
+  for (const auto& path : paths) {
+    const bool through_fault =
+        std::find(path.begin(), path.end(), faulty) != path.end();
+    // Estimated packets per path: faulty paths are heavily represented.
+    const std::uint64_t weight =
+        (through_fault ? 20 : 1) * (1 + rng.below(weight_scale));
+    db.add(fsm::Sequence(path.begin(), path.end()), weight);
+  }
+  return db;
+}
+
+void run_miner(benchmark::State& state, fsm::MinerKind kind,
+               std::size_t max_length) {
+  const auto db = make_path_database(8, 4, 42);
+  const auto miner = fsm::make_miner(kind);
+  fsm::MiningParams params;
+  params.min_support_rel = 0.1;
+  params.max_length = max_length;
+  params.contiguous = true;
+
+  std::size_t patterns = 0;
+  std::size_t memory = 0;
+  for (auto _ : state) {
+    auto result = miner->mine(db, params);
+    patterns = result.size();
+    memory = miner->last_memory_bytes();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["patterns"] = static_cast<double>(patterns);
+  state.counters["mem_bytes"] = static_cast<double>(memory);
+  state.counters["sequences"] = static_cast<double>(db.sequence_kinds());
+}
+
+void register_all() {
+  for (const auto kind : fsm::all_miner_kinds()) {
+    for (const std::size_t max_len : {std::size_t{2}, std::size_t{16}}) {
+      const std::string name =
+          std::string("Fig11/") + std::string(fsm::miner_name(kind)) +
+          (max_len == 2 ? "/maxlen2" : "/unbounded");
+      benchmark::RegisterBenchmark(
+          name.c_str(), [kind, max_len](benchmark::State& state) {
+            run_miner(state, kind, max_len);
+          });
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Fig. 2 — CDF of link utilization, core layer vs edge layer.
+//
+// The motivation for edge-only telemetry storage: core links run hotter
+// than edge links, so pushing the storage burden to edge switches relieves
+// the busiest part of the fabric. We run the background workload (inter-
+// pod-heavy, as in data-center traffic studies) and print the utilization
+// CDFs per layer — the core curve should sit to the right.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "net/fat_tree.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace {
+
+using namespace mars;
+using namespace mars::sim::literals;
+
+struct UtilSample {
+  std::vector<double> edge;  // edge<->agg directions
+  std::vector<double> core;  // agg<->core directions
+};
+
+UtilSample measure(double inter_pod_fraction, sim::Time duration,
+                   std::uint64_t seed) {
+  sim::Simulator simulator;
+  // Production fabrics oversubscribe the core (Benson et al. observe the
+  // consequence: core links run hotter). 2:1 here.
+  auto ft = net::build_fat_tree({.k = 4, .edge_agg_gbps = 0.008,
+                                 .agg_core_gbps = 0.004});
+  net::Network network(simulator, ft.topology);
+  workload::TrafficGenerator traffic(network, seed);
+  workload::BackgroundConfig cfg;
+  cfg.flows = 40;
+  cfg.pps = 250.0;
+  cfg.inter_pod_fraction = inter_pod_fraction;
+  traffic.add_background(cfg, ft.edge, 4);
+  traffic.start();
+  simulator.run(duration);
+
+  UtilSample sample;
+  for (const auto& u : network.link_utilization()) {
+    // Classify the link (not the direction) by its deepest endpoint layer:
+    // edge<->agg links belong to the edge layer, agg<->core to the core.
+    const auto& link = network.topology().links()[u.link];
+    const bool touches_edge =
+        network.topology().layer(link.a.sw) == net::Layer::kEdge ||
+        network.topology().layer(link.b.sw) == net::Layer::kEdge;
+    (touches_edge ? sample.edge : sample.core).push_back(u.utilization);
+  }
+  return sample;
+}
+
+void print_cdf(const char* label, std::vector<double> values) {
+  std::printf("  %-11s", label);
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    std::printf("  p%-3.0f=%5.3f", q * 100, util::quantile(values, q));
+  }
+  std::printf("  mean=%5.3f\n", util::mean(values));
+}
+
+void BM_UtilizationRun(benchmark::State& state) {
+  for (auto _ : state) {
+    auto sample = measure(0.7, 2_s, 99);
+    benchmark::DoNotOptimize(sample);
+  }
+}
+BENCHMARK(BM_UtilizationRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Fig. 2: link utilization CDF, edge vs core layer ==\n");
+  std::printf("(inter-pod-heavy traffic concentrates on the core; the core "
+              "CDF should sit right of the edge CDF)\n");
+  for (const double frac : {0.5, 0.7, 0.9}) {
+    std::printf(" inter-pod fraction %.1f:\n", frac);
+    auto sample = measure(frac, 10_s, 7);
+    print_cdf("edge links", sample.edge);
+    print_cdf("core links", sample.core);
+  }
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Fig. 8 — anomaly-detection precision/recall/F1 across detectors:
+// static thresholds (low/high), the reservoir without the penalty factor,
+// and full MARS (reservoir + penalty). The paper reports ~0.96 recall /
+// 0.97 precision / 0.97 F1 for the dynamic threshold; the ablation loses
+// recall without α because anomaly bursts inflate the threshold.
+//
+// Extra ablation columns: the literal Algorithm 1 penalty variant and the
+// σ-vs-MAD scale estimator (see detect/reservoir.hpp for why MAD).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "detect/reservoir.hpp"
+#include "metrics/classification.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mars;
+
+struct Sample {
+  double latency_us;
+  bool anomaly;
+};
+
+/// A long labelled latency stream: diurnal base + jitter + recurring
+/// anomaly bursts of varying magnitude and length.
+std::vector<Sample> make_stream(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Sample> stream;
+  const int n = 20'000;
+  int burst_left = 0;
+  double burst_scale = 1.0;
+  for (int i = 0; i < n; ++i) {
+    const double phase = static_cast<double>(i) / 4000.0;
+    const double base =
+        1000.0 + 500.0 * std::sin(phase * 2.0 * std::numbers::pi);
+    if (burst_left == 0 && rng.chance(0.002)) {
+      burst_left = static_cast<int>(10 + rng.below(200));
+      burst_scale = rng.uniform(2.2, 5.0);
+    }
+    Sample s;
+    if (burst_left > 0) {
+      --burst_left;
+      s.latency_us = base * burst_scale * rng.uniform(0.9, 1.1);
+      s.anomaly = true;
+    } else {
+      s.latency_us = base * rng.uniform(0.88, 1.18);
+      s.anomaly = false;
+    }
+    stream.push_back(s);
+  }
+  return stream;
+}
+
+metrics::BinaryCounts run_static(const std::vector<Sample>& stream,
+                                 double threshold) {
+  metrics::BinaryCounts counts;
+  const detect::StaticThresholdDetector detector(threshold);
+  for (const auto& s : stream) {
+    counts.add(detector.input(s.latency_us), s.anomaly);
+  }
+  return counts;
+}
+
+metrics::BinaryCounts run_reservoir(const std::vector<Sample>& stream,
+                                    detect::PenaltyMode penalty,
+                                    detect::ScaleEstimator scale) {
+  detect::ReservoirConfig cfg;
+  // Small enough to track the diurnal baseline, large enough for a stable
+  // median.
+  cfg.volume = 96;
+  cfg.warmup = 64;
+  cfg.relative_margin = 0.3;
+  cfg.penalty = penalty;
+  cfg.scale = scale;
+  detect::Reservoir reservoir(cfg, 99);
+  metrics::BinaryCounts counts;
+  std::size_t i = 0;
+  for (const auto& s : stream) {
+    const bool flagged = reservoir.input(s.latency_us);
+    if (++i > cfg.warmup) counts.add(flagged, s.anomaly);
+  }
+  return counts;
+}
+
+void print_row(const char* name, const metrics::BinaryCounts& c) {
+  std::printf("  %-26s | %9.3f | %6.3f | %6.3f\n", name, c.precision(),
+              c.recall(), c.f1());
+}
+
+void BM_ReservoirThroughput(benchmark::State& state) {
+  const auto stream = make_stream(5);
+  for (auto _ : state) {
+    detect::Reservoir reservoir({.volume = 256});
+    for (const auto& s : stream) {
+      benchmark::DoNotOptimize(reservoir.input(s.latency_us));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_ReservoirThroughput);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto stream = make_stream(5);
+  std::printf("== Fig. 8: anomaly-detection quality by detector ==\n");
+  std::printf("(paper: dynamic threshold reaches 0.97 precision / 0.96 "
+              "recall / 0.97 F1; static thresholds trade one for the "
+              "other; no-penalty reservoirs lose recall)\n");
+  std::printf("  detector                   | precision | recall | F1\n");
+  print_row("static low (1.6ms)", run_static(stream, 1600));
+  print_row("static high (3.5ms)", run_static(stream, 3500));
+  // The paper's ablation uses θ = m + Cσ: without the penalty factor,
+  // admitted outliers inflate σ and recall collapses.
+  print_row("no penalty, sigma (ablation)",
+            run_reservoir(stream, detect::PenaltyMode::kNone,
+                          detect::ScaleEstimator::kStdDev));
+  print_row("penalty, sigma (paper MARS)",
+            run_reservoir(stream, detect::PenaltyMode::kConsecutiveOutliers,
+                          detect::ScaleEstimator::kStdDev));
+  print_row("Alg.1-as-printed, sigma",
+            run_reservoir(stream, detect::PenaltyMode::kAsPrinted,
+                          detect::ScaleEstimator::kStdDev));
+  // Our refinement: MAD is robust even without the penalty; together they
+  // are near-perfect on this stream.
+  print_row("no penalty, MAD",
+            run_reservoir(stream, detect::PenaltyMode::kNone,
+                          detect::ScaleEstimator::kMad));
+  print_row("MARS here (penalty + MAD)",
+            run_reservoir(stream, detect::PenaltyMode::kConsecutiveOutliers,
+                          detect::ScaleEstimator::kMad));
+  std::printf("\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fig. 9 — network bandwidth overhead of the four systems, split into
+// telemetry (in-band header bytes crossing links) and diagnosis (bytes
+// moved from the data plane to the control plane).
+//
+// Expected shape (paper): SyNDB has zero telemetry but enormous diagnosis
+// traffic; IntSight's 33B header dominates telemetry; SpiderMon is light
+// in-band but collects from ALL switches on demand; MARS is lightest
+// overall and smallest in diagnosis (edge-only collection).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mars/scenario.hpp"
+
+namespace {
+
+using namespace mars;
+
+struct Row {
+  const char* name;
+  double telemetry = 0;
+  double diagnosis = 0;
+};
+
+void print_rows(const char* label, const ScenarioResult& result,
+                std::uint64_t app_bytes) {
+  Row rows[4] = {
+      {"MARS", static_cast<double>(result.mars.telemetry_bytes),
+       static_cast<double>(result.mars.diagnosis_bytes)},
+      {"SpiderMon", static_cast<double>(result.spidermon.telemetry_bytes),
+       static_cast<double>(result.spidermon.diagnosis_bytes)},
+      {"IntSight", static_cast<double>(result.intsight.telemetry_bytes),
+       static_cast<double>(result.intsight.diagnosis_bytes)},
+      {"SyNDB", static_cast<double>(result.syndb.telemetry_bytes),
+       static_cast<double>(result.syndb.diagnosis_bytes)},
+  };
+  std::printf(" %s (application bytes on wire: %.1f MB)\n", label,
+              static_cast<double>(app_bytes) / 1e6);
+  std::printf("  system    | telemetry KB | diagnosis KB | total KB | "
+              "%% of app traffic\n");
+  for (const auto& row : rows) {
+    const double total = row.telemetry + row.diagnosis;
+    std::printf("  %-9s | %12.1f | %12.1f | %8.1f | %6.3f%%\n", row.name,
+                row.telemetry / 1e3, row.diagnosis / 1e3, total / 1e3,
+                100.0 * total / static_cast<double>(app_bytes));
+  }
+}
+
+void BM_ScenarioWithAllSystems(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = run_scenario(
+        default_scenario(faults::FaultKind::kProcessRateDecrease, 5));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ScenarioWithAllSystems)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Fig. 9: bandwidth overhead per system ==\n");
+  for (const auto fault : {faults::FaultKind::kProcessRateDecrease,
+                           faults::FaultKind::kMicroBurst}) {
+    const auto cfg = default_scenario(fault, 7);
+    const auto result = run_scenario(cfg);
+    // Approximate application bytes: delivered packets x mean wire size.
+    const std::uint64_t app_bytes = result.net_stats.delivered * 590ull;
+    print_rows(faults::to_string(fault), result, app_bytes);
+    std::printf("\n");
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// ecmp_audit — a domain-specific tool built on the MARS library: sweep
+// ECMP imbalance ratios on one switch and report, per ratio, how the
+// network reacts (path concentration, p99 latency) and whether MARS
+// localizes the chooser. The paper's Fig. 7(b) scenario, turned into an
+// operator's capacity-planning audit.
+//
+//   $ ecmp_audit [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "mars/scenario.hpp"
+#include "metrics/ranking.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mars;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 101;
+
+  std::printf("== ECMP imbalance audit (seed %llu) ==\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("  ratio | injected at | MARS verdict (top culprit)          "
+              "| truth rank\n");
+  for (const int ratio : {2, 4, 6, 8, 10}) {
+    auto cfg = default_scenario(faults::FaultKind::kEcmpImbalance, seed);
+    cfg.injector.imbalance_min = ratio;
+    cfg.injector.imbalance_max = ratio;
+    cfg.with_baselines = false;
+    const auto result = run_scenario(cfg);
+    if (!result.fault_injected) {
+      std::printf("  1:%-3d | (injection found no target)\n", ratio);
+      continue;
+    }
+    const char* top = result.mars.culprits.empty()
+                          ? "(no diagnosis)"
+                          : nullptr;
+    std::string top_str;
+    if (!top) {
+      top_str = result.mars.culprits.front().describe();
+      if (top_str.size() > 52) top_str.resize(52);
+      top = top_str.c_str();
+    }
+    std::printf("  1:%-3d | s%-10u | %-52s | %s\n", ratio,
+                result.truth.switch_id, top,
+                result.mars.rank ? std::to_string(*result.mars.rank).c_str()
+                                 : "-");
+  }
+  std::printf(
+      "\n(an audit, not a victory lap: low ratios leave the loaded branch "
+      "under capacity and are invisible; near the capacity knee the "
+      "congestion is real but the ECMP-vs-process-rate label flips with "
+      "the evidence — EXPERIMENTS.md discusses why ECMP is this "
+      "reproduction's hardest scenario)\n");
+  return 0;
+}

@@ -1,0 +1,183 @@
+// mars_cli — scenario runner with command-line knobs; the operator's
+// entry point for one-off experiments without writing C++.
+//
+//   mars_cli [options]
+//     --fault <microburst|ecmp|rate|delay|drop>   (default rate)
+//     --seed <n>                                  (default 1)
+//     --k <even n>            fat-tree arity      (default 4)
+//     --flows <n>             background flows    (scenario default)
+//     --pps <x>               per-flow rate       (scenario default)
+//     --duration <seconds>    simulated time      (default 5)
+//     --fault-at <seconds>    injection time      (default 3)
+//     --no-baselines          deploy MARS only
+//     --trace-out <file>      dump the workload as CSV
+//     --json                  machine-readable result summary
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "mars/scenario.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace mars;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--fault F] [--seed N] [--k K] [--flows N] "
+               "[--pps X] [--duration S] [--fault-at S] [--no-baselines] "
+               "[--trace-out FILE] [--json]\n",
+               argv0);
+  std::exit(2);
+}
+
+faults::FaultKind parse_fault(const std::string& arg, const char* argv0) {
+  using faults::FaultKind;
+  if (arg == "microburst") return FaultKind::kMicroBurst;
+  if (arg == "ecmp") return FaultKind::kEcmpImbalance;
+  if (arg == "rate") return FaultKind::kProcessRateDecrease;
+  if (arg == "delay") return FaultKind::kDelay;
+  if (arg == "drop") return FaultKind::kDrop;
+  std::fprintf(stderr, "unknown fault '%s'\n", arg.c_str());
+  usage(argv0);
+}
+
+void print_outcome_text(const char* name, const SystemOutcome& outcome) {
+  std::printf("%-10s rank=%-4s telemetry=%-9llu diagnosis=%-9llu top=[",
+              name,
+              outcome.rank ? std::to_string(*outcome.rank).c_str() : "-",
+              static_cast<unsigned long long>(outcome.telemetry_bytes),
+              static_cast<unsigned long long>(outcome.diagnosis_bytes));
+  for (std::size_t i = 0; i < outcome.culprits.size() && i < 3; ++i) {
+    if (i) std::printf("; ");
+    std::printf("%s", outcome.culprits[i].describe().c_str());
+  }
+  std::printf("]\n");
+}
+
+void print_outcome_json(const char* name, const SystemOutcome& outcome,
+                        bool last) {
+  std::printf("    \"%s\": {\"rank\": %s, \"telemetry_bytes\": %llu, "
+              "\"diagnosis_bytes\": %llu, \"culprits\": %zu}%s\n",
+              name,
+              outcome.rank ? std::to_string(*outcome.rank).c_str() : "null",
+              static_cast<unsigned long long>(outcome.telemetry_bytes),
+              static_cast<unsigned long long>(outcome.diagnosis_bytes),
+              outcome.culprits.size(), last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  faults::FaultKind fault = faults::FaultKind::kProcessRateDecrease;
+  std::uint64_t seed = 1;
+  std::optional<int> k, flows;
+  std::optional<double> pps, duration_s, fault_at_s;
+  bool baselines = true, json = false;
+  std::string trace_out;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--fault") {
+      fault = parse_fault(next(), argv[0]);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--k") {
+      k = std::atoi(next());
+    } else if (arg == "--flows") {
+      flows = std::atoi(next());
+    } else if (arg == "--pps") {
+      pps = std::atof(next());
+    } else if (arg == "--duration") {
+      duration_s = std::atof(next());
+    } else if (arg == "--fault-at") {
+      fault_at_s = std::atof(next());
+    } else if (arg == "--no-baselines") {
+      baselines = false;
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  auto cfg = default_scenario(fault, seed);
+  if (k) cfg.fat_tree_k = *k;
+  if (flows) cfg.background.flows = *flows;
+  if (pps) cfg.background.pps = *pps;
+  if (duration_s) {
+    cfg.duration = static_cast<sim::Time>(*duration_s * sim::kSecond);
+  }
+  if (fault_at_s) {
+    cfg.fault_at = static_cast<sim::Time>(*fault_at_s * sim::kSecond);
+  }
+  cfg.with_baselines = baselines;
+
+  // The trace dump reruns the workload generator standalone so the CSV
+  // matches what the scenario injected (same seed, same generator).
+  if (!trace_out.empty()) {
+    sim::Simulator simulator;
+    auto ft = net::build_fat_tree({.k = cfg.fat_tree_k,
+                                   .edge_agg_gbps = cfg.edge_link_gbps,
+                                   .agg_core_gbps = cfg.core_link_gbps});
+    net::Network network(simulator, ft.topology);
+    workload::TraceRecorder recorder;
+    network.add_observer(recorder);
+    workload::TrafficGenerator traffic(network, cfg.seed);
+    traffic.add_background(cfg.background, ft.edge, cfg.fat_tree_k);
+    traffic.start();
+    simulator.run(cfg.duration);
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    recorder.trace().write_csv(out);
+    std::fprintf(stderr, "wrote %zu events to %s\n",
+                 recorder.trace().size(), trace_out.c_str());
+  }
+
+  const auto result = run_scenario(cfg);
+  if (!result.fault_injected) {
+    std::fprintf(stderr, "fault injection found no viable target\n");
+    return 1;
+  }
+
+  if (json) {
+    std::printf("{\n  \"truth\": \"%s\",\n  \"injected\": %llu,\n"
+                "  \"delivered\": %llu,\n  \"dropped\": %llu,\n"
+                "  \"systems\": {\n",
+                result.truth.describe().c_str(),
+                static_cast<unsigned long long>(result.net_stats.injected),
+                static_cast<unsigned long long>(result.net_stats.delivered),
+                static_cast<unsigned long long>(result.net_stats.dropped));
+    print_outcome_json("mars", result.mars, !baselines);
+    if (baselines) {
+      print_outcome_json("spidermon", result.spidermon, false);
+      print_outcome_json("intsight", result.intsight, false);
+      print_outcome_json("syndb", result.syndb, true);
+    }
+    std::printf("  }\n}\n");
+    return 0;
+  }
+
+  std::printf("truth: %s\n", result.truth.describe().c_str());
+  print_outcome_text("MARS", result.mars);
+  if (baselines) {
+    print_outcome_text("SpiderMon", result.spidermon);
+    print_outcome_text("IntSight", result.intsight);
+    print_outcome_text("SyNDB*", result.syndb);
+  }
+  return 0;
+}

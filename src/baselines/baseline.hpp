@@ -1,0 +1,35 @@
+#pragma once
+// Common interface for the comparison systems of §5.4–5.5: SpiderMon,
+// IntSight, and SyNDB. Each is implemented as a PacketObserver (its data
+// plane) plus a diagnose() step producing the same ranked CulpritList as
+// MARS, so Table 1 and Fig. 9 grade all four systems identically.
+
+#include <string_view>
+
+#include "net/observer.hpp"
+#include "rca/types.hpp"
+#include "sim/time.hpp"
+
+namespace mars::baselines {
+
+/// Byte accounting for Fig. 9.
+struct OverheadReport {
+  std::uint64_t telemetry_bytes = 0;  ///< in-band header bytes over links
+  std::uint64_t diagnosis_bytes = 0;  ///< data-plane -> control-plane bytes
+};
+
+class BaselineSystem : public net::PacketObserver {
+ public:
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Produce the ranked culprit list. Systems that never triggered return
+  /// an empty list (the paper's "-" cells).
+  [[nodiscard]] virtual rca::CulpritList diagnose() = 0;
+
+  [[nodiscard]] virtual OverheadReport overheads() const = 0;
+
+  /// True once the system's own detection logic fired.
+  [[nodiscard]] virtual bool triggered() const = 0;
+};
+
+}  // namespace mars::baselines

@@ -1,0 +1,118 @@
+#include "baselines/spidermon.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "sim/simulator.hpp"
+
+namespace mars::baselines {
+namespace {
+
+std::uint64_t queue_key(net::SwitchId sw, net::PortId port) {
+  return (static_cast<std::uint64_t>(sw) << 16) | port;
+}
+
+}  // namespace
+
+SpiderMon::SpiderMon(std::size_t switch_count, SpiderMonConfig config)
+    : config_(config), switch_count_(switch_count) {}
+
+void SpiderMon::on_enqueue(net::SwitchContext& ctx, net::Packet& pkt,
+                           net::PortId out, std::uint32_t /*queue_depth*/) {
+  auto& queue = queues_[queue_key(ctx.id, out)];
+  // The arriving packet waits for everything already queued (including its
+  // own flow's packets — the self-burst blind spot).
+  for (const net::FlowId& holder : queue) {
+    edges_.push_back(WaitForEdge{ctx.sim.now(), pkt.flow, holder, ctx.id});
+  }
+  queue.push_back(pkt.flow);
+}
+
+void SpiderMon::on_egress(net::SwitchContext& ctx, net::Packet& pkt,
+                          net::PortId out, sim::Time hop_latency) {
+  auto& queue = queues_[queue_key(ctx.id, out)];
+  if (!queue.empty()) queue.pop_front();
+  overheads_.telemetry_bytes += config_.header_bytes;
+
+  // Accumulate queueing delay into the packet's in-band header.
+  sim::Time& carried = carried_delay_[pkt.id];
+  carried += hop_latency;
+  if (!triggered_ && carried > config_.queue_delay_threshold) {
+    triggered_ = true;
+    trigger_time_ = ctx.sim.now();
+  }
+}
+
+void SpiderMon::on_deliver(net::SwitchContext& /*ctx*/, net::Packet& pkt) {
+  carried_delay_.erase(pkt.id);
+}
+
+void SpiderMon::on_drop(net::SwitchContext& /*ctx*/, const net::Packet& pkt,
+                        net::PortId /*out*/) {
+  // SpiderMon has no drop trigger (paper §5.4); just stop tracking.
+  carried_delay_.erase(pkt.id);
+}
+
+rca::CulpritList SpiderMon::diagnose() {
+  if (!triggered_) return {};  // nothing to collect: it never noticed
+  const sim::Time from = trigger_time_ - config_.window;
+
+  // Wait-For Graph over the problem window.
+  std::map<net::FlowId, std::int64_t> in_degree, out_degree;
+  std::map<net::SwitchId, std::int64_t> switch_weight;
+  for (const auto& e : edges_) {
+    if (e.when < from) continue;
+    ++in_degree[e.holder];
+    ++out_degree[e.waiter];
+    ++switch_weight[e.at];
+  }
+
+  rca::CulpritList out;
+  // Flow culprits: other flows wait for the culprit, so it has a large
+  // indegree and small outdegree.
+  for (const auto& [flow, in] : in_degree) {
+    const std::int64_t score = in - out_degree[flow];
+    if (score <= 0) continue;
+    rca::Culprit c;
+    c.level = rca::CulpritLevel::kFlow;
+    c.flow = flow;
+    c.cause = rca::CauseKind::kMicroBurst;
+    c.score = static_cast<double>(score);
+    out.push_back(std::move(c));
+  }
+  // Switch culprits: where the wait-for relations concentrate.
+  for (const auto& [sw, weight] : switch_weight) {
+    rca::Culprit c;
+    c.level = rca::CulpritLevel::kSwitch;
+    c.location = {sw};
+    c.cause = rca::CauseKind::kProcessRateDecrease;
+    c.score = static_cast<double>(weight);
+    out.push_back(std::move(c));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const rca::Culprit& a, const rca::Culprit& b) {
+              return a.score > b.score;
+            });
+  if (out.size() > config_.max_culprits) out.resize(config_.max_culprits);
+  return out;
+}
+
+OverheadReport SpiderMon::overheads() const {
+  OverheadReport report = overheads_;
+  if (triggered_) {
+    // On trigger, ALL switches upload their wait-for state. A switch
+    // aggregates repeat edges into counters, so the upload is one record
+    // per distinct (switch, waiter, holder) triple in the window.
+    const sim::Time from = trigger_time_ - config_.window;
+    std::set<std::tuple<net::SwitchId, net::FlowId, net::FlowId>> distinct;
+    for (const auto& e : edges_) {
+      if (e.when >= from) distinct.emplace(e.at, e.waiter, e.holder);
+    }
+    report.diagnosis_bytes += distinct.size() * config_.record_bytes;
+  }
+  return report;
+}
+
+}  // namespace mars::baselines

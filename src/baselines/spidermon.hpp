@@ -1,0 +1,78 @@
+#pragma once
+// SpiderMon (Wang et al., NSDI'22) — reimplementation of its
+// diagnosis-relevant subset, as characterized in MARS §5.4/§6:
+//
+//   - every packet carries a small INT header (cumulative queueing delay,
+//     4 bytes) — much lighter than IntSight's;
+//   - a switch triggers when a packet's cumulative queueing delay exceeds
+//     a *static* threshold; telemetry is then pulled from ALL switches
+//     (including core), unlike MARS's edge-only collection;
+//   - diagnosis builds a Wait-For Graph between flows that share queues in
+//     the problem window and ranks by vertex degree (indegree −
+//     outdegree); switch locations are ranked by wait-for concentration.
+//
+// Reproduced limitations: it senses only queueing anomalies, so delay and
+// drop faults never trigger it; and a flow that bursts against itself has
+// indegree ≈ outdegree, hiding the culprit.
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/baseline.hpp"
+#include "net/types.hpp"
+
+namespace mars::baselines {
+
+struct SpiderMonConfig {
+  /// Static cumulative-queueing-delay trigger.
+  sim::Time queue_delay_threshold = 5 * sim::kMillisecond;
+  /// Wait-for edges older than this are ignored at diagnosis time.
+  sim::Time window = 1 * sim::kSecond;
+  /// Per-packet INT header bytes (cumulative latency only).
+  std::uint32_t header_bytes = 4;
+  /// Bytes per wait-for record a switch uploads on collection.
+  std::uint32_t record_bytes = 12;
+  std::size_t max_culprits = 20;
+};
+
+class SpiderMon final : public BaselineSystem {
+ public:
+  SpiderMon(std::size_t switch_count, SpiderMonConfig config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "SpiderMon"; }
+  [[nodiscard]] rca::CulpritList diagnose() override;
+  [[nodiscard]] OverheadReport overheads() const override;
+  [[nodiscard]] bool triggered() const override { return triggered_; }
+  [[nodiscard]] sim::Time trigger_time() const { return trigger_time_; }
+
+  // ---- PacketObserver ----
+  void on_enqueue(net::SwitchContext& ctx, net::Packet& pkt, net::PortId out,
+                  std::uint32_t queue_depth) override;
+  void on_egress(net::SwitchContext& ctx, net::Packet& pkt, net::PortId out,
+                 sim::Time hop_latency) override;
+  void on_deliver(net::SwitchContext& ctx, net::Packet& pkt) override;
+  void on_drop(net::SwitchContext& ctx, const net::Packet& pkt,
+               net::PortId out) override;
+
+ private:
+  struct WaitForEdge {
+    sim::Time when;
+    net::FlowId waiter;
+    net::FlowId holder;
+    net::SwitchId at;
+  };
+
+  SpiderMonConfig config_;
+  /// FIFO mirror of each (switch, port) queue, by flow.
+  std::unordered_map<std::uint64_t, std::deque<net::FlowId>> queues_;
+  /// Cumulative queueing delay carried in each in-flight packet's header.
+  std::unordered_map<std::uint64_t, sim::Time> carried_delay_;
+  std::vector<WaitForEdge> edges_;
+  OverheadReport overheads_;
+  bool triggered_ = false;
+  sim::Time trigger_time_ = 0;
+  std::size_t switch_count_;
+};
+
+}  // namespace mars::baselines

@@ -1,0 +1,98 @@
+#include "control/controller.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace mars::control {
+
+Controller::Controller(net::Network& network,
+                       dataplane::MarsPipeline& pipeline,
+                       ControllerConfig config)
+    : network_(&network), pipeline_(&pipeline), config_(config) {}
+
+std::vector<net::SwitchId> Controller::edge_switches() const {
+  return network_->topology().switches_in_layer(net::Layer::kEdge);
+}
+
+void Controller::start() {
+  network_->simulator().schedule_in(config_.poll_interval, [this] {
+    poll_once();
+    start();  // reschedule
+  });
+}
+
+void Controller::poll_once() {
+  const sim::Time now = network_->simulator().now();
+  for (const net::SwitchId sw : edge_switches()) {
+    const sim::Time watermark =
+        poll_watermark_.count(sw) ? poll_watermark_[sw] : -1;
+    for (const auto& rec : pipeline_->ring_snapshot(sw)) {
+      if (rec.sink_timestamp <= watermark) continue;
+      overheads_.poll_bytes += config_.poll_sample_bytes;
+      auto [it, inserted] = reservoirs_.try_emplace(
+          rec.flow, config_.reservoir, reservoir_seed_++);
+      it->second.input(static_cast<double>(rec.latency));
+      if (it->second.warmed_up()) {
+        pipeline_->set_threshold(
+            rec.flow, static_cast<sim::Time>(it->second.threshold()));
+      }
+    }
+    poll_watermark_[sw] = now;
+  }
+}
+
+void Controller::on_notification(const dataplane::Notification& n) {
+  ++overheads_.notifications_seen;
+  const sim::Time now = network_->simulator().now();
+  if (collection_pending_) {
+    // A collection is already scheduled: fold this notification into it.
+    pending_.push_back(n);
+    return;
+  }
+  if (last_response_ >= 0 && now - last_response_ < config_.response_window) {
+    ++overheads_.notifications_suppressed;
+    return;
+  }
+  last_response_ = now;
+  pending_.clear();
+  pending_.push_back(n);
+  if (config_.collection_delay > 0) {
+    collection_pending_ = true;
+    network_->simulator().schedule_in(config_.collection_delay, [this, n] {
+      collection_pending_ = false;
+      collect_and_diagnose(n);
+    });
+  } else {
+    collect_and_diagnose(n);
+  }
+}
+
+void Controller::collect_and_diagnose(const dataplane::Notification& n) {
+  DiagnosisData data;
+  data.trigger = n;
+  data.notifications = pending_;
+  pending_.clear();
+  data.collected_at = network_->simulator().now();
+  data.default_threshold = pipeline_->config().default_threshold;
+  // MARS only drains edge switches (Motivation #1: offload core switches).
+  for (const net::SwitchId sw : edge_switches()) {
+    for (auto& rec : pipeline_->ring_snapshot(sw)) {
+      overheads_.diagnosis_bytes += telemetry::RtRecord::kWireBytes;
+      data.records.push_back(rec);
+    }
+  }
+  for (const auto& [flow, reservoir] : reservoirs_) {
+    if (reservoir.warmed_up()) {
+      data.thresholds[flow] = static_cast<sim::Time>(reservoir.threshold());
+    }
+  }
+  ++overheads_.diagnoses;
+  sessions_.push_back(data);
+  if (on_diagnosis_) on_diagnosis_(sessions_.back());
+}
+
+const detect::Reservoir* Controller::reservoir(const net::FlowId& flow) const {
+  const auto it = reservoirs_.find(flow);
+  return it != reservoirs_.end() ? &it->second : nullptr;
+}
+
+}  // namespace mars::control

@@ -1,0 +1,128 @@
+#pragma once
+// MARS control plane (paper §4.3–4.4 workflow):
+//
+//   - periodically polls the "latency" field of edge-switch Ring Tables
+//     (P4Runtime reads), feeds per-flow reservoirs, and installs the
+//     resulting dynamic thresholds back into the data plane;
+//   - on a data-plane notification (rate-limited per window), drains the
+//     Ring Tables of all *edge* switches into a DiagnosisData bundle and
+//     hands it to the registered diagnosis callback (the RCA engine);
+//   - accounts every byte moved from the data plane to the control plane
+//     (diagnosis overhead, Fig. 9).
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/mars_pipeline.hpp"
+#include "detect/reservoir.hpp"
+#include "net/network.hpp"
+#include "telemetry/tables.hpp"
+
+namespace mars::control {
+
+/// Everything the RCA engine receives for one diagnosis session.
+struct DiagnosisData {
+  dataplane::Notification trigger;
+  /// Every notification that arrived between the trigger and collection
+  /// (the trigger included). Congestion faults raise both HighLatency and
+  /// Drop notifications; seeing the full set lets the analyzer pick the
+  /// right pass instead of racing on which packet won.
+  std::vector<dataplane::Notification> notifications;
+  sim::Time collected_at = 0;
+
+  [[nodiscard]] bool saw(dataplane::Notification::Kind kind) const {
+    for (const auto& n : notifications) {
+      if (n.kind == kind) return true;
+    }
+    return false;
+  }
+  /// Ring Table snapshots from all edge switches, concatenated.
+  std::vector<telemetry::RtRecord> records;
+  /// Per-flow thresholds at collection time (classifies records into the
+  /// abnormal/normal sets).
+  std::unordered_map<net::FlowId, sim::Time> thresholds;
+  sim::Time default_threshold = 10 * sim::kSecond;
+
+  /// True if `rec` is in the abnormal set under the session thresholds.
+  [[nodiscard]] bool is_abnormal(const telemetry::RtRecord& rec) const {
+    const auto it = thresholds.find(rec.flow);
+    const sim::Time thr =
+        it != thresholds.end() ? it->second : default_threshold;
+    return rec.latency > thr;
+  }
+};
+
+struct ControllerConfig {
+  sim::Time poll_interval = 100 * sim::kMillisecond;
+  /// The control plane responds to at most one notification per window
+  /// (paper §4.4).
+  sim::Time response_window = 1 * sim::kSecond;
+  /// Posterior collection: wait this long after the notification before
+  /// draining the Ring Tables, so the anomaly's evidence (telemetry
+  /// packets stuck behind the fault) has reached the sinks.
+  sim::Time collection_delay = 500 * sim::kMillisecond;
+  detect::ReservoirConfig reservoir;
+  /// Bytes per polled latency sample (P4Runtime register read payload).
+  std::uint32_t poll_sample_bytes = 4;
+};
+
+/// Control-plane -> data-plane overhead accounting.
+struct ControllerOverheads {
+  std::uint64_t poll_bytes = 0;       ///< periodic latency reads
+  std::uint64_t diagnosis_bytes = 0;  ///< RT drains on notifications
+  std::uint64_t diagnoses = 0;
+  std::uint64_t notifications_seen = 0;
+  std::uint64_t notifications_suppressed = 0;
+};
+
+class Controller {
+ public:
+  using DiagnosisFn = std::function<void(const DiagnosisData&)>;
+
+  Controller(net::Network& network, dataplane::MarsPipeline& pipeline,
+             ControllerConfig config);
+
+  /// Begin periodic polling (schedules itself on the network's simulator).
+  void start();
+
+  /// Wire this to the pipeline's notification function.
+  void on_notification(const dataplane::Notification& n);
+
+  void set_diagnosis_callback(DiagnosisFn fn) { on_diagnosis_ = std::move(fn); }
+
+  [[nodiscard]] const ControllerOverheads& overheads() const {
+    return overheads_;
+  }
+  [[nodiscard]] const std::vector<DiagnosisData>& sessions() const {
+    return sessions_;
+  }
+  /// The reservoir maintained for one flow (tests/inspection).
+  [[nodiscard]] const detect::Reservoir* reservoir(
+      const net::FlowId& flow) const;
+
+  /// One polling pass (normally driven by start(); exposed for tests).
+  void poll_once();
+
+ private:
+  [[nodiscard]] std::vector<net::SwitchId> edge_switches() const;
+  void collect_and_diagnose(const dataplane::Notification& n);
+
+  net::Network* network_;
+  dataplane::MarsPipeline* pipeline_;
+  ControllerConfig config_;
+  DiagnosisFn on_diagnosis_;
+  std::unordered_map<net::FlowId, detect::Reservoir> reservoirs_;
+  /// Last RT record timestamp polled per edge switch (avoid re-reading).
+  std::unordered_map<net::SwitchId, sim::Time> poll_watermark_;
+  sim::Time last_response_ = -1;
+  /// Notifications accumulated while a collection is pending.
+  std::vector<dataplane::Notification> pending_;
+  bool collection_pending_ = false;
+  std::vector<DiagnosisData> sessions_;
+  ControllerOverheads overheads_;
+  std::uint64_t reservoir_seed_ = 0x7E5E4D01ull;
+};
+
+}  // namespace mars::control

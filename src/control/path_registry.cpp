@@ -1,0 +1,143 @@
+#include "control/path_registry.hpp"
+
+#include <cassert>
+
+namespace mars::control {
+
+PathRegistry::PathRegistry(const net::Topology& topology,
+                           const net::RoutingTable& routing,
+                           telemetry::PathIdConfig config)
+    : topology_(&topology), config_(config) {
+  for (auto& switches : routing.enumerate_edge_paths()) {
+    RegisteredPath path;
+    path.switches = std::move(switches);
+    build_hops(path);
+    paths_.push_back(std::move(path));
+  }
+  resolve_conflicts();
+}
+
+void PathRegistry::build_hops(RegisteredPath& path) const {
+  const auto& sws = path.switches;
+  path.hops.reserve(sws.size());
+  for (std::size_t i = 0; i < sws.size(); ++i) {
+    RegisteredPath::Hop hop{};
+    hop.sw = sws[i];
+    if (i == 0) {
+      hop.in_port = net::kHostPort;
+    } else {
+      const auto in = topology_->port_towards(sws[i], sws[i - 1]);
+      assert(in.has_value());
+      hop.in_port = *in;
+    }
+    if (i + 1 == sws.size()) {
+      hop.out_port = net::kHostPort;
+    } else {
+      const auto out = topology_->port_towards(sws[i], sws[i + 1]);
+      assert(out.has_value());
+      hop.out_port = *out;
+    }
+    path.hops.push_back(hop);
+  }
+}
+
+std::uint32_t PathRegistry::replay(const RegisteredPath& path) const {
+  std::uint32_t id = 0;
+  for (const auto& hop : path.hops) {
+    id = telemetry::update_path_id_with_mat(config_, mat_, id, hop.sw,
+                                            hop.in_port, hop.out_port);
+  }
+  return id;
+}
+
+void PathRegistry::resolve_conflicts() {
+  // Iteratively: recompute all ids; for every group of paths sharing an
+  // id, keep the first and pin a fresh control value for each of the
+  // others at the first hop where their running keys diverge from the
+  // keeper's. Fixing whole groups per round shrinks the conflict count
+  // geometrically, so even dense tables (K=8: ~15k paths in 16 bits)
+  // settle in a handful of rounds.
+  constexpr int kMaxRounds = 64;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    id_to_path_.clear();
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < paths_.size(); ++i) {
+      paths_[i].path_id = replay(paths_[i]);
+      groups[paths_[i].path_id].push_back(i);
+      id_to_path_.try_emplace(paths_[i].path_id, i);
+    }
+    std::size_t conflicts = 0;
+    for (const auto& [id, members] : groups) {
+      if (members.size() > 1) conflicts += members.size() - 1;
+    }
+    if (round == 0) initial_collisions_ = conflicts;
+    if (conflicts == 0) {
+      conflict_free_ = true;
+      return;
+    }
+
+    for (const auto& [id, members] : groups) {
+      if (members.size() < 2) continue;
+      const RegisteredPath& keeper = paths_[members.front()];
+      for (std::size_t m = 1; m < members.size(); ++m) {
+        separate(keeper, paths_[members[m]]);
+      }
+    }
+  }
+  conflict_free_ = false;  // gave up after kMaxRounds
+}
+
+void PathRegistry::separate(const RegisteredPath& a, const RegisteredPath& b) {
+  // Pin a fresh control value for `b` at the LAST hop whose running key
+  // differs from `a`'s and has no MAT entry yet. Early hops' keys are
+  // shared by every sibling path through the same prefix (e.g. all paths
+  // leaving the source via one port), so rewriting them re-hashes large
+  // path families and thrashes; the deepest key is the most specific.
+  std::uint32_t id_a = 0, id_b = 0;
+  std::optional<telemetry::HopKey> target;
+  for (std::size_t h = 0; h < b.hops.size(); ++h) {
+    const auto& hb = b.hops[h];
+    const telemetry::HopKey kb{id_b, hb.sw, hb.in_port, hb.out_port};
+    bool differs = true;
+    if (h < a.hops.size()) {
+      const auto& ha = a.hops[h];
+      const telemetry::HopKey ka{id_a, ha.sw, ha.in_port, ha.out_port};
+      differs = !(ka == kb);
+      id_a = telemetry::update_path_id_with_mat(config_, mat_, id_a, ha.sw,
+                                                ha.in_port, ha.out_port);
+    }
+    if (differs && mat_.find(kb) == mat_.end()) target = kb;
+    id_b = telemetry::update_path_id_with_mat(config_, mat_, id_b, hb.sw,
+                                              hb.in_port, hb.out_port);
+  }
+  if (target) {
+    mat_.emplace(*target, next_control_++);
+    return;
+  }
+  // Identical hop keys throughout would mean identical paths; as a last
+  // resort bump the control on b's sink hop with a fresh value.
+  const auto& hb = b.hops.back();
+  // Recompute b's id entering the sink hop.
+  std::uint32_t id = 0;
+  for (std::size_t h = 0; h + 1 < b.hops.size(); ++h) {
+    id = telemetry::update_path_id_with_mat(config_, mat_, id, b.hops[h].sw,
+                                            b.hops[h].in_port,
+                                            b.hops[h].out_port);
+  }
+  mat_[telemetry::HopKey{id, hb.sw, hb.in_port, hb.out_port}] =
+      next_control_++;
+}
+
+const net::SwitchPath* PathRegistry::lookup(std::uint32_t path_id) const {
+  const auto it = id_to_path_.find(path_id);
+  if (it == id_to_path_.end()) return nullptr;
+  return &paths_[it->second].switches;
+}
+
+std::size_t PathRegistry::intsight_memory_bytes() const {
+  std::size_t hops = 0;
+  for (const auto& p : paths_) hops += p.hops.size();
+  return hops * kIntSightMatEntryBytes;
+}
+
+}  // namespace mars::control

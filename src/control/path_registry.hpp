@@ -1,0 +1,88 @@
+#pragma once
+// Control-plane PathID registry (paper §4.1, §5.5).
+//
+// The control plane enumerates every shortest edge-to-edge path, replays
+// the data plane's per-hop PathID hash for each, and resolves hash
+// conflicts by installing MAT entries that override the control word at
+// the first hop where the colliding paths diverge. The result is
+//   (a) the PathID -> switch-sequence map used to decompress diagnosis
+//       reports, and
+//   (b) the conflict MAT the data plane needs, whose entry count is the
+//       switch-memory cost compared against IntSight in §5.5.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+#include "telemetry/path_id.hpp"
+
+namespace mars::control {
+
+/// A path with its precomputed hop coordinates and final PathID.
+struct RegisteredPath {
+  net::SwitchPath switches;
+  std::uint32_t path_id = 0;
+
+  struct Hop {
+    net::SwitchId sw;
+    net::PortId in_port;
+    net::PortId out_port;
+  };
+  std::vector<Hop> hops;
+};
+
+class PathRegistry {
+ public:
+  /// Enumerates all shortest edge-to-edge paths and resolves conflicts.
+  PathRegistry(const net::Topology& topology, const net::RoutingTable& routing,
+               telemetry::PathIdConfig config);
+
+  /// Decompress a PathID into its switch sequence; nullptr if unknown.
+  [[nodiscard]] const net::SwitchPath* lookup(std::uint32_t path_id) const;
+
+  /// The conflict-resolution MAT to install in the data plane.
+  [[nodiscard]] const telemetry::ControlMat& mat() const { return mat_; }
+  [[nodiscard]] std::size_t mat_entry_count() const { return mat_.size(); }
+
+  [[nodiscard]] std::size_t path_count() const { return paths_.size(); }
+  [[nodiscard]] const std::vector<RegisteredPath>& paths() const {
+    return paths_;
+  }
+  /// Collisions seen before any MAT entry was installed.
+  [[nodiscard]] std::size_t initial_collisions() const {
+    return initial_collisions_;
+  }
+  /// True if every registered path maps to a distinct PathID.
+  [[nodiscard]] bool conflict_free() const { return conflict_free_; }
+
+  // ---- §5.5 switch-memory accounting ----
+  /// MARS: one ~10-byte MAT entry per unresolved hash conflict.
+  [[nodiscard]] std::size_t mars_memory_bytes() const {
+    return mat_.size() * kMarsMatEntryBytes;
+  }
+  /// IntSight: one ~7-byte MAT entry per hop of every path.
+  [[nodiscard]] std::size_t intsight_memory_bytes() const;
+
+  static constexpr std::size_t kMarsMatEntryBytes = 10;
+  static constexpr std::size_t kIntSightMatEntryBytes = 7;
+
+ private:
+  void build_hops(RegisteredPath& path) const;
+  [[nodiscard]] std::uint32_t replay(const RegisteredPath& path) const;
+  void resolve_conflicts();
+  void separate(const RegisteredPath& a, const RegisteredPath& b);
+
+  const net::Topology* topology_;
+  telemetry::PathIdConfig config_;
+  std::vector<RegisteredPath> paths_;
+  telemetry::ControlMat mat_;
+  std::unordered_map<std::uint32_t, std::size_t> id_to_path_;
+  std::size_t initial_collisions_ = 0;
+  bool conflict_free_ = false;
+  std::uint32_t next_control_ = 1;
+};
+
+}  // namespace mars::control

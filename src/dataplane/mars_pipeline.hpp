@@ -1,0 +1,144 @@
+#pragma once
+// The MARS P4 data plane (paper §4.2), as a PacketObserver over the
+// simulated network. Per switch it implements:
+//
+//   source switch:  Ingress Table counting, PathID field insertion,
+//                   one-telemetry-packet-per-flow-per-epoch marking;
+//   every switch:   per-hop PathID update (CRC over {PathID, switch,
+//                   in port, out port, control}), INT queue-depth
+//                   accumulation, in-switch latency-threshold checks with
+//                   the anomaly-suppression flag and a per-switch
+//                   notification window;
+//   sink switch:    Egress Table counting, telemetry extraction into the
+//                   Ring Table, drop detection (count mismatch + epoch
+//                   gap), INT header removal.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/notification.hpp"
+#include "net/observer.hpp"
+#include "telemetry/path_id.hpp"
+#include "telemetry/tables.hpp"
+
+namespace mars::dataplane {
+
+struct PipelineConfig {
+  telemetry::PathIdConfig path_id;
+  sim::Time epoch_period = telemetry::kDefaultEpochPeriod;
+  /// A switch sends at most one notification per window (paper §4.2.2).
+  /// Short enough that a congestion fault's HighLatency and Drop
+  /// notifications both surface within one controller collection period.
+  sim::Time notification_window = 150 * sim::kMillisecond;
+  /// Count-mismatch tolerance: packets in flight across an epoch boundary
+  /// make c_s and c_d differ by a few even when nothing dropped. The
+  /// effective threshold is max(absolute, relative * c_s).
+  std::uint32_t drop_count_threshold = 3;
+  double drop_count_relative = 0.2;
+  /// Consecutive mismatched epochs required before a Drop notification;
+  /// filters the one-epoch deficit a pure delay fault produces.
+  std::uint32_t drop_persistence = 2;
+  /// Consecutive over-threshold telemetry packets of a flow required
+  /// before a HighLatency notification; one-epoch ambient spikes pass,
+  /// real faults persist.
+  std::uint32_t latency_persistence = 2;
+  std::size_t ring_capacity = 1024;
+  /// Threshold used for flows the controller has not yet configured.
+  sim::Time default_threshold = 10 * sim::kSecond;
+};
+
+/// Cumulative data-plane overhead counters (Fig. 9 accounting).
+struct PipelineOverheads {
+  std::uint64_t telemetry_bytes = 0;   ///< INT/PathID bytes crossing links
+  std::uint64_t notifications = 0;
+  std::uint64_t notification_bytes = 0;
+  std::uint64_t telemetry_packets_marked = 0;
+  std::uint64_t latency_notifications = 0;
+  std::uint64_t drop_notifications = 0;
+  /// Notifications swallowed by the per-switch window.
+  std::uint64_t window_suppressed = 0;
+};
+
+class MarsPipeline : public net::PacketObserver {
+ public:
+  using NotificationFn = std::function<void(const Notification&)>;
+
+  MarsPipeline(std::size_t switch_count, PipelineConfig config,
+               NotificationFn notify);
+
+  // ---- control-plane facing API ----
+  /// Install/replace a flow's dynamic latency threshold (P4Runtime write).
+  void set_threshold(const net::FlowId& flow, sim::Time threshold);
+  [[nodiscard]] sim::Time threshold(const net::FlowId& flow) const;
+  /// Install the PathID conflict-resolution MAT computed by the registry.
+  void set_control_mat(telemetry::ControlMat mat) { mat_ = std::move(mat); }
+
+  [[nodiscard]] const telemetry::IngressTable& ingress_table(
+      net::SwitchId sw) const {
+    return state_[sw].ingress;
+  }
+  [[nodiscard]] const telemetry::EgressTable& egress_table(
+      net::SwitchId sw) const {
+    return state_[sw].egress;
+  }
+  [[nodiscard]] const telemetry::RingTable& ring_table(
+      net::SwitchId sw) const {
+    return state_[sw].ring;
+  }
+  /// Drain a sink switch's Ring Table for diagnosis; leaves it intact
+  /// (reads are register reads, not resets).
+  [[nodiscard]] std::vector<telemetry::RtRecord> ring_snapshot(
+      net::SwitchId sw) const {
+    return state_[sw].ring.snapshot();
+  }
+
+  [[nodiscard]] const PipelineOverheads& overheads() const {
+    return overheads_;
+  }
+  [[nodiscard]] const PipelineConfig& config() const { return config_; }
+
+  // ---- PacketObserver ----
+  void on_ingress(net::SwitchContext& ctx, net::Packet& pkt) override;
+  void on_enqueue(net::SwitchContext& ctx, net::Packet& pkt, net::PortId out,
+                  std::uint32_t queue_depth) override;
+  void on_egress(net::SwitchContext& ctx, net::Packet& pkt, net::PortId out,
+                 sim::Time hop_latency) override;
+  void on_deliver(net::SwitchContext& ctx, net::Packet& pkt) override;
+
+ private:
+  struct SwitchState {
+    telemetry::IngressTable ingress;
+    telemetry::EgressTable egress;
+    telemetry::RingTable ring;
+    sim::Time last_notification = -1;
+    /// Per-flow telemetry epoch last seen at this sink (epoch-gap check).
+    std::unordered_map<net::FlowId, telemetry::EpochId> last_seen_epoch;
+    /// Consecutive count-mismatch epochs per flow (drop persistence).
+    std::unordered_map<net::FlowId, std::uint32_t> mismatch_streak;
+
+    SwitchState(sim::Time period, std::size_t ring_capacity)
+        : ingress(period), egress(period), ring(ring_capacity) {}
+  };
+
+  void maybe_check_latency(net::SwitchContext& ctx, net::Packet& pkt,
+                           bool at_sink);
+  void notify(net::SwitchContext& ctx, Notification n);
+
+  PipelineConfig config_;
+  NotificationFn notify_fn_;
+  std::vector<SwitchState> state_;
+  telemetry::ControlMat mat_;
+  std::unordered_map<net::FlowId, sim::Time> thresholds_;
+  /// Consecutive anomalous telemetry packets per flow. Incremented once
+  /// per packet at the hop that first exceeds the threshold (the
+  /// suppression flag guarantees once), reset when a packet reaches its
+  /// sink clean. Conceptually each flow's counter lives where its
+  /// anomalies surface; a single map keeps that bookkeeping simple.
+  std::unordered_map<net::FlowId, std::uint32_t> latency_streak_;
+  PipelineOverheads overheads_;
+};
+
+}  // namespace mars::dataplane

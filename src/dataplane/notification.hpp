@@ -1,0 +1,31 @@
+#pragma once
+// Data-plane -> control-plane notification packets (paper §4.2.2, §4.3).
+
+#include <cstdint>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace mars::dataplane {
+
+struct Notification {
+  enum class Kind : std::uint8_t { kHighLatency, kDrop };
+
+  Kind kind = Kind::kHighLatency;
+  net::SwitchId reporter = net::kInvalidSwitch;  ///< switch that triggered
+  net::FlowId flow;
+  sim::Time when = 0;
+
+  // kHighLatency details.
+  sim::Time latency = 0;      ///< end-to-end latency observed so far
+  sim::Time threshold = 0;    ///< the dynamic threshold that was exceeded
+
+  // kDrop details.
+  std::uint32_t epoch_gap = 0;         ///< missing telemetry epochs
+  std::uint32_t dropped_estimate = 0;  ///< c_s - c_d
+
+  /// Wire size of a notification packet (diagnosis bandwidth accounting).
+  static constexpr std::uint32_t kWireBytes = 32;
+};
+
+}  // namespace mars::dataplane

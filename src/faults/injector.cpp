@@ -1,0 +1,186 @@
+#include "faults/injector.hpp"
+
+#include <algorithm>
+
+namespace mars::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMicroBurst: return "micro-burst";
+    case FaultKind::kEcmpImbalance: return "ecmp-imbalance";
+    case FaultKind::kProcessRateDecrease: return "process-rate-decrease";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+std::string GroundTruth::describe() const {
+  std::string out = to_string(kind);
+  if (kind == FaultKind::kMicroBurst) {
+    out += " flow " + net::to_string(flow);
+  } else {
+    out += " @ s" + std::to_string(switch_id);
+    if (kind != FaultKind::kEcmpImbalance) {
+      out += " port " + std::to_string(port);
+    }
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(net::Network& network,
+                             workload::TrafficGenerator& traffic,
+                             std::uint64_t seed, InjectorConfig config)
+    : network_(&network), traffic_(&traffic), rng_(seed), config_(config) {}
+
+std::optional<GroundTruth> FaultInjector::inject(FaultKind kind,
+                                                 sim::Time at) {
+  std::optional<GroundTruth> truth;
+  switch (kind) {
+    case FaultKind::kMicroBurst:
+      truth = inject_micro_burst(at);
+      break;
+    case FaultKind::kEcmpImbalance:
+      truth = inject_ecmp(at);
+      break;
+    case FaultKind::kProcessRateDecrease:
+    case FaultKind::kDelay:
+    case FaultKind::kDrop:
+      truth = inject_port_fault(kind, at);
+      break;
+  }
+  if (truth) history_.push_back(*truth);
+  return truth;
+}
+
+std::optional<FaultInjector::LoadedPath>
+FaultInjector::random_loaded_path() {
+  const auto& flows = traffic_->flows();
+  if (flows.empty()) return std::nullopt;
+  const auto& spec = flows[rng_.below(flows.size())];
+  LoadedPath path;
+  path.spec = &spec;
+  net::SwitchId at = spec.flow.source;
+  // Follow the same deterministic ECMP decisions the flow's packets take.
+  for (int guard = 0; guard < 16 && at != spec.flow.sink; ++guard) {
+    net::PortId out = 0;
+    if (!network_->routing().select_port(at, spec.flow.sink, spec.flow_hash,
+                                         out)) {
+      return std::nullopt;
+    }
+    path.hops.push_back(LoadedHop{at, out});
+    at = network_->topology().peer(at, out).neighbor;
+  }
+  if (path.hops.empty()) return std::nullopt;
+  return path;
+}
+
+std::optional<GroundTruth> FaultInjector::inject_micro_burst(sim::Time at) {
+  const auto& flows = traffic_->flows();
+  if (flows.empty()) return std::nullopt;
+  // Burst between a random pair already present in the traffic matrix so
+  // the latency impact lands on active background flows.
+  const auto& victim = flows[rng_.below(flows.size())];
+  GroundTruth truth;
+  truth.kind = FaultKind::kMicroBurst;
+  truth.flow = victim.flow;
+  truth.start = at;
+  truth.duration = config_.duration;
+  traffic_->add_burst(victim.flow, config_.burst_pps, at, config_.duration);
+  return truth;
+}
+
+std::optional<GroundTruth> FaultInjector::inject_ecmp(sim::Time at) {
+  // Pick a switch on a loaded path that has a real choice (group >= 2)
+  // towards that flow's destination, then skew every group on the switch —
+  // the paper rewrites the switch's ECMP strategy wholesale.
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const auto path = random_loaded_path();
+    if (!path) return std::nullopt;
+    // The chooser is the first hop on a loaded path that has a real
+    // alternative towards that flow's destination — the switch whose skew
+    // actually redirects live traffic (the paper's s9 in Fig. 6).
+    net::SwitchId chooser = net::kInvalidSwitch;
+    for (const auto& hop : path->hops) {
+      if (network_->routing()
+              .group(hop.sw, path->spec->flow.sink)
+              .members.size() >= 2) {
+        chooser = hop.sw;
+        break;
+      }
+    }
+    if (chooser == net::kInvalidSwitch) continue;
+    const auto ratio = static_cast<std::uint32_t>(
+        rng_.range(config_.imbalance_min, config_.imbalance_max));
+
+    GroundTruth truth;
+    truth.kind = FaultKind::kEcmpImbalance;
+    truth.switch_id = chooser;
+    truth.start = at;
+    truth.duration = config_.duration;
+
+    auto& sim = network_->simulator();
+    sim.schedule_at(at, [this, chooser, ratio] {
+      for (net::SwitchId dst = 0; dst < network_->switch_count(); ++dst) {
+        auto& group = network_->routing().mutable_group(chooser, dst);
+        if (group.members.size() < 2) continue;
+        for (std::size_t m = 0; m < group.members.size(); ++m) {
+          group.members[m].weight = (m == 0) ? 1 : ratio;
+        }
+      }
+    });
+    sim.schedule_at(at + config_.duration, [this, chooser] {
+      for (net::SwitchId dst = 0; dst < network_->switch_count(); ++dst) {
+        auto& group = network_->routing().mutable_group(chooser, dst);
+        for (auto& member : group.members) member.weight = 1;
+      }
+    });
+    return truth;
+  }
+  return std::nullopt;
+}
+
+std::optional<GroundTruth> FaultInjector::inject_port_fault(FaultKind kind,
+                                                            sim::Time at) {
+  const auto path = random_loaded_path();
+  if (!path) return std::nullopt;
+  const auto& hop = path->hops[rng_.below(path->hops.size())];
+
+  GroundTruth truth;
+  truth.kind = kind;
+  truth.switch_id = hop.sw;
+  truth.port = hop.out;
+  truth.start = at;
+  truth.duration = config_.duration;
+
+  auto& sim = network_->simulator();
+  net::Switch& sw = network_->node(hop.sw);
+  switch (kind) {
+    case FaultKind::kProcessRateDecrease: {
+      const double pps =
+          rng_.uniform(config_.process_rate_min, config_.process_rate_max);
+      sim.schedule_at(at, [&sw, hop, pps] { sw.set_max_pps(hop.out, pps); });
+      break;
+    }
+    case FaultKind::kDelay: {
+      const auto delay = static_cast<sim::Time>(rng_.range(
+          config_.delay_min, config_.delay_max));
+      sim.schedule_at(at,
+                      [&sw, hop, delay] { sw.set_extra_delay(hop.out, delay); });
+      break;
+    }
+    case FaultKind::kDrop: {
+      const double p =
+          rng_.uniform(config_.drop_prob_min, config_.drop_prob_max);
+      sim.schedule_at(at,
+                      [&sw, hop, p] { sw.set_drop_probability(hop.out, p); });
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  sim.schedule_at(at + config_.duration, [&sw] { sw.clear_faults(); });
+  return truth;
+}
+
+}  // namespace mars::faults

@@ -1,0 +1,99 @@
+#pragma once
+// Fault injection (paper §5.2) with ground-truth labels for evaluation.
+//
+// Five scenarios:
+//   micro-burst:            transient >1000 pps flow for ~1 s;
+//   ECMP load imbalance:    a random switch's ECMP weights move from 1:1
+//                           to 1:r, r ∈ [4, 10];
+//   process-rate decrease:  a port's service rate drops below 100 pps;
+//   delay:                  a port gains constant extra latency outside
+//                           the queue (Chaosblade-style interface fault);
+//   drop:                   a port drops packets with fixed probability.
+//
+// Each injection targets a location that actually carries traffic (picked
+// from the active background flows) so every trial is non-vacuous, and
+// schedules its own removal.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace mars::faults {
+
+enum class FaultKind : std::uint8_t {
+  kMicroBurst,
+  kEcmpImbalance,
+  kProcessRateDecrease,
+  kDelay,
+  kDrop,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// What was actually injected — the label the localization metrics grade
+/// culprit lists against.
+struct GroundTruth {
+  FaultKind kind = FaultKind::kDelay;
+  net::SwitchId switch_id = net::kInvalidSwitch;  ///< culprit switch
+  net::PortId port = 0;                           ///< for port faults
+  net::FlowId flow{net::kInvalidSwitch, net::kInvalidSwitch};  ///< burst flow
+  sim::Time start = 0;
+  sim::Time duration = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct InjectorConfig {
+  sim::Time duration = 1 * sim::kSecond;
+  double burst_pps = 2500.0;          ///< > 1000 pps (paper), above line rate
+  int imbalance_min = 4, imbalance_max = 10;  ///< ratio 1:r
+  double process_rate_min = 50.0, process_rate_max = 90.0;  ///< < 100 pps
+  sim::Time delay_min = 50 * sim::kMillisecond;
+  sim::Time delay_max = 200 * sim::kMillisecond;
+  double drop_prob_min = 0.3, drop_prob_max = 0.8;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(net::Network& network, workload::TrafficGenerator& traffic,
+                std::uint64_t seed, InjectorConfig config = {});
+
+  /// Inject `kind` at absolute time `at`; removal is scheduled
+  /// automatically. Returns the ground truth, or nullopt if no viable
+  /// target exists (e.g. no active flows yet).
+  std::optional<GroundTruth> inject(FaultKind kind, sim::Time at);
+
+  [[nodiscard]] const std::vector<GroundTruth>& injected() const {
+    return history_;
+  }
+
+ private:
+  /// Walk the routing decision chain of one active flow and return its
+  /// switch-level path with the egress port at each non-sink hop.
+  struct LoadedHop {
+    net::SwitchId sw;
+    net::PortId out;
+  };
+  struct LoadedPath {
+    const workload::FlowSpec* spec = nullptr;
+    std::vector<LoadedHop> hops;
+  };
+  [[nodiscard]] std::optional<LoadedPath> random_loaded_path();
+
+  std::optional<GroundTruth> inject_micro_burst(sim::Time at);
+  std::optional<GroundTruth> inject_ecmp(sim::Time at);
+  std::optional<GroundTruth> inject_port_fault(FaultKind kind, sim::Time at);
+
+  net::Network* network_;
+  workload::TrafficGenerator* traffic_;
+  util::Rng rng_;
+  InjectorConfig config_;
+  std::vector<GroundTruth> history_;
+};
+
+}  // namespace mars::faults

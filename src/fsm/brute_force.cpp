@@ -1,0 +1,59 @@
+#include "fsm/brute_force.hpp"
+
+#include <set>
+
+namespace mars::fsm {
+namespace {
+
+// All distinct subsequences of `seq` up to `max_len` under the semantics.
+void collect_candidates(const Sequence& seq, std::size_t max_len,
+                        bool contiguous, std::set<Sequence>& out) {
+  if (contiguous) {
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      Sequence cand;
+      for (std::size_t j = i; j < seq.size() && cand.size() < max_len; ++j) {
+        cand.push_back(seq[j]);
+        out.insert(cand);
+      }
+    }
+    return;
+  }
+  // Gapped: DFS over index choices.
+  Sequence cand;
+  auto dfs = [&](auto&& self, std::size_t start) -> void {
+    if (cand.size() >= max_len) return;
+    for (std::size_t i = start; i < seq.size(); ++i) {
+      cand.push_back(seq[i]);
+      out.insert(cand);
+      self(self, i + 1);
+      cand.pop_back();
+    }
+  };
+  dfs(dfs, 0);
+}
+
+}  // namespace
+
+std::vector<Pattern> BruteForce::mine(const SequenceDatabase& db,
+                                      const MiningParams& params) const {
+  std::vector<Pattern> out;
+  if (db.empty() || params.max_length == 0) return out;
+  const std::uint64_t min_sup = params.effective_min_support(db.total());
+
+  std::set<Sequence> candidates;
+  for (const auto& e : db.entries()) {
+    collect_candidates(e.items, params.max_length, params.contiguous,
+                       candidates);
+  }
+  for (const auto& cand : candidates) {
+    std::uint64_t sup = 0;
+    for (const auto& e : db.entries()) {
+      if (contains_pattern(e.items, cand, params.contiguous)) sup += e.count;
+    }
+    if (sup >= min_sup) out.push_back(Pattern{cand, sup});
+  }
+  last_memory_bytes_ = candidates.size() * sizeof(Sequence);
+  return out;
+}
+
+}  // namespace mars::fsm

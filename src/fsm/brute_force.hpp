@@ -1,0 +1,20 @@
+#pragma once
+// Reference miner: enumerate every candidate pattern occurring in the
+// database and count supports by scanning. Exponentially slower than the
+// real miners but obviously correct — the property tests cross-validate
+// all seven algorithms against it.
+
+#include "fsm/miner.hpp"
+
+namespace mars::fsm {
+
+class BruteForce final : public Miner {
+ public:
+  [[nodiscard]] std::vector<Pattern> mine(
+      const SequenceDatabase& db, const MiningParams& params) const override;
+  [[nodiscard]] std::string_view name() const override {
+    return "BruteForce";
+  }
+};
+
+}  // namespace mars::fsm

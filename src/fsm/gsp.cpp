@@ -1,0 +1,87 @@
+#include "fsm/gsp.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mars::fsm {
+namespace {
+
+struct SeqHash {
+  std::size_t operator()(const Sequence& s) const noexcept {
+    std::size_t h = 1469598103u;
+    for (const Item i : s) h = (h ^ i) * 1099511628211ull;
+    return h;
+  }
+};
+
+}  // namespace
+
+std::vector<Pattern> Gsp::mine(const SequenceDatabase& db,
+                               const MiningParams& params) const {
+  std::vector<Pattern> out;
+  last_memory_bytes_ = 0;
+  if (db.empty() || params.max_length == 0) return out;
+  const std::uint64_t min_sup = params.effective_min_support(db.total());
+  const auto entries = db.entries();
+
+  // L1: scan once for item supports.
+  std::unordered_map<Item, std::uint64_t> item_support;
+  for (const auto& e : entries) {
+    std::unordered_set<Item> distinct(e.items.begin(), e.items.end());
+    for (const Item item : distinct) item_support[item] += e.count;
+  }
+  std::vector<Sequence> frequent_k;  // frequent patterns of current length
+  std::vector<Item> frequent_items;
+  for (const auto& [item, sup] : item_support) {
+    if (sup >= min_sup) {
+      out.push_back(Pattern{{item}, sup});
+      frequent_k.push_back({item});
+      frequent_items.push_back(item);
+    }
+  }
+
+  std::size_t peak = frequent_k.size() * sizeof(Sequence);
+  for (std::size_t k = 2;
+       k <= params.max_length && !frequent_k.empty(); ++k) {
+    // Candidate generation: join patterns whose (k-2)-suffix equals
+    // another's (k-2)-prefix. For k == 2 this is the cross product.
+    std::unordered_set<Sequence, SeqHash> frequent_set(frequent_k.begin(),
+                                                       frequent_k.end());
+    std::vector<Sequence> candidates;
+    for (const auto& a : frequent_k) {
+      for (const Item b : frequent_items) {
+        Sequence cand = a;
+        cand.push_back(b);
+        if (k > 2) {
+          // Apriori prune: the suffix of length k-1 must be frequent too.
+          const Sequence suffix(cand.begin() + 1, cand.end());
+          if (!frequent_set.count(suffix)) continue;
+        }
+        candidates.push_back(std::move(cand));
+      }
+    }
+    peak = std::max(peak, candidates.size() * (sizeof(Sequence) +
+                                               k * sizeof(Item)));
+
+    // Support-count scan.
+    std::unordered_map<Sequence, std::uint64_t, SeqHash> counts;
+    for (const auto& e : entries) {
+      for (const auto& cand : candidates) {
+        if (contains_pattern(e.items, cand, params.contiguous)) {
+          counts[cand] += e.count;
+        }
+      }
+    }
+    frequent_k.clear();
+    for (auto& [cand, sup] : counts) {
+      if (sup >= min_sup) {
+        out.push_back(Pattern{cand, sup});
+        frequent_k.push_back(cand);
+      }
+    }
+  }
+  last_memory_bytes_ = peak;
+  return out;
+}
+
+}  // namespace mars::fsm

@@ -1,0 +1,17 @@
+#pragma once
+// GSP (Srikant & Agrawal, EDBT'96): level-wise candidate generation with a
+// full database scan per level — the classic apriori-style baseline among
+// the Fig. 11 miners.
+
+#include "fsm/miner.hpp"
+
+namespace mars::fsm {
+
+class Gsp final : public Miner {
+ public:
+  [[nodiscard]] std::vector<Pattern> mine(
+      const SequenceDatabase& db, const MiningParams& params) const override;
+  [[nodiscard]] std::string_view name() const override { return "GSP"; }
+};
+
+}  // namespace mars::fsm

@@ -1,0 +1,49 @@
+#include "fsm/miner.hpp"
+
+#include "fsm/gsp.hpp"
+#include "fsm/prefixspan.hpp"
+#include "fsm/spade.hpp"
+#include "fsm/spam.hpp"
+
+namespace mars::fsm {
+
+std::unique_ptr<Miner> make_miner(MinerKind kind) {
+  switch (kind) {
+    case MinerKind::kPrefixSpan:
+      return std::make_unique<PrefixSpan>();
+    case MinerKind::kGsp:
+      return std::make_unique<Gsp>();
+    case MinerKind::kSpade:
+      return std::make_unique<Spade>(/*use_cmap=*/false);
+    case MinerKind::kSpam:
+      return std::make_unique<Spam>();
+    case MinerKind::kLapin:
+      return std::make_unique<Spam>(Spam::Options{.use_lapin = true});
+    case MinerKind::kCmSpade:
+      return std::make_unique<Spade>(/*use_cmap=*/true);
+    case MinerKind::kCmSpam:
+      return std::make_unique<Spam>(Spam::Options{.use_cmap = true});
+  }
+  return nullptr;
+}
+
+std::vector<MinerKind> all_miner_kinds() {
+  return {MinerKind::kPrefixSpan, MinerKind::kGsp,     MinerKind::kSpade,
+          MinerKind::kSpam,       MinerKind::kLapin,   MinerKind::kCmSpade,
+          MinerKind::kCmSpam};
+}
+
+std::string_view miner_name(MinerKind kind) {
+  switch (kind) {
+    case MinerKind::kPrefixSpan: return "PrefixSpan";
+    case MinerKind::kGsp: return "GSP";
+    case MinerKind::kSpade: return "SPADE";
+    case MinerKind::kSpam: return "SPAM";
+    case MinerKind::kLapin: return "LAPIN-SPAM";
+    case MinerKind::kCmSpade: return "CM-SPADE";
+    case MinerKind::kCmSpam: return "CM-SPAM";
+  }
+  return "?";
+}
+
+}  // namespace mars::fsm

@@ -1,0 +1,53 @@
+#pragma once
+// Miner interface and the registry of all implemented FSM algorithms
+// (Fig. 11 compares their runtime and memory on MARS's abnormal sets).
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "fsm/sequence.hpp"
+
+namespace mars::fsm {
+
+class Miner {
+ public:
+  virtual ~Miner() = default;
+
+  /// Mine all frequent patterns under `params`. Output order is
+  /// unspecified; use sort_patterns() to canonicalize.
+  [[nodiscard]] virtual std::vector<Pattern> mine(
+      const SequenceDatabase& db, const MiningParams& params) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Approximate peak auxiliary memory of the last mine() call, in bytes
+  /// (Fig. 11's memory axis). Updated by each call; not thread-safe across
+  /// concurrent mine() calls on the same object.
+  [[nodiscard]] std::size_t last_memory_bytes() const {
+    return last_memory_bytes_;
+  }
+
+ protected:
+  mutable std::size_t last_memory_bytes_ = 0;
+};
+
+enum class MinerKind {
+  kPrefixSpan,
+  kGsp,
+  kSpade,
+  kSpam,
+  kLapin,
+  kCmSpade,
+  kCmSpam,
+};
+
+/// Factory for a miner by kind.
+[[nodiscard]] std::unique_ptr<Miner> make_miner(MinerKind kind);
+
+/// All kinds, in the order Fig. 11 lists them.
+[[nodiscard]] std::vector<MinerKind> all_miner_kinds();
+
+[[nodiscard]] std::string_view miner_name(MinerKind kind);
+
+}  // namespace mars::fsm

@@ -1,0 +1,45 @@
+#include "fsm/postprocess.hpp"
+
+#include <algorithm>
+
+namespace mars::fsm {
+
+bool is_proper_subpattern(const Pattern& inner, const Pattern& outer,
+                          bool contiguous) {
+  if (inner.items.size() >= outer.items.size()) return false;
+  return contains_pattern(outer.items, inner.items, contiguous);
+}
+
+std::vector<Pattern> closed_patterns(std::vector<Pattern> patterns,
+                                     bool contiguous) {
+  std::vector<Pattern> out;
+  out.reserve(patterns.size());
+  for (const Pattern& candidate : patterns) {
+    bool closed = true;
+    for (const Pattern& other : patterns) {
+      if (is_proper_subpattern(candidate, other, contiguous) &&
+          other.support >= candidate.support) {
+        closed = false;
+        break;
+      }
+    }
+    if (closed) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<Pattern> top_k_patterns(std::vector<Pattern> patterns,
+                                    std::size_t k) {
+  std::sort(patterns.begin(), patterns.end(),
+            [](const Pattern& a, const Pattern& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  if (patterns.size() > k) patterns.resize(k);
+  return patterns;
+}
+
+}  // namespace mars::fsm

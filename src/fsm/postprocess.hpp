@@ -1,0 +1,37 @@
+#pragma once
+// Pattern post-processing on top of any miner's output:
+//
+//   - closed patterns: drop every pattern that has a super-pattern with
+//     the SAME support (the super-pattern carries strictly more location
+//     information at no evidence cost — for MARS, prefer reporting the
+//     link over both of its endpoints when their supports are equal);
+//   - top-k by support: keep only the k best-supported patterns, with a
+//     deterministic tie order.
+//
+// Both run in O(n^2 · len) over the (small) pattern set, which is far
+// below mining cost for MARS's max-length-2 configuration.
+
+#include <vector>
+
+#include "fsm/sequence.hpp"
+
+namespace mars::fsm {
+
+/// True if `inner` occurs in `outer` under the adjacency semantics and
+/// the two differ.
+[[nodiscard]] bool is_proper_subpattern(const Pattern& inner,
+                                        const Pattern& outer,
+                                        bool contiguous);
+
+/// Keep only closed patterns: those with no proper super-pattern of equal
+/// (or greater) support in the set. Preserves input order.
+[[nodiscard]] std::vector<Pattern> closed_patterns(
+    std::vector<Pattern> patterns, bool contiguous);
+
+/// The k best-supported patterns, sorted by support descending; ties
+/// break shorter-first then lexicographic (a switch outranks a link at
+/// equal support unless closed_patterns already removed it).
+[[nodiscard]] std::vector<Pattern> top_k_patterns(
+    std::vector<Pattern> patterns, std::size_t k);
+
+}  // namespace mars::fsm

@@ -1,0 +1,138 @@
+#include "fsm/prefixspan.hpp"
+
+#include <unordered_map>
+
+namespace mars::fsm {
+namespace {
+
+// A projected database entry: the source sequence plus the positions where
+// the current prefix *ends*. Under gapped semantics only the earliest end
+// matters (any later occurrence offers a subset of the extensions); under
+// contiguous semantics every end position can enable a different next item,
+// so all of them are kept.
+struct Projection {
+  std::size_t entry = 0;
+  std::vector<std::size_t> ends;
+};
+
+struct Ctx {
+  const SequenceDatabase* db;
+  MiningParams params;
+  std::uint64_t min_support;
+  std::vector<Pattern>* out;
+  std::size_t peak_bytes = 0;
+  std::size_t live_bytes = 0;
+
+  void charge(std::size_t bytes) {
+    live_bytes += bytes;
+    peak_bytes = std::max(peak_bytes, live_bytes);
+  }
+  void release(std::size_t bytes) { live_bytes -= bytes; }
+};
+
+std::size_t projection_bytes(const std::vector<Projection>& proj) {
+  std::size_t bytes = proj.size() * sizeof(Projection);
+  for (const auto& p : proj) bytes += p.ends.size() * sizeof(std::size_t);
+  return bytes;
+}
+
+void grow(Ctx& ctx, Sequence& prefix, const std::vector<Projection>& proj) {
+  if (prefix.size() >= ctx.params.max_length) return;
+  const auto entries = ctx.db->entries();
+
+  // Count candidate extension items in the projected database.
+  std::unordered_map<Item, std::uint64_t> support;
+  for (const auto& p : proj) {
+    const auto& seq = entries[p.entry].items;
+    const std::uint64_t w = entries[p.entry].count;
+    // Distinct items reachable from this entry (count each entry once).
+    std::unordered_map<Item, bool> seen;
+    if (ctx.params.contiguous) {
+      for (const std::size_t end : p.ends) {
+        if (end + 1 < seq.size()) seen[seq[end + 1]] = true;
+      }
+    } else {
+      for (std::size_t i = p.ends.front() + 1; i < seq.size(); ++i) {
+        seen[seq[i]] = true;
+      }
+    }
+    for (const auto& [item, _] : seen) support[item] += w;
+  }
+
+  for (const auto& [item, sup] : support) {
+    if (sup < ctx.min_support) continue;
+    prefix.push_back(item);
+    ctx.out->push_back(Pattern{prefix, sup});
+
+    // Build the projection for the extended prefix.
+    std::vector<Projection> next;
+    for (const auto& p : proj) {
+      const auto& seq = entries[p.entry].items;
+      Projection np{p.entry, {}};
+      if (ctx.params.contiguous) {
+        for (const std::size_t end : p.ends) {
+          if (end + 1 < seq.size() && seq[end + 1] == item) {
+            np.ends.push_back(end + 1);
+          }
+        }
+      } else {
+        for (std::size_t i = p.ends.front() + 1; i < seq.size(); ++i) {
+          if (seq[i] == item) {
+            np.ends.push_back(i);  // earliest suffices for gapped
+            break;
+          }
+        }
+      }
+      if (!np.ends.empty()) next.push_back(std::move(np));
+    }
+    const std::size_t bytes = projection_bytes(next);
+    ctx.charge(bytes);
+    grow(ctx, prefix, next);
+    ctx.release(bytes);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Pattern> PrefixSpan::mine(const SequenceDatabase& db,
+                                      const MiningParams& params) const {
+  std::vector<Pattern> out;
+  if (db.empty() || params.max_length == 0) {
+    last_memory_bytes_ = 0;
+    return out;
+  }
+  Ctx ctx{&db, params, params.effective_min_support(db.total()), &out};
+
+  // Level 1: every occurring item, with its initial projection.
+  std::unordered_map<Item, std::uint64_t> support;
+  std::unordered_map<Item, std::vector<Projection>> projections;
+  const auto entries = db.entries();
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    std::unordered_map<Item, Projection> local;
+    for (std::size_t i = 0; i < entries[e].items.size(); ++i) {
+      auto& p = local[entries[e].items[i]];
+      p.entry = e;
+      p.ends.push_back(i);
+    }
+    for (auto& [item, p] : local) {
+      support[item] += entries[e].count;
+      if (!ctx.params.contiguous) p.ends.resize(1);  // earliest only
+      projections[item].push_back(std::move(p));
+    }
+  }
+  for (auto& [item, sup] : support) {
+    if (sup < ctx.min_support) continue;
+    out.push_back(Pattern{{item}, sup});
+    Sequence prefix{item};
+    const auto& proj = projections[item];
+    const std::size_t bytes = projection_bytes(proj);
+    ctx.charge(bytes);
+    grow(ctx, prefix, proj);
+    ctx.release(bytes);
+  }
+  last_memory_bytes_ = ctx.peak_bytes;
+  return out;
+}
+
+}  // namespace mars::fsm

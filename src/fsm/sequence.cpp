@@ -1,0 +1,42 @@
+#include "fsm/sequence.hpp"
+
+#include <algorithm>
+
+namespace mars::fsm {
+
+bool contains_pattern(std::span<const Item> seq, std::span<const Item> pattern,
+                      bool contiguous) {
+  if (pattern.empty()) return true;
+  if (pattern.size() > seq.size()) return false;
+  if (contiguous) {
+    return std::search(seq.begin(), seq.end(), pattern.begin(),
+                       pattern.end()) != seq.end();
+  }
+  std::size_t pi = 0;
+  for (const Item item : seq) {
+    if (item == pattern[pi] && ++pi == pattern.size()) return true;
+  }
+  return false;
+}
+
+void sort_patterns(std::vector<Pattern>& patterns) {
+  std::sort(patterns.begin(), patterns.end(),
+            [](const Pattern& a, const Pattern& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+}
+
+std::string to_string(const Pattern& p) {
+  std::string out = "<";
+  for (std::size_t i = 0; i < p.items.size(); ++i) {
+    if (i) out += ",";
+    out += "s" + std::to_string(p.items[i]);
+  }
+  out += ">:" + std::to_string(p.support);
+  return out;
+}
+
+}  // namespace mars::fsm

@@ -1,0 +1,98 @@
+#pragma once
+// Sequence database for Frequent Sequence Mining (paper §4.4.2).
+//
+// Sequences are packet paths (switch-id lists). The database is weighted:
+// the traffic estimator (Alg. 2) expands one sampled record into `count`
+// estimated packets, so a sequence with weight w counts as w occurrences
+// toward support.
+//
+// Semantics note: MARS treats a length-2 pattern as a *link*, i.e. the two
+// switches must be adjacent in the path. The paper's worked example
+// confirms this (⟨s3,s4⟩ is absent from the result for paths ⟨s3,s2,s4⟩).
+// Classic FSM allows gaps; MiningParams::contiguous selects between the
+// two. All seven miners honour both settings and must agree exactly.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mars::fsm {
+
+using Item = std::uint32_t;  ///< a switch id
+using Sequence = std::vector<Item>;
+
+struct WeightedSequence {
+  Sequence items;
+  std::uint64_t count = 1;
+};
+
+class SequenceDatabase {
+ public:
+  void add(Sequence seq, std::uint64_t count = 1) {
+    if (seq.empty() || count == 0) return;
+    total_ += count;
+    entries_.push_back(WeightedSequence{std::move(seq), count});
+  }
+
+  [[nodiscard]] std::span<const WeightedSequence> entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t sequence_kinds() const { return entries_.size(); }
+  /// Total weighted sequence count (the denominator of relative support).
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Largest item id + 1 (dense item universe bound).
+  [[nodiscard]] Item item_bound() const {
+    Item bound = 0;
+    for (const auto& e : entries_) {
+      for (Item it : e.items) bound = std::max(bound, it + 1);
+    }
+    return bound;
+  }
+
+ private:
+  std::vector<WeightedSequence> entries_;
+  std::uint64_t total_ = 0;
+};
+
+/// A mined frequent pattern with its weighted support.
+struct Pattern {
+  Sequence items;
+  std::uint64_t support = 0;
+
+  bool operator==(const Pattern&) const = default;
+};
+
+struct MiningParams {
+  /// Absolute minimum support (weighted). If `min_support_rel > 0`, the
+  /// effective threshold is max(min_support_abs, rel * db.total()).
+  std::uint64_t min_support_abs = 1;
+  double min_support_rel = 0.0;
+  /// MARS uses 2: singles (switches) and pairs (links).
+  std::size_t max_length = 2;
+  /// True: pattern items must be adjacent in the sequence (MARS links).
+  /// False: classic subsequence-with-gaps semantics.
+  bool contiguous = true;
+
+  [[nodiscard]] std::uint64_t effective_min_support(
+      std::uint64_t total) const {
+    const auto rel = static_cast<std::uint64_t>(
+        min_support_rel * static_cast<double>(total) + 0.999999);
+    return std::max<std::uint64_t>(std::max(min_support_abs, rel), 1);
+  }
+};
+
+/// True if `pattern` occurs in `seq` under the given adjacency semantics.
+[[nodiscard]] bool contains_pattern(std::span<const Item> seq,
+                                    std::span<const Item> pattern,
+                                    bool contiguous);
+
+/// Canonical ordering for comparing miner outputs: by items
+/// lexicographically (length first).
+void sort_patterns(std::vector<Pattern>& patterns);
+
+[[nodiscard]] std::string to_string(const Pattern& p);
+
+}  // namespace mars::fsm

@@ -1,0 +1,187 @@
+#include "fsm/spade.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mars::fsm {
+namespace {
+
+// Vertical id-list of a pattern: for each database entry containing it,
+// the sorted positions where an occurrence *ends*.
+struct IdList {
+  struct PerEntry {
+    std::size_t entry;
+    std::vector<std::uint32_t> ends;
+  };
+  std::vector<PerEntry> entries;
+
+  [[nodiscard]] std::uint64_t support(const SequenceDatabase& db) const {
+    std::uint64_t sup = 0;
+    for (const auto& e : entries) sup += db.entries()[e.entry].count;
+    return sup;
+  }
+
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t b = entries.size() * sizeof(PerEntry);
+    for (const auto& e : entries) b += e.ends.size() * 4;
+    return b;
+  }
+};
+
+/// Temporal join: occurrences of (pattern ++ item).
+IdList join(const IdList& pattern, const IdList& item, bool contiguous) {
+  IdList out;
+  std::size_t pi = 0, ii = 0;
+  while (pi < pattern.entries.size() && ii < item.entries.size()) {
+    const auto& pe = pattern.entries[pi];
+    const auto& ie = item.entries[ii];
+    if (pe.entry < ie.entry) {
+      ++pi;
+    } else if (ie.entry < pe.entry) {
+      ++ii;
+    } else {
+      IdList::PerEntry ne{pe.entry, {}};
+      if (contiguous) {
+        // End positions q = p+1 with p a pattern end and q an item position.
+        for (const std::uint32_t p : pe.ends) {
+          if (std::binary_search(ie.ends.begin(), ie.ends.end(), p + 1)) {
+            ne.ends.push_back(p + 1);
+          }
+        }
+      } else {
+        // Any item position strictly after the earliest pattern end.
+        const std::uint32_t first = pe.ends.front();
+        for (const std::uint32_t q : ie.ends) {
+          if (q > first) ne.ends.push_back(q);
+        }
+      }
+      if (!ne.ends.empty()) out.entries.push_back(std::move(ne));
+      ++pi;
+      ++ii;
+    }
+  }
+  return out;
+}
+
+using Cmap = std::unordered_map<std::uint64_t, std::uint64_t>;
+
+std::uint64_t pair_key(Item a, Item b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// One-scan co-occurrence map: weighted support of every 2-pattern.
+Cmap build_cmap(const SequenceDatabase& db, bool contiguous) {
+  Cmap cmap;
+  for (const auto& e : db.entries()) {
+    std::unordered_set<std::uint64_t> seen;
+    const auto& s = e.items;
+    if (contiguous) {
+      for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+        seen.insert(pair_key(s[i], s[i + 1]));
+      }
+    } else {
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        for (std::size_t j = i + 1; j < s.size(); ++j) {
+          seen.insert(pair_key(s[i], s[j]));
+        }
+      }
+    }
+    for (const std::uint64_t key : seen) cmap[key] += e.count;
+  }
+  return cmap;
+}
+
+struct Ctx {
+  const SequenceDatabase* db;
+  MiningParams params;
+  std::uint64_t min_support;
+  const std::vector<std::pair<Item, IdList>>* frequent_items;
+  const Cmap* cmap;
+  std::vector<Pattern>* out;
+  std::size_t peak_bytes = 0;
+  std::size_t live_bytes = 0;
+};
+
+void dfs(Ctx& ctx, Sequence& prefix, const IdList& prefix_list) {
+  if (prefix.size() >= ctx.params.max_length) return;
+  for (const auto& [item, item_list] : *ctx.frequent_items) {
+    if (ctx.cmap) {
+      // CMAP prune: if <last(prefix), item> cannot be frequent, the longer
+      // pattern cannot be either.
+      const auto it = ctx.cmap->find(pair_key(prefix.back(), item));
+      if (it == ctx.cmap->end() || it->second < ctx.min_support) continue;
+    }
+    IdList joined = join(prefix_list, item_list, ctx.params.contiguous);
+    const std::uint64_t sup = joined.support(*ctx.db);
+    if (sup < ctx.min_support) continue;
+    prefix.push_back(item);
+    ctx.out->push_back(Pattern{prefix, sup});
+    const std::size_t bytes = joined.bytes();
+    ctx.live_bytes += bytes;
+    ctx.peak_bytes = std::max(ctx.peak_bytes, ctx.live_bytes);
+    dfs(ctx, prefix, joined);
+    ctx.live_bytes -= bytes;
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Pattern> Spade::mine(const SequenceDatabase& db,
+                                 const MiningParams& params) const {
+  std::vector<Pattern> out;
+  last_memory_bytes_ = 0;
+  if (db.empty() || params.max_length == 0) return out;
+  const std::uint64_t min_sup = params.effective_min_support(db.total());
+
+  // Vertical scan: id-list per item.
+  std::unordered_map<Item, IdList> vertical;
+  const auto entries = db.entries();
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    std::unordered_map<Item, IdList::PerEntry> local;
+    for (std::size_t i = 0; i < entries[e].items.size(); ++i) {
+      auto& pe = local[entries[e].items[i]];
+      pe.entry = e;
+      pe.ends.push_back(static_cast<std::uint32_t>(i));
+    }
+    for (auto& [item, pe] : local) {
+      vertical[item].entries.push_back(std::move(pe));
+    }
+  }
+
+  std::vector<std::pair<Item, IdList>> frequent_items;
+  std::size_t base_bytes = 0;
+  for (auto& [item, list] : vertical) {
+    const std::uint64_t sup = list.support(db);
+    if (sup < min_sup) continue;
+    out.push_back(Pattern{{item}, sup});
+    base_bytes += list.bytes();
+    frequent_items.emplace_back(item, std::move(list));
+  }
+  std::sort(frequent_items.begin(), frequent_items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  Cmap cmap;
+  if (use_cmap_) {
+    cmap = build_cmap(db, params.contiguous);
+    base_bytes += cmap.size() * 16;
+  }
+
+  Ctx ctx{&db,
+          params,
+          min_sup,
+          &frequent_items,
+          use_cmap_ ? &cmap : nullptr,
+          &out,
+          base_bytes,
+          base_bytes};
+  for (const auto& [item, list] : frequent_items) {
+    Sequence prefix{item};
+    dfs(ctx, prefix, list);
+  }
+  last_memory_bytes_ = ctx.peak_bytes;
+  return out;
+}
+
+}  // namespace mars::fsm

@@ -1,0 +1,25 @@
+#pragma once
+// SPADE (Zaki, MLJ'01): vertical id-lists joined by temporal position, and
+// CM-SPADE (Fournier-Viger et al., PAKDD'14): SPADE plus a co-occurrence
+// map (CMAP) that prunes candidate joins whose 2-pattern support is
+// already below threshold.
+
+#include "fsm/miner.hpp"
+
+namespace mars::fsm {
+
+class Spade : public Miner {
+ public:
+  explicit Spade(bool use_cmap = false) : use_cmap_(use_cmap) {}
+
+  [[nodiscard]] std::vector<Pattern> mine(
+      const SequenceDatabase& db, const MiningParams& params) const override;
+  [[nodiscard]] std::string_view name() const override {
+    return use_cmap_ ? "CM-SPADE" : "SPADE";
+  }
+
+ private:
+  bool use_cmap_;
+};
+
+}  // namespace mars::fsm

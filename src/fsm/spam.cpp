@@ -1,0 +1,179 @@
+#include "fsm/spam.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mars::fsm {
+namespace {
+
+// One 64-bit word per database entry; bit i set = "position i".
+using Bitmap = std::vector<std::uint64_t>;
+
+std::uint64_t pair_key(Item a, Item b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+struct Ctx {
+  const SequenceDatabase* db;
+  MiningParams params;
+  std::uint64_t min_support;
+  const std::vector<std::pair<Item, Bitmap>>* frequent_items;
+  // LAPIN: last position of each frequent item per entry (-1 if absent).
+  const std::vector<std::vector<int>>* last_pos;  // [item_idx][entry]
+  const std::unordered_map<std::uint64_t, std::uint64_t>* cmap;
+  std::vector<Pattern>* out;
+  std::size_t peak_bytes = 0;
+  std::size_t live_bytes = 0;
+};
+
+std::uint64_t bitmap_support(const SequenceDatabase& db, const Bitmap& bm) {
+  std::uint64_t sup = 0;
+  const auto entries = db.entries();
+  for (std::size_t e = 0; e < bm.size(); ++e) {
+    if (bm[e] != 0) sup += entries[e].count;
+  }
+  return sup;
+}
+
+void dfs(Ctx& ctx, Sequence& prefix, const Bitmap& prefix_bm) {
+  if (prefix.size() >= ctx.params.max_length) return;
+  const auto& items = *ctx.frequent_items;
+  for (std::size_t idx = 0; idx < items.size(); ++idx) {
+    const auto& [item, item_bm] = items[idx];
+    if (ctx.cmap) {
+      const auto it = ctx.cmap->find(pair_key(prefix.back(), item));
+      if (it == ctx.cmap->end() || it->second < ctx.min_support) continue;
+    }
+    Bitmap next(prefix_bm.size(), 0);
+    for (std::size_t e = 0; e < prefix_bm.size(); ++e) {
+      const std::uint64_t b = prefix_bm[e];
+      if (b == 0) continue;
+      if (ctx.last_pos) {
+        // LAPIN check: the item's last position must be strictly after the
+        // prefix's first end position in this sequence.
+        const int last = (*ctx.last_pos)[idx][e];
+        if (last < 0 ||
+            static_cast<unsigned>(last) <=
+                static_cast<unsigned>(std::countr_zero(b))) {
+          continue;
+        }
+      }
+      std::uint64_t mask;
+      if (ctx.params.contiguous) {
+        mask = b << 1;  // S-step to the immediately following position
+      } else {
+        const std::uint64_t low = b & (~b + 1);  // lowest set bit
+        mask = ~(low | (low - 1));  // all positions strictly above it
+      }
+      next[e] = mask & item_bm[e];
+    }
+    const std::uint64_t sup = bitmap_support(*ctx.db, next);
+    if (sup < ctx.min_support) continue;
+    prefix.push_back(item);
+    ctx.out->push_back(Pattern{prefix, sup});
+    const std::size_t bytes = next.size() * 8;
+    ctx.live_bytes += bytes;
+    ctx.peak_bytes = std::max(ctx.peak_bytes, ctx.live_bytes);
+    dfs(ctx, prefix, next);
+    ctx.live_bytes -= bytes;
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Pattern> Spam::mine(const SequenceDatabase& db,
+                                const MiningParams& params) const {
+  std::vector<Pattern> out;
+  last_memory_bytes_ = 0;
+  if (db.empty() || params.max_length == 0) return out;
+  const std::uint64_t min_sup = params.effective_min_support(db.total());
+  const auto entries = db.entries();
+
+  // Vertical bitmaps per item.
+  std::unordered_map<Item, Bitmap> vertical;
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    const auto& seq = entries[e].items;
+    if (seq.size() > 64) {
+      throw std::invalid_argument(
+          "Spam: sequence longer than 64 positions unsupported");
+    }
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      Bitmap& bm = vertical[seq[i]];
+      bm.resize(entries.size(), 0);
+      bm[e] |= (1ull << i);
+    }
+  }
+
+  std::vector<std::pair<Item, Bitmap>> frequent_items;
+  for (auto& [item, bm] : vertical) {
+    bm.resize(entries.size(), 0);
+    const std::uint64_t sup = bitmap_support(db, bm);
+    if (sup < min_sup) continue;
+    out.push_back(Pattern{{item}, sup});
+    frequent_items.emplace_back(item, std::move(bm));
+  }
+  std::sort(frequent_items.begin(), frequent_items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::size_t base_bytes = frequent_items.size() * entries.size() * 8;
+
+  // LAPIN last-position table.
+  std::vector<std::vector<int>> last_pos;
+  if (options_.use_lapin) {
+    last_pos.assign(frequent_items.size(),
+                    std::vector<int>(entries.size(), -1));
+    for (std::size_t idx = 0; idx < frequent_items.size(); ++idx) {
+      const Bitmap& bm = frequent_items[idx].second;
+      for (std::size_t e = 0; e < entries.size(); ++e) {
+        if (bm[e] != 0) {
+          last_pos[idx][e] = 63 - std::countl_zero(bm[e]);
+        }
+      }
+    }
+    base_bytes += frequent_items.size() * entries.size() * sizeof(int);
+  }
+
+  // CM-SPAM co-occurrence map.
+  std::unordered_map<std::uint64_t, std::uint64_t> cmap;
+  if (options_.use_cmap) {
+    for (const auto& e : entries) {
+      std::unordered_set<std::uint64_t> seen;
+      const auto& s = e.items;
+      if (params.contiguous) {
+        for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+          seen.insert(pair_key(s[i], s[i + 1]));
+        }
+      } else {
+        for (std::size_t i = 0; i < s.size(); ++i) {
+          for (std::size_t j = i + 1; j < s.size(); ++j) {
+            seen.insert(pair_key(s[i], s[j]));
+          }
+        }
+      }
+      for (const std::uint64_t key : seen) cmap[key] += e.count;
+    }
+    base_bytes += cmap.size() * 16;
+  }
+
+  Ctx ctx{&db,
+          params,
+          min_sup,
+          &frequent_items,
+          options_.use_lapin ? &last_pos : nullptr,
+          options_.use_cmap ? &cmap : nullptr,
+          &out,
+          base_bytes,
+          base_bytes};
+  for (const auto& [item, bm] : frequent_items) {
+    Sequence prefix{item};
+    dfs(ctx, prefix, bm);
+  }
+  last_memory_bytes_ = ctx.peak_bytes;
+  return out;
+}
+
+}  // namespace mars::fsm

@@ -1,0 +1,42 @@
+#pragma once
+// SPAM (Ayres et al., KDD'02): depth-first search over per-sequence
+// position bitmaps with S-step extension, plus two published refinements:
+//
+//   - LAPIN-SPAM (Yang & Kitsuregawa, ICDEW'05): last-position induction —
+//     an extension item whose last occurrence in a sequence is not after
+//     the prefix's first end position cannot extend it there, so the
+//     bitmap AND is skipped for that sequence;
+//   - CM-SPAM (Fournier-Viger et al., PAKDD'14): co-occurrence-map pruning
+//     of candidate extensions.
+//
+// Sequences are limited to 64 positions (one machine word per sequence) —
+// ample for switch-level paths, whose length is bounded by network
+// diameter.
+
+#include "fsm/miner.hpp"
+
+namespace mars::fsm {
+
+class Spam : public Miner {
+ public:
+  struct Options {
+    bool use_lapin = false;
+    bool use_cmap = false;
+  };
+
+  Spam() : options_{} {}
+  explicit Spam(Options options) : options_(options) {}
+
+  [[nodiscard]] std::vector<Pattern> mine(
+      const SequenceDatabase& db, const MiningParams& params) const override;
+  [[nodiscard]] std::string_view name() const override {
+    if (options_.use_cmap) return "CM-SPAM";
+    if (options_.use_lapin) return "LAPIN-SPAM";
+    return "SPAM";
+  }
+
+ private:
+  Options options_;
+};
+
+}  // namespace mars::fsm

@@ -1,0 +1,119 @@
+#include "mars/mars.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mars {
+
+MarsSystem::MarsSystem(net::Network& network, MarsConfig config)
+    : network_(&network), config_(config) {
+  registry_ = std::make_unique<control::PathRegistry>(
+      network.topology(), network.routing(), config_.pipeline.path_id);
+
+  pipeline_ = std::make_unique<dataplane::MarsPipeline>(
+      network.topology().switch_count(), config_.pipeline,
+      [this](const dataplane::Notification& n) {
+        controller_->on_notification(n);
+      });
+  pipeline_->set_control_mat(registry_->mat());
+
+  controller_ = std::make_unique<control::Controller>(network, *pipeline_,
+                                                      config_.controller);
+  analyzer_ = std::make_unique<rca::RootCauseAnalyzer>(
+      *registry_, config_.rca, &network.topology());
+  controller_->set_diagnosis_callback([this](const control::DiagnosisData& d) {
+    diagnoses_.push_back(Diagnosis{d, analyzer_->analyze(d)});
+  });
+
+  network.add_observer(*pipeline_);
+}
+
+rca::CulpritList MarsSystem::culprits_for(sim::Time fault_start) const {
+  // A fault can surface across several diagnosis sessions (e.g. a stalled
+  // queue's loss evidence arrives during the fault, its latency evidence
+  // when the queue flushes). The operator-facing answer is the union of
+  // the post-fault reports: duplicates keep their best score.
+  struct Key {
+    rca::CauseKind cause;
+    rca::CulpritLevel level;
+    std::vector<net::SwitchId> location;
+    net::PortId port;
+    net::FlowId flow;
+    bool operator<(const Key& other) const {
+      if (cause != other.cause) return cause < other.cause;
+      if (level != other.level) return level < other.level;
+      if (location != other.location) return location < other.location;
+      if (port != other.port) return port < other.port;
+      return flow < other.flow;
+    }
+  };
+  std::map<Key, rca::Culprit> merged;
+  bool any = false;
+  for (const auto& d : diagnoses_) {
+    if (d.session.trigger.when < fault_start) continue;
+    any = true;
+    for (const auto& c : d.culprits) {
+      Key key{c.cause, c.level, c.location, c.port, c.flow};
+      auto [it, inserted] = merged.try_emplace(std::move(key), c);
+      if (!inserted) it->second.score = std::max(it->second.score, c.score);
+    }
+  }
+  if (!any) {
+    if (diagnoses_.empty()) return {};
+    return diagnoses_.back().culprits;
+  }
+
+  // Cross-session refinement: a location reported as Drop by an early
+  // session and as a latency-signature cause by a later one (after the
+  // stalled queue flushed its evidence) is ONE culprit — the loss is the
+  // congestion's shadow. Fold the drop score into the refined cause. The
+  // match is exact (switch set AND port): a drop on one port of a switch
+  // must not be absorbed by ambient congestion on a different port.
+  using Place = std::pair<std::vector<net::SwitchId>, net::PortId>;
+  std::map<Place, double> drop_scores;
+  for (const auto& [key, culprit] : merged) {
+    if (culprit.cause == rca::CauseKind::kDrop) {
+      drop_scores[{culprit.location, culprit.port}] += culprit.score;
+    }
+  }
+  for (auto& [key, culprit] : merged) {
+    if (culprit.cause == rca::CauseKind::kDrop ||
+        culprit.cause == rca::CauseKind::kMicroBurst) {
+      continue;
+    }
+    if (const auto it = drop_scores.find({culprit.location, culprit.port});
+        it != drop_scores.end() && it->second > 0) {
+      culprit.score += it->second;
+      it->second = -1.0;  // consumed
+    }
+  }
+  for (auto it = merged.begin(); it != merged.end();) {
+    const bool consumed_drop =
+        it->second.cause == rca::CauseKind::kDrop &&
+        drop_scores.count({it->second.location, it->second.port}) &&
+        drop_scores[{it->second.location, it->second.port}] < 0;
+    it = consumed_drop ? merged.erase(it) : std::next(it);
+  }
+
+  rca::CulpritList out;
+  out.reserve(merged.size());
+  for (auto& [key, culprit] : merged) out.push_back(std::move(culprit));
+  std::sort(out.begin(), out.end(),
+            [](const rca::Culprit& a, const rca::Culprit& b) {
+              return a.score > b.score;
+            });
+  if (out.size() > 20) out.resize(20);
+  return out;
+}
+
+MarsSystem::Overheads MarsSystem::overheads() const {
+  Overheads o;
+  const auto& p = pipeline_->overheads();
+  const auto& c = controller_->overheads();
+  o.telemetry_bytes = p.telemetry_bytes;
+  o.diagnosis_bytes =
+      p.notification_bytes + c.poll_bytes + c.diagnosis_bytes;
+  return o;
+}
+
+}  // namespace mars

@@ -1,0 +1,74 @@
+#pragma once
+// MarsSystem: the fully-wired MARS deployment over a simulated network —
+// data-plane pipeline on every switch, control plane with per-flow
+// reservoirs, PathID registry, and the RCA engine. One object per network;
+// attach, start(), run the simulation, read diagnoses().
+
+#include <memory>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/path_registry.hpp"
+#include "dataplane/mars_pipeline.hpp"
+#include "net/network.hpp"
+#include "rca/analyzer.hpp"
+
+namespace mars {
+
+struct MarsConfig {
+  dataplane::PipelineConfig pipeline;
+  control::ControllerConfig controller;
+  rca::RcaConfig rca;
+};
+
+/// One completed diagnosis: the session data and the ranked culprits.
+struct Diagnosis {
+  control::DiagnosisData session;
+  rca::CulpritList culprits;
+};
+
+class MarsSystem {
+ public:
+  /// Builds the registry, attaches the pipeline as an observer, and wires
+  /// notifications -> controller -> analyzer. Does not start polling.
+  MarsSystem(net::Network& network, MarsConfig config = {});
+
+  /// Begin control-plane polling (call once before the simulation runs).
+  void start() { controller_->start(); }
+
+  [[nodiscard]] dataplane::MarsPipeline& pipeline() { return *pipeline_; }
+  [[nodiscard]] control::Controller& controller() { return *controller_; }
+  [[nodiscard]] const control::PathRegistry& registry() const {
+    return *registry_;
+  }
+  [[nodiscard]] const rca::RootCauseAnalyzer& analyzer() const {
+    return *analyzer_;
+  }
+
+  [[nodiscard]] const std::vector<Diagnosis>& diagnoses() const {
+    return diagnoses_;
+  }
+
+  /// The culprit list to grade for a fault that started at `fault_start`:
+  /// the first diagnosis triggered at or after it (falls back to the last
+  /// diagnosis; empty if MARS never triggered).
+  [[nodiscard]] rca::CulpritList culprits_for(sim::Time fault_start) const;
+
+  /// Combined data-plane + control-plane overhead (Fig. 9).
+  struct Overheads {
+    std::uint64_t telemetry_bytes = 0;
+    std::uint64_t diagnosis_bytes = 0;
+  };
+  [[nodiscard]] Overheads overheads() const;
+
+ private:
+  net::Network* network_;
+  MarsConfig config_;
+  std::unique_ptr<control::PathRegistry> registry_;
+  std::unique_ptr<dataplane::MarsPipeline> pipeline_;
+  std::unique_ptr<control::Controller> controller_;
+  std::unique_ptr<rca::RootCauseAnalyzer> analyzer_;
+  std::vector<Diagnosis> diagnoses_;
+};
+
+}  // namespace mars

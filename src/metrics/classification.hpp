@@ -1,0 +1,43 @@
+#pragma once
+// Binary classification metrics for anomaly detection (Fig. 8).
+
+#include <cstdint>
+
+namespace mars::metrics {
+
+struct BinaryCounts {
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  std::uint64_t tn = 0;
+  std::uint64_t fn = 0;
+
+  void add(bool predicted, bool actual) {
+    if (predicted && actual) ++tp;
+    else if (predicted && !actual) ++fp;
+    else if (!predicted && actual) ++fn;
+    else ++tn;
+  }
+
+  [[nodiscard]] double precision() const {
+    const auto denom = tp + fp;
+    return denom == 0 ? 0.0 : static_cast<double>(tp) /
+                                  static_cast<double>(denom);
+  }
+  [[nodiscard]] double recall() const {
+    const auto denom = tp + fn;
+    return denom == 0 ? 0.0 : static_cast<double>(tp) /
+                                  static_cast<double>(denom);
+  }
+  [[nodiscard]] double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  [[nodiscard]] double accuracy() const {
+    const auto total = tp + fp + tn + fn;
+    return total == 0 ? 0.0 : static_cast<double>(tp + tn) /
+                                  static_cast<double>(total);
+  }
+};
+
+}  // namespace mars::metrics

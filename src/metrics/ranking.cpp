@@ -1,0 +1,75 @@
+#include "metrics/ranking.hpp"
+
+#include <algorithm>
+
+namespace mars::metrics {
+namespace {
+
+rca::CauseKind cause_of(faults::FaultKind kind) {
+  switch (kind) {
+    case faults::FaultKind::kMicroBurst: return rca::CauseKind::kMicroBurst;
+    case faults::FaultKind::kEcmpImbalance:
+      return rca::CauseKind::kEcmpImbalance;
+    case faults::FaultKind::kProcessRateDecrease:
+      return rca::CauseKind::kProcessRateDecrease;
+    case faults::FaultKind::kDelay: return rca::CauseKind::kDelay;
+    case faults::FaultKind::kDrop: return rca::CauseKind::kDrop;
+  }
+  return rca::CauseKind::kDelay;
+}
+
+}  // namespace
+
+bool culprit_matches(const rca::Culprit& culprit,
+                     const faults::GroundTruth& truth,
+                     const MatchOptions& options) {
+  if (options.require_cause && culprit.cause != cause_of(truth.kind)) {
+    return false;
+  }
+  if (truth.kind == faults::FaultKind::kMicroBurst) {
+    return culprit.level == rca::CulpritLevel::kFlow &&
+           culprit.flow == truth.flow;
+  }
+  // Port-level culprits must name the right port; switch/link-level match
+  // by containing the faulty switch.
+  if (culprit.level == rca::CulpritLevel::kPort) {
+    return !culprit.location.empty() &&
+           culprit.location.front() == truth.switch_id &&
+           culprit.port == truth.port;
+  }
+  return std::find(culprit.location.begin(), culprit.location.end(),
+                   truth.switch_id) != culprit.location.end();
+}
+
+std::optional<std::size_t> rank_of_truth(const rca::CulpritList& list,
+                                         const faults::GroundTruth& truth,
+                                         const MatchOptions& options) {
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (culprit_matches(list[i], truth, options)) return i + 1;
+  }
+  return std::nullopt;
+}
+
+double LocalizationStats::recall_at(std::size_t k) const {
+  if (ranks_.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& rank : ranks_) {
+    if (rank && *rank <= k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(ranks_.size());
+}
+
+double LocalizationStats::exam_score() const {
+  if (ranks_.empty()) return kExamDefault;
+  double total = 0.0;
+  for (const auto& rank : ranks_) {
+    if (rank && *rank <= kExamCutoff) {
+      total += static_cast<double>(*rank - 1);
+    } else {
+      total += kExamDefault;
+    }
+  }
+  return total / static_cast<double>(ranks_.size());
+}
+
+}  // namespace mars::metrics

@@ -1,0 +1,57 @@
+#pragma once
+// Root-cause localization metrics (paper §5.4):
+//
+//   Recall@k — probability the true root cause appears within the top-k
+//   entries of the culprit list;
+//   Exam Score — the number of false positives an operator must dismiss
+//   before reaching the true root cause; lists missing the truth from
+//   their top-5 are charged a default of 10 (paper convention).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "faults/injector.hpp"
+#include "rca/types.hpp"
+
+namespace mars::metrics {
+
+struct MatchOptions {
+  /// Require the culprit's assigned cause to match the injected fault kind
+  /// (used for MARS; baselines that emit bare locations are graded on
+  /// location only).
+  bool require_cause = true;
+};
+
+/// True when `culprit` names the injected fault.
+[[nodiscard]] bool culprit_matches(const rca::Culprit& culprit,
+                                   const faults::GroundTruth& truth,
+                                   const MatchOptions& options = {});
+
+/// 1-based rank of the first matching culprit; nullopt if absent.
+[[nodiscard]] std::optional<std::size_t> rank_of_truth(
+    const rca::CulpritList& list, const faults::GroundTruth& truth,
+    const MatchOptions& options = {});
+
+/// Aggregates trial outcomes into R@k and Exam Score.
+class LocalizationStats {
+ public:
+  void add(std::optional<std::size_t> rank) { ranks_.push_back(rank); }
+
+  [[nodiscard]] std::size_t trials() const { return ranks_.size(); }
+
+  /// Fraction of trials whose true cause ranked within the top k.
+  [[nodiscard]] double recall_at(std::size_t k) const;
+
+  /// Mean false positives before the truth; rank > 5 (or missing) costs
+  /// the default 10.
+  [[nodiscard]] double exam_score() const;
+
+  static constexpr std::size_t kExamCutoff = 5;
+  static constexpr double kExamDefault = 10.0;
+
+ private:
+  std::vector<std::optional<std::size_t>> ranks_;
+};
+
+}  // namespace mars::metrics

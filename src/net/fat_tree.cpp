@@ -1,0 +1,41 @@
+#include "net/fat_tree.hpp"
+
+#include <cassert>
+
+namespace mars::net {
+
+FatTree build_fat_tree(const FatTreeConfig& config) {
+  const int k = config.k;
+  assert(k >= 2 && k % 2 == 0);
+  const int half = k / 2;
+
+  FatTree ft;
+  // Core first so their ids are stable regardless of pod count.
+  for (int i = 0; i < half * half; ++i) {
+    ft.core.push_back(ft.topology.add_switch(Layer::kCore));
+  }
+  for (int pod = 0; pod < k; ++pod) {
+    std::vector<SwitchId> pod_agg;
+    for (int j = 0; j < half; ++j) {
+      const SwitchId agg = ft.topology.add_switch(Layer::kAggregation);
+      ft.agg.push_back(agg);
+      pod_agg.push_back(agg);
+      // Aggregation switch j uplinks to core group j.
+      for (int c = 0; c < half; ++c) {
+        ft.topology.add_link(agg, ft.core[static_cast<std::size_t>(j * half + c)],
+                             config.agg_core_gbps, config.propagation);
+      }
+    }
+    for (int e = 0; e < half; ++e) {
+      const SwitchId edge = ft.topology.add_switch(Layer::kEdge);
+      ft.edge.push_back(edge);
+      for (const SwitchId agg : pod_agg) {
+        ft.topology.add_link(edge, agg, config.edge_agg_gbps,
+                             config.propagation);
+      }
+    }
+  }
+  return ft;
+}
+
+}  // namespace mars::net

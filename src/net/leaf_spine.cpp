@@ -1,0 +1,24 @@
+#include "net/leaf_spine.hpp"
+
+#include <cassert>
+
+namespace mars::net {
+
+LeafSpine build_leaf_spine(const LeafSpineConfig& config) {
+  assert(config.leaves >= 2 && config.spines >= 1);
+  LeafSpine ls;
+  for (int s = 0; s < config.spines; ++s) {
+    ls.spine.push_back(ls.topology.add_switch(Layer::kCore));
+  }
+  for (int l = 0; l < config.leaves; ++l) {
+    const SwitchId leaf = ls.topology.add_switch(Layer::kEdge);
+    ls.leaf.push_back(leaf);
+    for (const SwitchId spine : ls.spine) {
+      ls.topology.add_link(leaf, spine, config.leaf_spine_gbps,
+                           config.propagation);
+    }
+  }
+  return ls;
+}
+
+}  // namespace mars::net

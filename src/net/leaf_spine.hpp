@@ -1,0 +1,31 @@
+#pragma once
+// Two-tier leaf-spine (folded Clos) builder. MARS's mechanisms are
+// topology-agnostic — PathID registration, ECMP signatures and SBFL only
+// need a Topology + RoutingTable — so the library ships a second fabric
+// shape for generalization tests and experiments beyond the paper's
+// fat-tree. Leaves play the edge (source/sink) role; spines are the core.
+
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace mars::net {
+
+struct LeafSpineConfig {
+  int leaves = 8;
+  int spines = 4;
+  double leaf_spine_gbps = 10.0;
+  sim::Time propagation = 1'000;
+};
+
+struct LeafSpine {
+  Topology topology;
+  std::vector<SwitchId> leaf;   ///< edge layer (sources/sinks)
+  std::vector<SwitchId> spine;  ///< core layer
+};
+
+/// Build a full-mesh leaf-spine fabric. Every leaf connects to every
+/// spine; all leaf pairs have exactly `spines` two-hop paths.
+[[nodiscard]] LeafSpine build_leaf_spine(const LeafSpineConfig& config);
+
+}  // namespace mars::net

@@ -1,0 +1,73 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace mars::net {
+
+Network::Network(sim::Simulator& sim, Topology topology)
+    : sim_(&sim), topology_(std::move(topology)), routing_(topology_) {
+  switches_.reserve(topology_.switch_count());
+  for (SwitchId id = 0; id < topology_.switch_count(); ++id) {
+    switches_.push_back(std::make_unique<Switch>(
+        *this, id, topology_.layer(id), topology_.port_count(id)));
+  }
+}
+
+std::uint64_t Network::inject(FlowId flow, std::uint32_t flow_hash,
+                              std::uint32_t size_bytes) {
+  assert(flow.source < switch_count() && flow.sink < switch_count());
+  Packet pkt;
+  pkt.id = next_packet_id_++;
+  pkt.flow = flow;
+  pkt.flow_hash = flow_hash;
+  pkt.size_bytes = size_bytes;
+  pkt.created = sim_->now();
+  const std::uint64_t id = pkt.id;
+  ++stats_.injected;
+  switches_[flow.source]->receive(std::move(pkt));
+  return id;
+}
+
+void Network::forward_to_neighbor(SwitchId from, PortId from_port, Packet pkt,
+                                  sim::Time extra_delay) {
+  const auto& peer = topology_.peer(from, from_port);
+  const sim::Time prop = topology_.links()[peer.link].propagation;
+  pkt.ingress_port = peer.neighbor_port;
+  auto carried = std::make_shared<Packet>(std::move(pkt));
+  const SwitchId next = peer.neighbor;
+  sim_->schedule_in(prop + extra_delay, [this, next, carried] {
+    switches_[next]->receive(std::move(*carried));
+  });
+}
+
+void Network::deliver(Switch& sink, Packet pkt) {
+  SwitchContext ctx{*sim_, sink, sink.id(), sink.layer()};
+  for (auto* obs : observers_) obs->on_deliver(ctx, pkt);
+  ++stats_.delivered;
+  if (on_delivery_) on_delivery_(pkt, sim_->now());
+}
+
+double Network::port_rate_gbps(SwitchId sw, PortId port) const {
+  const auto& peer = topology_.peer(sw, port);
+  return topology_.links()[peer.link].gbps;
+}
+
+std::vector<Network::LinkUtilization> Network::link_utilization() const {
+  std::vector<LinkUtilization> out;
+  const sim::Time now = sim_->now();
+  if (now <= 0) return out;
+  for (std::size_t i = 0; i < topology_.links().size(); ++i) {
+    const Link& link = topology_.links()[i];
+    for (const LinkEnd& end : {link.a, link.b}) {
+      const auto& counters = switches_[end.sw]->counters(end.port);
+      out.push_back(LinkUtilization{
+          i, end.sw, topology_.layer(end.sw),
+          static_cast<double>(counters.busy_time) / static_cast<double>(now)});
+    }
+  }
+  return out;
+}
+
+}  // namespace mars::net

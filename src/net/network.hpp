@@ -1,0 +1,92 @@
+#pragma once
+// The assembled network: topology + routing + switches over a simulator,
+// with monitoring observers attached. This is the substrate equivalent of
+// the paper's Mininet/BMv2 testbed.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/observer.hpp"
+#include "net/packet.hpp"
+#include "net/routing.hpp"
+#include "net/switch.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace mars::net {
+
+/// Aggregate substrate statistics (ground truth for conservation checks).
+struct NetworkStats {
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t unroutable = 0;
+};
+
+class Network {
+ public:
+  /// The topology is copied; routing tables are built immediately.
+  Network(sim::Simulator& sim, Topology topology);
+
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] RoutingTable& routing() { return routing_; }
+  [[nodiscard]] const RoutingTable& routing() const { return routing_; }
+  [[nodiscard]] Switch& node(SwitchId id) { return *switches_[id]; }
+  [[nodiscard]] const Switch& node(SwitchId id) const { return *switches_[id]; }
+  [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
+
+  /// Attach a monitoring system. Observers are invoked in attach order.
+  void add_observer(PacketObserver& observer) {
+    observers_.push_back(&observer);
+  }
+
+  /// Inject a packet at its source switch at the current simulation time.
+  /// `flow_hash` carries the per-flow entropy a real switch would take from
+  /// the 5-tuple. Returns the assigned packet id.
+  std::uint64_t inject(FlowId flow, std::uint32_t flow_hash,
+                       std::uint32_t size_bytes);
+
+  /// Delivery callback invoked after observers at the sink switch.
+  using DeliveryFn = std::function<void(const Packet&, sim::Time)>;
+  void set_delivery_callback(DeliveryFn fn) { on_delivery_ = std::move(fn); }
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+  /// Fraction of capacity used on each direction of each link since t=0.
+  /// Returned per (link index, direction a->b then b->a), labelled by the
+  /// layer of the *upstream* switch.
+  struct LinkUtilization {
+    std::size_t link = 0;
+    SwitchId upstream = kInvalidSwitch;
+    Layer upstream_layer = Layer::kEdge;
+    double utilization = 0.0;
+  };
+  [[nodiscard]] std::vector<LinkUtilization> link_utilization() const;
+
+  // ---- internal API used by Switch ----
+  void forward_to_neighbor(SwitchId from, PortId from_port, Packet pkt,
+                           sim::Time extra_delay);
+  void deliver(Switch& sink, Packet pkt);
+  void count_drop() { ++stats_.dropped; }
+  void count_unroutable() { ++stats_.unroutable; }
+  [[nodiscard]] std::vector<PacketObserver*>& observers() {
+    return observers_;
+  }
+  /// Link rate (bits/ns == Gbps) behind a switch port.
+  [[nodiscard]] double port_rate_gbps(SwitchId sw, PortId port) const;
+
+ private:
+  sim::Simulator* sim_;
+  Topology topology_;
+  RoutingTable routing_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<PacketObserver*> observers_;
+  DeliveryFn on_delivery_;
+  NetworkStats stats_;
+  std::uint64_t next_packet_id_ = 1;
+};
+
+}  // namespace mars::net

@@ -1,0 +1,70 @@
+#pragma once
+// Packet model.
+//
+// A packet carries (a) forwarding state used by the substrate, (b) the MARS
+// in-band fields exactly as the paper defines them (§4.1–4.2): an 8-bit-class
+// PathID field updated per hop, an optional 11-byte INT telemetry header on
+// sampled packets, and the anomaly-suppression flag; and (c) ground-truth
+// bookkeeping used only by tests and evaluation (never by the algorithms).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace mars::net {
+
+/// The INT telemetry header MARS inserts on one sampled packet per flow per
+/// epoch (paper §4.2.1: 11 bytes — source timestamp, last-epoch packet
+/// count, total queue depth, epoch id).
+struct IntHeader {
+  sim::Time source_timestamp = 0;  ///< ingress time at the source switch
+  std::uint32_t last_epoch_count = 0;  ///< flow packet count in prior epoch
+  std::uint32_t total_queue_depth = 0; ///< sum of queue depths over hops
+  std::uint32_t epoch_id = 0;          ///< telemetry epoch sequence number
+
+  /// Wire size as deployed on the Tofino prototype.
+  static constexpr std::uint32_t kWireBytes = 11;
+};
+
+struct Packet {
+  // ---- substrate forwarding state ----
+  std::uint64_t id = 0;         ///< globally unique packet id
+  FlowId flow;                  ///< <source switch, sink switch>
+  std::uint32_t flow_hash = 0;  ///< per-flow entropy (stands in for 5-tuple)
+  std::uint32_t size_bytes = 0; ///< payload + base headers, excl. telemetry
+  sim::Time created = 0;        ///< injection time at the source switch
+  PortId ingress_port = kHostPort;  ///< port the packet arrived on
+
+  // ---- MARS in-band fields ----
+  std::uint32_t path_id = 0;    ///< updated per hop (paper §4.1)
+  bool has_path_id = false;     ///< source switch inserted the PathID field
+  std::optional<IntHeader> telemetry;  ///< present on telemetry packets
+  bool anomaly_flagged = false; ///< suppresses duplicate notifications
+
+  // ---- ground truth (evaluation only; not visible to MARS logic) ----
+  std::vector<SwitchId> true_path;  ///< switches traversed, in order
+  sim::Time source_switch_time = 0; ///< arrival at the source switch
+  sim::Time switch_arrival = 0;     ///< arrival at the current switch
+  std::uint32_t hop_count = 0;
+
+  [[nodiscard]] bool is_telemetry() const { return telemetry.has_value(); }
+
+  /// Extra bytes this packet carries on the wire because of monitoring.
+  /// PathID rides in a reserved IP field (1 byte class); the INT header adds
+  /// its wire size on telemetry packets.
+  [[nodiscard]] std::uint32_t monitoring_overhead_bytes() const {
+    std::uint32_t bytes = has_path_id ? 1u : 0u;
+    if (telemetry) bytes += IntHeader::kWireBytes;
+    return bytes;
+  }
+
+  /// Total bytes occupying link capacity.
+  [[nodiscard]] std::uint32_t wire_bytes() const {
+    return size_bytes + monitoring_overhead_bytes();
+  }
+};
+
+}  // namespace mars::net

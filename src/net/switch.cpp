@@ -1,0 +1,130 @@
+#include "net/switch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mars::net {
+
+Switch::Switch(Network& net, SwitchId id, Layer layer, std::size_t port_count)
+    : net_(net), id_(id), layer_(layer), ports_(port_count),
+      rng_(0xC0FFEEull ^ (static_cast<std::uint64_t>(id) << 20)) {}
+
+void Switch::receive(Packet pkt) {
+  auto& sim = net_.simulator();
+  pkt.switch_arrival = sim.now();
+  if (pkt.true_path.empty()) pkt.source_switch_time = sim.now();
+  pkt.true_path.push_back(id_);
+  ++pkt.hop_count;
+
+  SwitchContext ctx{sim, *this, id_, layer_};
+  for (auto* obs : net_.observers()) obs->on_ingress(ctx, pkt);
+
+  if (id_ == pkt.flow.sink) {
+    net_.deliver(*this, std::move(pkt));
+    return;
+  }
+
+  PortId out = 0;
+  if (!net_.routing().select_port(id_, pkt.flow.sink, pkt.flow_hash, out)) {
+    net_.count_unroutable();
+    return;
+  }
+  enqueue(std::move(pkt), out);
+}
+
+void Switch::enqueue(Packet pkt, PortId out) {
+  auto& sim = net_.simulator();
+  SwitchContext ctx{sim, *this, id_, layer_};
+  PortState& port = ports_[out];
+
+  const bool fault_drop =
+      port.drop_probability > 0.0 && rng_.chance(port.drop_probability);
+  const bool tail_drop = port.queue.size() >= queue_capacity_;
+  if (fault_drop || tail_drop) {
+    ++port.counters.drops;
+    net_.count_drop();
+    for (auto* obs : net_.observers()) obs->on_drop(ctx, pkt, out);
+    return;
+  }
+
+  const auto depth = static_cast<std::uint32_t>(port.queue.size());
+  for (auto* obs : net_.observers()) obs->on_enqueue(ctx, pkt, out, depth);
+  port.queue.push_back(std::move(pkt));
+  if (!port.busy) start_service(out);
+}
+
+void Switch::start_service(PortId out) {
+  auto& sim = net_.simulator();
+  PortState& port = ports_[out];
+  assert(!port.queue.empty());
+  port.busy = true;
+
+  const Packet& head = port.queue.front();
+  const double gbps = net_.port_rate_gbps(id_, out);  // bits per nanosecond
+  const double bits = static_cast<double>(head.wire_bytes()) * 8.0;
+  auto service = static_cast<sim::Time>(std::ceil(bits / gbps));
+  if (std::isfinite(port.max_pps) && port.max_pps > 0.0) {
+    const auto floor_ns = static_cast<sim::Time>(1e9 / port.max_pps);
+    service = std::max(service, floor_ns);
+  }
+  service = std::max<sim::Time>(service, 1);
+  port.counters.busy_time += service;
+  sim.schedule_in(service, [this, out] { finish_service(out); });
+}
+
+void Switch::finish_service(PortId out) {
+  auto& sim = net_.simulator();
+  PortState& port = ports_[out];
+  assert(port.busy && !port.queue.empty());
+
+  Packet pkt = std::move(port.queue.front());
+  port.queue.pop_front();
+  ++port.counters.tx_packets;
+  port.counters.tx_bytes += pkt.wire_bytes();
+
+  SwitchContext ctx{sim, *this, id_, layer_};
+  const sim::Time hop_latency = sim.now() - pkt.switch_arrival;
+  for (auto* obs : net_.observers()) obs->on_egress(ctx, pkt, out, hop_latency);
+
+  net_.forward_to_neighbor(id_, out, std::move(pkt), port.extra_delay);
+
+  if (!port.queue.empty()) {
+    start_service(out);
+  } else {
+    port.busy = false;
+  }
+}
+
+void Switch::set_max_pps(PortId port, double pps) {
+  ports_[port].max_pps = pps;
+}
+
+void Switch::set_extra_delay(PortId port, sim::Time delay) {
+  ports_[port].extra_delay = delay;
+}
+
+void Switch::set_drop_probability(PortId port, double p) {
+  ports_[port].drop_probability = p;
+}
+
+void Switch::clear_faults() {
+  for (auto& port : ports_) {
+    port.max_pps = std::numeric_limits<double>::infinity();
+    port.extra_delay = 0;
+    port.drop_probability = 0.0;
+  }
+}
+
+std::uint32_t Switch::total_queue_depth() const {
+  std::uint32_t total = 0;
+  for (const auto& port : ports_) {
+    total += static_cast<std::uint32_t>(port.queue.size());
+  }
+  return total;
+}
+
+}  // namespace mars::net

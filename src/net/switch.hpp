@@ -1,0 +1,84 @@
+#pragma once
+// Output-queued switch model.
+//
+// Each inter-switch port has a FIFO queue drained at
+// min(link rate, configured packet rate). Fault knobs cover the paper's
+// injection scenarios (§5.2): `max_pps` (process-rate decrease),
+// `extra_delay` (delay outside the queue), `drop_probability` (drop).
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace mars::net {
+
+class Network;
+
+/// Monotonic counters per egress port (ground truth / figures, not visible
+/// to the monitored algorithms).
+struct PortCounters {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t drops = 0;
+  sim::Time busy_time = 0;  ///< cumulative serialization time
+};
+
+class Switch {
+ public:
+  Switch(Network& net, SwitchId id, Layer layer, std::size_t port_count);
+
+  [[nodiscard]] SwitchId id() const { return id_; }
+  [[nodiscard]] Layer layer() const { return layer_; }
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+
+  /// Entry point: a packet arrives from a link or is injected by a host.
+  void receive(Packet pkt);
+
+  // ---- fault knobs (per port) ----
+  void set_max_pps(PortId port, double pps);
+  void set_extra_delay(PortId port, sim::Time delay);
+  void set_drop_probability(PortId port, double p);
+  /// Reset every fault knob on every port to the healthy default.
+  void clear_faults();
+
+  [[nodiscard]] const PortCounters& counters(PortId port) const {
+    return ports_[port].counters;
+  }
+  [[nodiscard]] std::uint32_t queue_depth(PortId port) const {
+    return static_cast<std::uint32_t>(ports_[port].queue.size());
+  }
+  /// Sum of queue depths across all ports (total buffer occupancy).
+  [[nodiscard]] std::uint32_t total_queue_depth() const;
+
+  void set_queue_capacity(std::uint32_t packets) { queue_capacity_ = packets; }
+
+ private:
+  struct PortState {
+    std::deque<Packet> queue;
+    bool busy = false;
+    // fault knobs
+    double max_pps = std::numeric_limits<double>::infinity();
+    sim::Time extra_delay = 0;
+    double drop_probability = 0.0;
+    PortCounters counters;
+  };
+
+  void enqueue(Packet pkt, PortId out);
+  void start_service(PortId out);
+  void finish_service(PortId out);
+
+  Network& net_;
+  SwitchId id_;
+  Layer layer_;
+  std::uint32_t queue_capacity_ = 256;
+  std::vector<PortState> ports_;
+  util::Rng rng_;
+};
+
+}  // namespace mars::net

@@ -1,0 +1,49 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+
+namespace mars::net {
+
+SwitchId Topology::add_switch(Layer layer) {
+  const auto id = static_cast<SwitchId>(layers_.size());
+  layers_.push_back(layer);
+  ports_.emplace_back();
+  return id;
+}
+
+std::size_t Topology::add_link(SwitchId a, SwitchId b, double gbps,
+                               sim::Time propagation) {
+  assert(a < switch_count() && b < switch_count() && a != b);
+  const auto a_port = static_cast<PortId>(ports_[a].size());
+  const auto b_port = static_cast<PortId>(ports_[b].size());
+  const std::size_t index = links_.size();
+  links_.push_back(Link{{a, a_port}, {b, b_port}, gbps, propagation});
+  ports_[a].push_back(PortPeer{b, b_port, index});
+  ports_[b].push_back(PortPeer{a, a_port, index});
+  return index;
+}
+
+std::optional<PortId> Topology::port_towards(SwitchId sw,
+                                             SwitchId neighbor) const {
+  for (PortId p = 0; p < ports_[sw].size(); ++p) {
+    if (ports_[sw][p].neighbor == neighbor) return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<SwitchId> Topology::switches_in_layer(Layer layer) const {
+  std::vector<SwitchId> out;
+  for (SwitchId sw = 0; sw < layers_.size(); ++sw) {
+    if (layers_[sw] == layer) out.push_back(sw);
+  }
+  return out;
+}
+
+std::vector<SwitchId> Topology::neighbors(SwitchId sw) const {
+  std::vector<SwitchId> out;
+  out.reserve(ports_[sw].size());
+  for (const auto& peer : ports_[sw]) out.push_back(peer.neighbor);
+  return out;
+}
+
+}  // namespace mars::net

@@ -1,0 +1,55 @@
+#pragma once
+// Shared identifier types for the network substrate.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mars::net {
+
+/// Switch identifier. Dense, assigned by the Topology in creation order.
+using SwitchId = std::uint32_t;
+
+/// Port number local to a switch.
+using PortId = std::uint16_t;
+
+/// Sentinel for "no switch".
+inline constexpr SwitchId kInvalidSwitch = 0xFFFFFFFFu;
+
+/// Sentinel port used for the host-facing side of edge switches.
+inline constexpr PortId kHostPort = 0xFFFFu;
+
+/// The paper's FlowID: <source switch, sink switch>, deliberately without
+/// host information (§4.1). MARS diagnoses problems between/in switches.
+struct FlowId {
+  SwitchId source = kInvalidSwitch;
+  SwitchId sink = kInvalidSwitch;
+
+  auto operator<=>(const FlowId&) const = default;
+};
+
+[[nodiscard]] inline std::string to_string(const FlowId& f) {
+  return "<s" + std::to_string(f.source) + ",s" + std::to_string(f.sink) + ">";
+}
+
+/// Fat-tree layer of a switch.
+enum class Layer : std::uint8_t { kEdge, kAggregation, kCore };
+
+[[nodiscard]] inline const char* to_string(Layer layer) {
+  switch (layer) {
+    case Layer::kEdge: return "edge";
+    case Layer::kAggregation: return "aggregation";
+    case Layer::kCore: return "core";
+  }
+  return "?";
+}
+
+}  // namespace mars::net
+
+template <>
+struct std::hash<mars::net::FlowId> {
+  std::size_t operator()(const mars::net::FlowId& f) const noexcept {
+    return (static_cast<std::size_t>(f.source) << 32) ^ f.sink;
+  }
+};

@@ -1,0 +1,57 @@
+#pragma once
+// Blocking data-parallel helpers built on ThreadPool.
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace mars::parallel {
+
+/// Run fn(i) for i in [begin, end) across the pool in contiguous chunks.
+/// Rethrows the first task exception in the calling thread.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Fn&& fn, std::size_t min_chunk = 1) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min(n / std::max<std::size_t>(min_chunk, 1),
+                                        pool.size() * 4));
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    if (lo >= end) break;
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(pool.submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Map fn over [0, n) and collect the results in order.
+template <typename Fn>
+auto parallel_map(ThreadPool& pool, std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace mars::parallel

@@ -1,0 +1,472 @@
+#include "rca/analyzer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/stats.hpp"
+
+namespace mars::rca {
+namespace {
+
+/// Observed paths grouped by PathID, with weights.
+struct PathGroup {
+  const net::SwitchPath* path = nullptr;
+  std::uint64_t abnormal = 0;
+  std::uint64_t normal = 0;
+  /// Abnormal weight per flow through this path.
+  std::unordered_map<net::FlowId, std::uint64_t> abnormal_by_flow;
+};
+
+[[nodiscard]] CulpritLevel level_of(const fsm::Sequence& items) {
+  return items.size() >= 2 ? CulpritLevel::kLink : CulpritLevel::kSwitch;
+}
+
+}  // namespace
+
+RootCauseAnalyzer::RootCauseAnalyzer(const control::PathRegistry& registry,
+                                     RcaConfig config,
+                                     const net::Topology* topology)
+    : registry_(&registry), config_(config), topology_(topology) {}
+
+void RootCauseAnalyzer::assign_location(Culprit& culprit,
+                                        const fsm::Sequence& pattern) const {
+  // A link pattern <a,b> with a port-scoped cause names a's egress port
+  // towards b (paper: process-rate/delay/drop are port/switch-level).
+  if (topology_ != nullptr && pattern.size() == 2) {
+    if (const auto port = topology_->port_towards(pattern[0], pattern[1])) {
+      culprit.level = CulpritLevel::kPort;
+      culprit.location = {pattern[0]};
+      culprit.port = *port;
+      return;
+    }
+  }
+  culprit.level = level_of(pattern);
+  culprit.location = pattern;
+}
+
+CulpritList RootCauseAnalyzer::analyze(
+    const control::DiagnosisData& data) const {
+  // A count deficit also appears when packets stall behind a congested or
+  // delaying port: they arrive, just late, and also raise HighLatency
+  // notifications. The notification mix collected with the session decides
+  // which pass leads: any HighLatency evidence makes the latency analysis
+  // (whose signatures name the cause) primary, with drop culprits appended
+  // when loss was also reported; Drop-only evidence is genuine loss and
+  // runs the drop-specific SBFL pass alone (§4.4.4).
+  const bool saw_latency =
+      data.saw(dataplane::Notification::Kind::kHighLatency) ||
+      data.trigger.kind == dataplane::Notification::Kind::kHighLatency;
+  const bool saw_drop = data.saw(dataplane::Notification::Kind::kDrop) ||
+                        data.trigger.kind ==
+                            dataplane::Notification::Kind::kDrop;
+  if (!saw_latency && saw_drop) return analyze_drop(data);
+
+  // Both kinds (or latency only): is the loss evidence genuine, or the
+  // shadow of congestion (packets stuck or delayed, not gone)? Genuine
+  // loss leaves its affected flows with ordinary queues and ordinary
+  // latency — the missing packets simply never arrive.
+  bool real_drop = false;
+  if (saw_drop) {
+    std::vector<double> queues, latency_ratios;
+    for (const auto& rec : data.records) {
+      if (rec.sink_timestamp <
+          data.trigger.when - config_.signatures.problem_window) {
+        continue;
+      }
+      const auto threshold = std::max<std::uint32_t>(
+          config_.drop_count_threshold,
+          static_cast<std::uint32_t>(
+              config_.drop_count_relative *
+              static_cast<double>(rec.src_last_epoch_count)));
+      const bool affected =
+          rec.epoch_gap > 0 ||
+          (rec.src_last_epoch_count > rec.sink_last_epoch_count &&
+           rec.src_last_epoch_count - rec.sink_last_epoch_count > threshold);
+      if (!affected) continue;
+      queues.push_back(static_cast<double>(rec.total_queue_depth));
+      const auto it = data.thresholds.find(rec.flow);
+      const sim::Time thr =
+          it != data.thresholds.end() ? it->second : data.default_threshold;
+      latency_ratios.push_back(static_cast<double>(rec.latency) /
+                               std::max(static_cast<double>(thr), 1.0));
+    }
+    const bool congested =
+        !queues.empty() &&
+        util::median(queues) >= config_.signatures.queue_abs_min;
+    const bool latent =
+        !latency_ratios.empty() && util::median(latency_ratios) > 1.0;
+    real_drop = !congested && !latent;
+  }
+
+  CulpritList culprits;
+  if (real_drop) {
+    // The loss is the story; ambient latency culprits rank behind it.
+    culprits = analyze_drop(data);
+    auto latency = analyze_latency(data);
+    culprits.insert(culprits.end(),
+                    std::make_move_iterator(latency.begin()),
+                    std::make_move_iterator(latency.end()));
+  } else {
+    // Any loss evidence is congestion's shadow; the latency signatures
+    // name the true cause.
+    culprits = analyze_latency(data);
+  }
+  if (culprits.size() > config_.max_culprits) {
+    culprits.resize(config_.max_culprits);
+  }
+  return culprits;
+}
+
+CulpritList RootCauseAnalyzer::analyze_latency(
+    const control::DiagnosisData& data) const {
+  // Only recent history is evidence about THIS fault; older Ring Table
+  // records feed the baseline features but not the abnormal/normal sets.
+  std::vector<telemetry::RtRecord> recent;
+  for (const auto& rec : data.records) {
+    if (rec.sink_timestamp >= data.trigger.when - config_.analysis_window) {
+      recent.push_back(rec);
+    }
+  }
+
+  // (1) Restore an approximate packet-level view from the samples.
+  EstimatorConfig est_cfg = config_.estimator;
+  const auto estimated = estimate_traffic(recent, est_cfg);
+  if (estimated.empty()) return {};
+
+  // (2) Classify each estimated packet by its flow's dynamic threshold and
+  // aggregate by PathID.
+  std::unordered_map<std::uint32_t, PathGroup> groups;
+  for (const auto& p : estimated) {
+    const auto it = data.thresholds.find(p.flow);
+    const sim::Time thr =
+        it != data.thresholds.end() ? it->second : data.default_threshold;
+    PathGroup& g = groups[p.path_id];
+    if (g.path == nullptr) g.path = registry_->lookup(p.path_id);
+    if (g.path == nullptr) continue;  // unknown id: cannot decompress
+    if (p.latency > thr) {
+      ++g.abnormal;
+      ++g.abnormal_by_flow[p.flow];
+    } else {
+      ++g.normal;
+    }
+  }
+
+  fsm::SequenceDatabase abnormal, normal;
+  for (const auto& [id, g] : groups) {
+    if (g.path == nullptr) continue;
+    if (g.abnormal > 0) abnormal.add(*g.path, g.abnormal);
+    if (g.normal > 0) normal.add(*g.path, g.normal);
+  }
+  if (abnormal.empty()) return {};
+
+  // (3) Mine culprit locations from the abnormal set.
+  const auto miner = fsm::make_miner(config_.miner);
+  auto patterns = miner->mine(abnormal, config_.mining);
+  if (patterns.empty()) return {};
+
+  // (4) Relative-risk SBFL scores.
+  auto scored = score_patterns(patterns, abnormal, normal,
+                               config_.mining.contiguous, config_.formula);
+  if (scored.size() > config_.max_patterns) {
+    scored.resize(config_.max_patterns);
+  }
+
+  const sim::Time problem_start =
+      data.trigger.when - config_.signatures.problem_window;
+
+  // (5) Alg. 3: assign a cause per (pattern, flow) and score it.
+  std::vector<Culprit> raw;
+  for (const auto& sp : scored) {
+    if (sp.score <= 0.0) continue;
+    // Flows whose abnormal packets traverse this pattern, plus totals.
+    std::unordered_map<net::FlowId, std::uint64_t> flow_pkts;
+    std::uint64_t pattern_pkts = 0;
+    for (const auto& [id, g] : groups) {
+      if (g.path == nullptr || g.abnormal == 0) continue;
+      if (!fsm::contains_pattern(*g.path, sp.pattern.items,
+                                 config_.mining.contiguous)) {
+        continue;
+      }
+      for (const auto& [flow, n] : g.abnormal_by_flow) {
+        flow_pkts[flow] += n;
+        pattern_pkts += n;
+      }
+    }
+    if (pattern_pkts == 0) continue;
+
+    // First pass: which flows through this pattern are bursting? A burst
+    // explains the congestion every other flow on the pattern suffers, so
+    // their evidence is attributed to the burst rather than spawning
+    // competing process-rate culprits (explaining-away).
+    std::vector<net::FlowId> spiked;
+    for (const auto& [flow, pkts] : flow_pkts) {
+      const auto features = extract_flow_features(
+          data.records, flow, problem_start, config_.estimator.sample_gap);
+      if (features.pps_spiked(config_.signatures)) spiked.push_back(flow);
+    }
+
+    for (const auto& [flow, pkts] : flow_pkts) {
+      const double share = static_cast<double>(pkts) /
+                           static_cast<double>(pattern_pkts);
+      const double score = sp.score * share;
+      const auto features = extract_flow_features(
+          data.records, flow, problem_start,
+          config_.estimator.sample_gap);
+
+      if (!spiked.empty() &&
+          std::find(spiked.begin(), spiked.end(), flow) == spiked.end()) {
+        // Victim of the burst: credit its evidence to the burst culprits.
+        for (const net::FlowId& burst_flow : spiked) {
+          Culprit victim_credit;
+          victim_credit.level = CulpritLevel::kFlow;
+          victim_credit.flow = burst_flow;
+          victim_credit.cause = CauseKind::kMicroBurst;
+          victim_credit.location = sp.pattern.items;
+          victim_credit.score =
+              score / static_cast<double>(spiked.size());
+          raw.push_back(std::move(victim_credit));
+        }
+        continue;
+      }
+
+      Culprit culprit;
+      culprit.score = score;
+
+      // ECMP evidence: did this flow's per-path throughput split become
+      // uneven in the problem window? Only a weight change moves packets
+      // between paths, so this check is decisive when it fires.
+      const auto baseline = path_shares(data.records, flow, 0, problem_start);
+      const auto problem =
+          path_shares(data.records, flow, problem_start,
+                      std::numeric_limits<sim::Time>::max());
+      std::vector<std::pair<std::uint32_t, const net::SwitchPath*>> paths;
+      for (const auto* shares : {&baseline, &problem}) {
+        for (const auto& s : *shares) {
+          paths.emplace_back(s.path_id, registry_->lookup(s.path_id));
+        }
+      }
+      sim::Time earliest = problem_start;
+      for (const auto& r : data.records) {
+        if (r.flow == flow) earliest = std::min(earliest, r.sink_timestamp);
+      }
+      const double baseline_s =
+          sim::to_seconds(problem_start - earliest);
+      const double problem_s =
+          sim::to_seconds(data.collected_at - problem_start);
+      const auto verdict =
+          detect_ecmp_imbalance(baseline, problem, paths, config_.signatures,
+                                baseline_s, problem_s);
+
+      if (features.pps_spiked(config_.signatures)) {
+        culprit.level = CulpritLevel::kFlow;
+        culprit.flow = flow;
+        culprit.cause = CauseKind::kMicroBurst;
+        culprit.location = sp.pattern.items;
+      } else if (verdict) {
+        culprit.level = CulpritLevel::kSwitch;
+        culprit.location = {verdict->chooser};
+        culprit.cause = CauseKind::kEcmpImbalance;
+      } else if (features.queue_congested(config_.signatures)) {
+        assign_location(culprit, sp.pattern.items);
+        culprit.cause = CauseKind::kProcessRateDecrease;
+      } else {
+        assign_location(culprit, sp.pattern.items);
+        culprit.cause = CauseKind::kDelay;
+      }
+      raw.push_back(std::move(culprit));
+    }
+  }
+  return merge_and_rank(std::move(raw));
+}
+
+CulpritList RootCauseAnalyzer::analyze_drop(
+    const control::DiagnosisData& data) const {
+  // Flows with missing telemetry epochs or count mismatches are the
+  // affected set (§4.4.4 "Drop").
+  std::vector<telemetry::RtRecord> recent;
+  for (const auto& rec : data.records) {
+    if (rec.sink_timestamp >= data.trigger.when - config_.analysis_window) {
+      recent.push_back(rec);
+    }
+  }
+  std::unordered_set<net::FlowId> affected;
+  for (const auto& rec : recent) {
+    const bool gap = rec.epoch_gap > 0;
+    const auto threshold = std::max<std::uint32_t>(
+        config_.drop_count_threshold,
+        static_cast<std::uint32_t>(
+            config_.drop_count_relative *
+            static_cast<double>(rec.src_last_epoch_count)));
+    const bool mismatch =
+        rec.src_last_epoch_count > rec.sink_last_epoch_count &&
+        rec.src_last_epoch_count - rec.sink_last_epoch_count > threshold;
+    if (gap || mismatch) affected.insert(rec.flow);
+  }
+  if (affected.empty()) return {};
+
+  // Second SBFL instance. The abnormal set is weighted by the DEFICIT of
+  // each affected flow's paths — where packets went missing — rather than
+  // by surviving arrivals (which are lowest exactly where the loss is).
+  // Per-path baseline and problem rates come from the records' complete
+  // per-path counts.
+  const sim::Time problem_start =
+      data.trigger.when - config_.signatures.problem_window;
+  struct PathRate {
+    double base_packets = 0, base_records = 0;
+    double prob_packets = 0, prob_records = 0;
+  };
+  std::unordered_map<net::FlowId, std::unordered_map<std::uint32_t, PathRate>>
+      per_flow;
+  std::unordered_map<std::uint32_t, std::uint64_t> normal_weights;
+  for (const auto& rec : recent) {
+    if (affected.count(rec.flow)) {
+      auto& rates = per_flow[rec.flow];
+      const bool problem = rec.sink_timestamp >= problem_start;
+      for (std::uint8_t i = 0; i < rec.path_count_n; ++i) {
+        PathRate& r = rates[rec.path_counts[i].path_id];
+        if (problem) {
+          r.prob_packets += rec.path_counts[i].packets;
+          r.prob_records += 1;
+        } else {
+          r.base_packets += rec.path_counts[i].packets;
+          r.base_records += 1;
+        }
+      }
+    } else {
+      normal_weights[rec.path_id] +=
+          std::max<std::uint32_t>(rec.path_epoch_packets, 1);
+    }
+  }
+
+  fsm::SequenceDatabase abnormal, normal;
+  for (const auto& [flow, rates] : per_flow) {
+    // Deficit per path: baseline per-epoch rate minus problem rate.
+    double total_deficit = 0.0;
+    std::vector<std::pair<std::uint32_t, double>> deficits;
+    for (const auto& [path_id, r] : rates) {
+      const double base =
+          r.base_records > 0 ? r.base_packets / r.base_records : 0.0;
+      const double prob =
+          r.prob_records > 0 ? r.prob_packets / r.prob_records : 0.0;
+      const double deficit = std::max(base - prob, 0.0);
+      if (deficit > 0) {
+        deficits.emplace_back(path_id, deficit);
+        total_deficit += deficit;
+      }
+    }
+    if (total_deficit <= 0.0) {
+      // No per-path deficit visible; spread evenly over observed paths.
+      for (const auto& [path_id, r] : rates) {
+        deficits.emplace_back(path_id, 1.0);
+        total_deficit += 1.0;
+      }
+    }
+    for (const auto& [path_id, deficit] : deficits) {
+      const net::SwitchPath* path = registry_->lookup(path_id);
+      if (path == nullptr) continue;
+      const auto weight = static_cast<std::uint64_t>(
+          100.0 * deficit / total_deficit + 0.5);
+      if (weight > 0) abnormal.add(*path, weight);
+    }
+  }
+  for (const auto& [id, w] : normal_weights) {
+    const net::SwitchPath* path = registry_->lookup(id);
+    if (path != nullptr && w > 0) normal.add(*path, w);
+  }
+  if (abnormal.empty()) return {};
+
+  const auto miner = fsm::make_miner(config_.miner);
+  const auto patterns = miner->mine(abnormal, config_.mining);
+  auto scored = score_patterns(patterns, abnormal, normal,
+                               config_.mining.contiguous, config_.formula);
+  if (scored.size() > config_.max_patterns) {
+    scored.resize(config_.max_patterns);
+  }
+
+  std::vector<Culprit> raw;
+  for (const auto& sp : scored) {
+    if (sp.score <= 0.0) continue;
+    Culprit culprit;
+    assign_location(culprit, sp.pattern.items);
+    culprit.cause = CauseKind::kDrop;
+    culprit.score = sp.score;
+    raw.push_back(std::move(culprit));
+  }
+  return merge_and_rank(std::move(raw));
+}
+
+CulpritList RootCauseAnalyzer::merge_and_rank(std::vector<Culprit> raw) const {
+  struct Key {
+    CauseKind cause;
+    CulpritLevel level;
+    std::vector<net::SwitchId> location;
+    net::PortId port;
+    net::FlowId flow;
+    bool operator<(const Key& other) const {
+      if (cause != other.cause) return cause < other.cause;
+      if (level != other.level) return level < other.level;
+      if (location != other.location) return location < other.location;
+      if (port != other.port) return port < other.port;
+      return flow < other.flow;
+    }
+  };
+  std::map<Key, Culprit> merged;
+  for (auto& c : raw) {
+    Key key{c.cause, c.level, c.location,
+            c.level == CulpritLevel::kPort ? c.port : net::kHostPort,
+            c.level == CulpritLevel::kFlow
+                ? c.flow
+                : net::FlowId{net::kInvalidSwitch, net::kInvalidSwitch}};
+    auto [it, inserted] = merged.try_emplace(std::move(key), c);
+    if (inserted) continue;
+    if (c.level == CulpritLevel::kFlow) {
+      // Flow-level duplicates keep the max (actual anomaly localization
+      // dominates, §4.4.4).
+      it->second.score = std::max(it->second.score, c.score);
+    } else {
+      it->second.score += c.score;
+    }
+  }
+
+  // §4.4.4: port-level causes of the same type assigned to MULTIPLE ports
+  // of one switch fold into a single switch-level cause.
+  std::map<std::pair<CauseKind, net::SwitchId>, std::vector<const Key*>>
+      port_groups;
+  for (const auto& [key, culprit] : merged) {
+    if (culprit.level == CulpritLevel::kPort) {
+      port_groups[{culprit.cause, culprit.location.front()}].push_back(&key);
+    }
+  }
+  for (const auto& [group, keys] : port_groups) {
+    if (keys.size() < 2) continue;
+    Culprit folded;
+    folded.level = CulpritLevel::kSwitch;
+    folded.cause = group.first;
+    folded.location = {group.second};
+    for (const Key* key : keys) {
+      folded.score += merged.at(*key).score;
+      merged.erase(*key);
+    }
+    Key folded_key{folded.cause, folded.level, folded.location,
+                   net::kHostPort,
+                   net::FlowId{net::kInvalidSwitch, net::kInvalidSwitch}};
+    auto [it, inserted] = merged.try_emplace(std::move(folded_key), folded);
+    if (!inserted) it->second.score += folded.score;
+  }
+
+  CulpritList out;
+  out.reserve(merged.size());
+  for (auto& [key, culprit] : merged) out.push_back(std::move(culprit));
+  std::sort(out.begin(), out.end(), [](const Culprit& a, const Culprit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.level != b.level) return a.level < b.level;
+    return a.location < b.location;
+  });
+  if (out.size() > config_.max_culprits) out.resize(config_.max_culprits);
+  return out;
+}
+
+}  // namespace mars::rca

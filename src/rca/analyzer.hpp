@@ -1,0 +1,79 @@
+#pragma once
+// The MARS root-cause analyzer (paper §4.4): orchestrates
+//   (1) actual-traffic estimation (Alg. 2),
+//   (2) abnormal/normal classification by reservoir thresholds,
+//   (3) frequent-sequence mining of culprit locations (FSM, §4.4.2),
+//   (4) relative-risk SBFL scoring (Eq. 1, §4.4.3),
+//   (5) signature matching + culprit localization and merging (Alg. 3),
+// and the separate second SBFL pass for drop events (§4.4.4 "Drop").
+
+#include <vector>
+
+#include "control/controller.hpp"
+#include "control/path_registry.hpp"
+#include "fsm/miner.hpp"
+#include "rca/sbfl.hpp"
+#include "rca/signatures.hpp"
+#include "rca/traffic_estimator.hpp"
+#include "rca/types.hpp"
+
+namespace mars::rca {
+
+struct RcaConfig {
+  fsm::MiningParams mining{
+      .min_support_abs = 1,
+      .min_support_rel = 0.2,
+      .max_length = 2,
+      .contiguous = true,
+  };
+  fsm::MinerKind miner = fsm::MinerKind::kPrefixSpan;
+  SbflFormula formula = SbflFormula::kRelativeRisk;
+  SignatureConfig signatures;
+  EstimatorConfig estimator;
+  /// Count-mismatch tolerance when marking drop-affected flows:
+  /// max(absolute, relative * source count), mirroring the data plane.
+  std::uint32_t drop_count_threshold = 3;
+  double drop_count_relative = 0.2;
+  /// Only records this recent (relative to the trigger) enter the
+  /// abnormal/normal sets — older Ring Table history is baseline context
+  /// for the signatures, not evidence about the current fault.
+  sim::Time analysis_window = 800 * sim::kMillisecond;
+  /// Patterns examined for culprit assignment (the rest cannot enter the
+  /// operator's short list anyway).
+  std::size_t max_patterns = 16;
+  std::size_t max_culprits = 20;
+};
+
+class RootCauseAnalyzer {
+ public:
+  /// `topology` (optional) enables port-level culprit attribution: a link
+  /// pattern <a,b> with a port-scoped cause names a's egress port towards
+  /// b. Without it, culprits stay at link/switch granularity.
+  explicit RootCauseAnalyzer(const control::PathRegistry& registry,
+                             RcaConfig config = {},
+                             const net::Topology* topology = nullptr);
+
+  /// Produce the ranked culprit list for one diagnosis session.
+  [[nodiscard]] CulpritList analyze(const control::DiagnosisData& data) const;
+
+  [[nodiscard]] const RcaConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] CulpritList analyze_latency(
+      const control::DiagnosisData& data) const;
+  [[nodiscard]] CulpritList analyze_drop(
+      const control::DiagnosisData& data) const;
+  /// Merge per §4.4.4: flow-level causes take the max score of duplicates,
+  /// others sum; port-level causes of the same kind on multiple ports of
+  /// one switch fold into a switch-level cause; then sort descending and
+  /// truncate.
+  [[nodiscard]] CulpritList merge_and_rank(std::vector<Culprit> raw) const;
+  /// Refine a link-pattern culprit to port level when topology is known.
+  void assign_location(Culprit& culprit, const fsm::Sequence& pattern) const;
+
+  const control::PathRegistry* registry_;
+  RcaConfig config_;
+  const net::Topology* topology_;
+};
+
+}  // namespace mars::rca

@@ -1,0 +1,113 @@
+#include "rca/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mars::rca {
+namespace {
+
+std::string format_time(sim::Time t) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3fs", sim::to_seconds(t));
+  return buffer;
+}
+
+const char* trigger_name(dataplane::Notification::Kind kind) {
+  return kind == dataplane::Notification::Kind::kHighLatency
+             ? "high latency"
+             : "packet loss";
+}
+
+}  // namespace
+
+const char* remediation_hint(CauseKind cause) {
+  switch (cause) {
+    case CauseKind::kMicroBurst:
+      return "transient application burst; consider pacing/ECN at the "
+             "source or deeper buffers on the shared path";
+    case CauseKind::kEcmpImbalance:
+      return "rebalance or re-hash the ECMP group at the named switch; "
+             "verify recent weight or membership changes";
+    case CauseKind::kProcessRateDecrease:
+      return "inspect the named port/switch for CPU, scheduler or meter "
+             "misconfiguration throttling its service rate";
+    case CauseKind::kDelay:
+      return "latency added outside queueing: check interface errors, "
+             "power, and recent configuration on the named element";
+    case CauseKind::kDrop:
+      return "verify cabling, forwarding entries and recent updates on "
+             "the named element; loss is not congestion-correlated";
+  }
+  return "";
+}
+
+std::string render_report(const control::DiagnosisData& session,
+                          const CulpritList& culprits,
+                          const ReportOptions& options) {
+  std::string out;
+  out += "=== MARS incident report ===\n";
+  out += "trigger   : " + std::string(trigger_name(session.trigger.kind)) +
+         " reported by s" + std::to_string(session.trigger.reporter) +
+         " for flow " + net::to_string(session.trigger.flow) + " at " +
+         format_time(session.trigger.when) + "\n";
+  out += "collected : " + format_time(session.collected_at) + " (" +
+         std::to_string(session.records.size()) +
+         " telemetry records from edge switches, " +
+         std::to_string(session.notifications.size()) + " notifications)\n";
+  if (culprits.empty()) {
+    out += "verdict   : no culprit isolated; likely transient\n";
+    return out;
+  }
+  out += "culprits  :\n";
+  const std::size_t n = std::min(culprits.size(), options.max_culprits);
+  for (std::size_t i = 0; i < n; ++i) {
+    out += "  " + std::to_string(i + 1) + ". " + culprits[i].describe() +
+           "\n";
+    if (options.include_remediation) {
+      out += "     -> " + std::string(remediation_hint(culprits[i].cause)) +
+             "\n";
+    }
+  }
+  if (culprits.size() > n) {
+    out += "  (+" + std::to_string(culprits.size() - n) +
+           " lower-ranked entries)\n";
+  }
+  return out;
+}
+
+std::string render_json(const control::DiagnosisData& session,
+                        const CulpritList& culprits,
+                        const ReportOptions& options) {
+  std::string out = "{";
+  out += "\"trigger\":{\"kind\":\"" +
+         std::string(trigger_name(session.trigger.kind)) +
+         "\",\"reporter\":" + std::to_string(session.trigger.reporter) +
+         ",\"at_seconds\":" +
+         std::to_string(sim::to_seconds(session.trigger.when)) + "},";
+  out += "\"records\":" + std::to_string(session.records.size()) + ",";
+  out += "\"culprits\":[";
+  const std::size_t n = std::min(culprits.size(), options.max_culprits);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Culprit& c = culprits[i];
+    if (i) out += ",";
+    out += "{\"rank\":" + std::to_string(i + 1) + ",\"level\":\"" +
+           to_string(c.level) + "\",\"cause\":\"" + to_string(c.cause) +
+           "\",\"score\":" + std::to_string(c.score) + ",\"location\":[";
+    for (std::size_t j = 0; j < c.location.size(); ++j) {
+      if (j) out += ",";
+      out += std::to_string(c.location[j]);
+    }
+    out += "]";
+    if (c.level == CulpritLevel::kPort && c.port != net::kHostPort) {
+      out += ",\"port\":" + std::to_string(c.port);
+    }
+    if (c.level == CulpritLevel::kFlow) {
+      out += ",\"flow\":\"" + net::to_string(c.flow) + "\"";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mars::rca

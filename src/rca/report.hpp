@@ -1,0 +1,35 @@
+#pragma once
+// Operator-facing diagnosis report: the paper's deliverable is "an
+// ordered list of culprits with causes" handed to network operators
+// (§4.4.4). This module renders a diagnosis session as a readable
+// incident report — the trigger, the evidence volume, the ranked list
+// with per-cause remediation hints — and as machine-readable JSON for
+// ticketing integrations.
+
+#include <string>
+
+#include "control/controller.hpp"
+#include "rca/types.hpp"
+
+namespace mars::rca {
+
+struct ReportOptions {
+  std::size_t max_culprits = 5;
+  bool include_remediation = true;
+};
+
+/// Short remediation hint per cause kind (extendable alongside the
+/// signature catalogue, §4.4.4 "signatures can be extended").
+[[nodiscard]] const char* remediation_hint(CauseKind cause);
+
+/// Human-readable incident report.
+[[nodiscard]] std::string render_report(const control::DiagnosisData& session,
+                                        const CulpritList& culprits,
+                                        const ReportOptions& options = {});
+
+/// Machine-readable JSON (stable field order, no external dependency).
+[[nodiscard]] std::string render_json(const control::DiagnosisData& session,
+                                      const CulpritList& culprits,
+                                      const ReportOptions& options = {});
+
+}  // namespace mars::rca

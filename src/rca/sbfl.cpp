@@ -1,0 +1,99 @@
+#include "rca/sbfl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mars::rca {
+
+const char* to_string(SbflFormula formula) {
+  switch (formula) {
+    case SbflFormula::kRelativeRisk: return "relative-risk";
+    case SbflFormula::kTarantula: return "tarantula";
+    case SbflFormula::kOchiai: return "ochiai";
+    case SbflFormula::kJaccard: return "jaccard";
+    case SbflFormula::kDstar2: return "dstar2";
+  }
+  return "?";
+}
+
+double sbfl_score(const SpectrumCounts& c, SbflFormula formula) {
+  const auto pf = static_cast<double>(c.n_pf);
+  const auto ps = static_cast<double>(c.n_ps);
+  const auto ns = static_cast<double>(c.n_ns);
+  // §4.4.3: add one to N_nf when it is zero (all abnormal data share the
+  // pattern) to avoid dividing by zero.
+  const double nf_guarded =
+      c.n_nf == 0 ? 1.0 : static_cast<double>(c.n_nf);
+  switch (formula) {
+    case SbflFormula::kRelativeRisk: {
+      if (pf + ps == 0.0) return 0.0;
+      const double covered_fail_rate = pf / (pf + ps);
+      const double denom_total = nf_guarded + ns;
+      const double uncovered_fail_rate =
+          denom_total == 0.0 ? 1.0 : nf_guarded / denom_total;
+      return covered_fail_rate / uncovered_fail_rate;
+    }
+    case SbflFormula::kTarantula: {
+      const double total_f = pf + static_cast<double>(c.n_nf);
+      const double total_s = ps + ns;
+      const double fail_frac = total_f == 0.0 ? 0.0 : pf / total_f;
+      const double pass_frac = total_s == 0.0 ? 0.0 : ps / total_s;
+      if (fail_frac + pass_frac == 0.0) return 0.0;
+      return fail_frac / (fail_frac + pass_frac);
+    }
+    case SbflFormula::kOchiai: {
+      const double total_f = pf + static_cast<double>(c.n_nf);
+      const double denom = std::sqrt(total_f * (pf + ps));
+      return denom == 0.0 ? 0.0 : pf / denom;
+    }
+    case SbflFormula::kJaccard: {
+      const double denom = pf + static_cast<double>(c.n_nf) + ps;
+      return denom == 0.0 ? 0.0 : pf / denom;
+    }
+    case SbflFormula::kDstar2: {
+      const double denom = ps + static_cast<double>(c.n_nf);
+      if (denom == 0.0) return pf * pf;  // conventionally "infinite"; cap
+      return pf * pf / denom;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<ScoredPattern> score_patterns(
+    std::span<const fsm::Pattern> patterns,
+    const fsm::SequenceDatabase& abnormal, const fsm::SequenceDatabase& normal,
+    bool contiguous, SbflFormula formula) {
+  std::vector<ScoredPattern> out;
+  out.reserve(patterns.size());
+  for (const auto& pattern : patterns) {
+    ScoredPattern sp;
+    sp.pattern = pattern;
+    for (const auto& e : abnormal.entries()) {
+      if (fsm::contains_pattern(e.items, pattern.items, contiguous)) {
+        sp.counts.n_pf += e.count;
+      } else {
+        sp.counts.n_nf += e.count;
+      }
+    }
+    for (const auto& e : normal.entries()) {
+      if (fsm::contains_pattern(e.items, pattern.items, contiguous)) {
+        sp.counts.n_ps += e.count;
+      } else {
+        sp.counts.n_ns += e.count;
+      }
+    }
+    sp.score = sbfl_score(sp.counts, formula);
+    out.push_back(std::move(sp));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredPattern& a, const ScoredPattern& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.counts.n_pf != b.counts.n_pf) {
+                return a.counts.n_pf > b.counts.n_pf;
+              }
+              return a.pattern.items < b.pattern.items;
+            });
+  return out;
+}
+
+}  // namespace mars::rca

@@ -1,0 +1,60 @@
+#pragma once
+// Spectrum-Based Fault Localization over path patterns (paper §4.4.3).
+//
+// MARS's score is the relative risk (Eq. 1):
+//
+//     Score(p) = (N_pf / (N_pf + N_ps)) / (N_nf / (N_nf + N_ns))
+//
+// where the "tests" are packets: failing = abnormal set, successful =
+// normal set, and a packet "covers" a pattern when its path contains it.
+// Classic SBFL formulas from the software-debugging literature are
+// included as ablation alternatives.
+
+#include <span>
+#include <vector>
+
+#include "fsm/sequence.hpp"
+
+namespace mars::rca {
+
+enum class SbflFormula : std::uint8_t {
+  kRelativeRisk,  ///< Eq. 1 (MARS default)
+  kTarantula,
+  kOchiai,
+  kJaccard,
+  kDstar2,
+};
+
+[[nodiscard]] const char* to_string(SbflFormula formula);
+
+/// Coverage counts for one pattern.
+///   n_pf: abnormal ("failing") packets whose path contains the pattern
+///   n_ps: normal ("successful") packets whose path contains the pattern
+///   n_nf: abnormal packets whose path does not contain it
+///   n_ns: normal packets whose path does not contain it
+struct SpectrumCounts {
+  std::uint64_t n_pf = 0;
+  std::uint64_t n_ps = 0;
+  std::uint64_t n_nf = 0;
+  std::uint64_t n_ns = 0;
+};
+
+/// Evaluate a formula on one pattern's counts. Division-by-zero guards
+/// follow §4.4.3 (N_nf treated as N_nf + 1 when zero).
+[[nodiscard]] double sbfl_score(const SpectrumCounts& counts,
+                                SbflFormula formula);
+
+struct ScoredPattern {
+  fsm::Pattern pattern;
+  SpectrumCounts counts;
+  double score = 0.0;
+};
+
+/// Count coverage of each mined pattern over the abnormal and normal
+/// databases and score it. Output is sorted by score, descending (ties:
+/// higher n_pf first, then lexicographic pattern for determinism).
+[[nodiscard]] std::vector<ScoredPattern> score_patterns(
+    std::span<const fsm::Pattern> patterns, const fsm::SequenceDatabase& abnormal,
+    const fsm::SequenceDatabase& normal, bool contiguous, SbflFormula formula);
+
+}  // namespace mars::rca

@@ -1,0 +1,35 @@
+#include "rca/traffic_estimator.hpp"
+
+#include <algorithm>
+
+namespace mars::rca {
+
+std::vector<EstimatedPacket> estimate_traffic(
+    std::span<const telemetry::RtRecord> records,
+    const EstimatorConfig& config) {
+  std::vector<EstimatedPacket> out;
+  for (const auto& rec : records) {
+    // Every sample stands for at least itself.
+    std::uint32_t count = std::max<std::uint32_t>(rec.path_epoch_packets, 1);
+    if (config.max_per_record > 0) {
+      count = std::min(count, config.max_per_record);
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      EstimatedPacket p;
+      p.flow = rec.flow;
+      p.path_id = rec.path_id;
+      // Alg. 2 line 5: spread arrivals evenly across the sample gap.
+      p.t = rec.sink_timestamp +
+            static_cast<sim::Time>(
+                (static_cast<double>(i) * static_cast<double>(config.sample_gap)) /
+                static_cast<double>(count));
+      p.latency = rec.latency;
+      p.total_queue_depth = rec.total_queue_depth;
+      p.epoch_id = rec.epoch_id;
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace mars::rca

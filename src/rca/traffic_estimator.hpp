@@ -1,0 +1,42 @@
+#pragma once
+// Actual traffic estimation (paper §4.4.1, Algorithm 2).
+//
+// The Ring Table holds one sampled telemetry record per flow per epoch,
+// carrying the epoch's path-level packet count. The estimator restores an
+// approximate per-packet view with gap-based sampling: each sample is
+// replicated `count` times with arrival times spread evenly across the
+// sample gap T.
+
+#include <span>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+#include "telemetry/tables.hpp"
+
+namespace mars::rca {
+
+/// One estimated packet (a copy of its sample with an interpolated time).
+struct EstimatedPacket {
+  net::FlowId flow;
+  std::uint32_t path_id = 0;
+  sim::Time t = 0;        ///< estimated arrival time
+  sim::Time latency = 0;  ///< copied from the sample
+  std::uint32_t total_queue_depth = 0;
+  telemetry::EpochId epoch_id = 0;
+};
+
+struct EstimatorConfig {
+  /// Time gap between telemetry samples (the epoch period T in Alg. 2).
+  sim::Time sample_gap = telemetry::kDefaultEpochPeriod;
+  /// Safety cap on packets estimated from one record; 0 disables. Counts
+  /// beyond the cap are represented by weighting the capped packets.
+  std::uint32_t max_per_record = 4096;
+};
+
+/// Algorithm 2 over a diagnosis snapshot.
+[[nodiscard]] std::vector<EstimatedPacket> estimate_traffic(
+    std::span<const telemetry::RtRecord> records,
+    const EstimatorConfig& config = {});
+
+}  // namespace mars::rca

@@ -1,0 +1,26 @@
+#include "rca/types.hpp"
+
+namespace mars::rca {
+
+std::string Culprit::describe() const {
+  std::string out = std::string(to_string(level)) + "-level ";
+  out += to_string(cause);
+  out += " @ ";
+  if (level == CulpritLevel::kFlow) {
+    out += net::to_string(flow);
+    if (!location.empty()) {
+      out += " via ";
+    }
+  }
+  for (std::size_t i = 0; i < location.size(); ++i) {
+    if (i) out += "-";
+    out += "s" + std::to_string(location[i]);
+  }
+  if (level == CulpritLevel::kPort && port != net::kHostPort) {
+    out += " port " + std::to_string(port);
+  }
+  out += " (score " + std::to_string(score) + ")";
+  return out;
+}
+
+}  // namespace mars::rca

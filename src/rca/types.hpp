@@ -1,0 +1,65 @@
+#pragma once
+// Root-cause-analysis vocabulary (paper §4.4): culprits are network
+// locations (switch / link / port) or flows, each assigned one of the five
+// cause signatures and a suspicious score.
+
+#include <string>
+#include <vector>
+
+#include "fsm/miner.hpp"
+#include "fsm/sequence.hpp"
+#include "net/types.hpp"
+
+namespace mars::rca {
+
+/// The five root causes MARS ships signatures for (§4.4.4).
+enum class CauseKind : std::uint8_t {
+  kMicroBurst,           ///< flow-level: transient pps spike
+  kEcmpImbalance,        ///< switch-level: uneven ECMP split upstream
+  kProcessRateDecrease,  ///< port/switch-level: service rate dropped
+  kDelay,                ///< port/switch-level: latency outside the queue
+  kDrop,                 ///< port/switch-level: packet loss
+};
+
+enum class CulpritLevel : std::uint8_t { kFlow, kSwitch, kLink, kPort };
+
+[[nodiscard]] inline const char* to_string(CauseKind kind) {
+  switch (kind) {
+    case CauseKind::kMicroBurst: return "micro-burst";
+    case CauseKind::kEcmpImbalance: return "ecmp-imbalance";
+    case CauseKind::kProcessRateDecrease: return "process-rate-decrease";
+    case CauseKind::kDelay: return "delay";
+    case CauseKind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline const char* to_string(CulpritLevel level) {
+  switch (level) {
+    case CulpritLevel::kFlow: return "flow";
+    case CulpritLevel::kSwitch: return "switch";
+    case CulpritLevel::kLink: return "link";
+    case CulpritLevel::kPort: return "port";
+  }
+  return "?";
+}
+
+/// One entry of the ranked list handed to operators.
+struct Culprit {
+  CulpritLevel level = CulpritLevel::kSwitch;
+  /// Switch(es) implicated: one id for switch/port level, two for a link.
+  std::vector<net::SwitchId> location;
+  /// Egress port on location[0], for port-level culprits.
+  net::PortId port = net::kHostPort;
+  /// Set for flow-level causes.
+  net::FlowId flow{net::kInvalidSwitch, net::kInvalidSwitch};
+  CauseKind cause = CauseKind::kDelay;
+  double score = 0.0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Ranked output, highest score first.
+using CulpritList = std::vector<Culprit>;
+
+}  // namespace mars::rca

@@ -1,0 +1,72 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace mars::sim {
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
+    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+std::uint64_t EventQueue::schedule(Time t, EventFn fn) {
+  const std::uint64_t id = next_seq_++;
+  heap_.push_back(Entry{t, id, std::move(fn)});
+  sift_up(heap_.size() - 1);
+  pending_.insert(id);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(std::uint64_t id) {
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead_top() {
+  while (!heap_.empty() && cancelled_.count(heap_.front().seq)) {
+    cancelled_.erase(heap_.front().seq);
+    std::swap(heap_.front(), heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+Time EventQueue::next_time() {
+  drop_dead_top();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+std::pair<Time, EventFn> EventQueue::pop() {
+  drop_dead_top();
+  assert(!heap_.empty());
+  Entry top = std::move(heap_.front());
+  std::swap(heap_.front(), heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  pending_.erase(top.seq);
+  --live_;
+  return {top.time, std::move(top.fn)};
+}
+
+}  // namespace mars::sim

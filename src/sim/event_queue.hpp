@@ -1,0 +1,63 @@
+#pragma once
+// Pending-event set for the discrete-event simulator.
+//
+// A hand-rolled binary heap keyed by (time, sequence). The sequence number
+// breaks ties deterministically in insertion order, which keeps simulations
+// reproducible regardless of heap internals. Handlers live inside heap
+// entries so memory is reclaimed as events execute — long-running
+// simulations (hours of virtual time, billions of events) stay at O(live
+// events) memory. Cancellation is lazy via a small tombstone set.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mars::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule fn at absolute time t. Returns an id usable with cancel().
+  std::uint64_t schedule(Time t, EventFn fn);
+
+  /// Cancel a scheduled event. Returns false if it already ran or was
+  /// cancelled. The entry is skipped (and reclaimed) when it surfaces.
+  bool cancel(std::uint64_t id);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+  /// Time of the earliest live event. Undefined when empty().
+  [[nodiscard]] Time next_time();
+
+  /// Remove and return the earliest live event.
+  std::pair<Time, EventFn> pop();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  [[nodiscard]] static bool later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void drop_dead_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> pending_;  // ids currently scheduled
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace mars::sim

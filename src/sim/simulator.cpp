@@ -1,0 +1,36 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace mars::sim {
+
+std::uint64_t Simulator::schedule_in(Time delay, EventFn fn) {
+  assert(delay >= 0);
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::schedule_at(Time t, EventFn fn) {
+  assert(t >= now_);
+  return queue_.schedule(t, std::move(fn));
+}
+
+void Simulator::run(Time until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    step();
+  }
+  if (now_ < until && until != std::numeric_limits<Time>::max()) {
+    now_ = until;
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [t, fn] = queue_.pop();
+  assert(t >= now_);
+  now_ = t;
+  ++executed_;
+  fn();
+  return true;
+}
+
+}  // namespace mars::sim

@@ -1,0 +1,45 @@
+#pragma once
+// Discrete-event simulation driver.
+//
+// This substrate stands in for the paper's Mininet/BMv2 environment: every
+// network component schedules callbacks here, and the run loop advances
+// virtual time monotonically.
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace mars::sim {
+
+class Simulator {
+ public:
+  /// Current virtual time. Starts at 0.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule fn at now() + delay (delay may be 0; never negative).
+  std::uint64_t schedule_in(Time delay, EventFn fn);
+
+  /// Schedule fn at absolute time t >= now().
+  std::uint64_t schedule_at(Time t, EventFn fn);
+
+  bool cancel(std::uint64_t id) { return queue_.cancel(id); }
+
+  /// Run until the event queue is empty or `until` is passed.
+  /// Events at exactly `until` still execute.
+  void run(Time until = std::numeric_limits<Time>::max());
+
+  /// Execute exactly one event if any remain. Returns false when drained.
+  bool step();
+
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] bool pending() const { return !queue_.empty(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace mars::sim

@@ -1,0 +1,41 @@
+#pragma once
+// Simulation time: 64-bit signed nanoseconds.
+
+#include <cstdint>
+
+namespace mars::sim {
+
+/// Simulation timestamp / duration in nanoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Convert a Time to floating-point seconds (for reporting only).
+[[nodiscard]] constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Convert a Time to floating-point milliseconds (for reporting only).
+[[nodiscard]] constexpr double to_millis(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+namespace literals {
+constexpr Time operator""_ns(unsigned long long v) {
+  return static_cast<Time>(v);
+}
+constexpr Time operator""_us(unsigned long long v) {
+  return static_cast<Time>(v) * kMicrosecond;
+}
+constexpr Time operator""_ms(unsigned long long v) {
+  return static_cast<Time>(v) * kMillisecond;
+}
+constexpr Time operator""_s(unsigned long long v) {
+  return static_cast<Time>(v) * kSecond;
+}
+}  // namespace literals
+
+}  // namespace mars::sim

@@ -1,0 +1,21 @@
+#pragma once
+// Telemetry epochs (paper §4.2): the source switch marks one telemetry
+// packet per flow per epoch; per-epoch packet counts drive drop detection.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mars::telemetry {
+
+using EpochId = std::uint32_t;
+
+/// Epoch id of a timestamp under period `period` (set by the controller at
+/// runtime; the prototype default is 100 ms).
+[[nodiscard]] constexpr EpochId epoch_of(sim::Time t, sim::Time period) {
+  return static_cast<EpochId>(t / period);
+}
+
+inline constexpr sim::Time kDefaultEpochPeriod = 100 * sim::kMillisecond;
+
+}  // namespace mars::telemetry

@@ -1,0 +1,82 @@
+#include "telemetry/int_md.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace mars::telemetry {
+
+IntMdPipeline::IntMdPipeline(IntMdConfig config) : config_(config) {}
+
+void IntMdPipeline::on_ingress(net::SwitchContext& ctx, net::Packet& pkt) {
+  if (ctx.id != pkt.flow.source) return;
+  // Source switch decides whether this packet carries an INT stack.
+  if (config_.sample_every > 1 &&
+      (sample_counter_++ % config_.sample_every) != 0) {
+    return;
+  }
+  in_flight_.try_emplace(pkt.id);
+}
+
+void IntMdPipeline::on_enqueue(net::SwitchContext& /*ctx*/, net::Packet& pkt,
+                               net::PortId out, std::uint32_t queue_depth) {
+  const auto it = in_flight_.find(pkt.id);
+  if (it == in_flight_.end()) return;
+  it->second.pending_queue_depth = queue_depth;
+  it->second.pending_out = out;
+}
+
+void IntMdPipeline::on_egress(net::SwitchContext& ctx, net::Packet& pkt,
+                              net::PortId out, sim::Time hop_latency) {
+  const auto it = in_flight_.find(pkt.id);
+  if (it == in_flight_.end()) return;
+  InFlight& state = it->second;
+  if (state.hops.size() < config_.max_hops) {
+    state.hops.push_back(IntMdHop{ctx.id, pkt.ingress_port, out, hop_latency,
+                                  state.pending_queue_depth});
+  }
+  // The packet carries shim + one entry per recorded hop across this link.
+  telemetry_bytes_ +=
+      config_.shim_bytes +
+      static_cast<std::uint64_t>(state.hops.size()) * IntMdHop::kWireBytes;
+}
+
+void IntMdPipeline::on_deliver(net::SwitchContext& ctx, net::Packet& pkt) {
+  const auto it = in_flight_.find(pkt.id);
+  if (it == in_flight_.end()) return;
+  // Sink: record its own (queue-less) hop, pop the stack, strip the header.
+  IntMdRecord record;
+  record.packet_id = pkt.id;
+  record.flow = pkt.flow;
+  record.sink_time = ctx.sim.now();
+  record.hops = std::move(it->second.hops);
+  record.hops.push_back(
+      IntMdHop{ctx.id, pkt.ingress_port, net::kHostPort, 0, 0});
+  records_.push_back(std::move(record));
+  in_flight_.erase(it);
+}
+
+void IntMdPipeline::on_drop(net::SwitchContext& /*ctx*/,
+                            const net::Packet& pkt, net::PortId /*out*/) {
+  in_flight_.erase(pkt.id);
+}
+
+std::unordered_map<net::SwitchId, double> IntMdPipeline::mean_hop_latency(
+    sim::Time from, sim::Time to) const {
+  std::unordered_map<net::SwitchId, std::pair<double, std::uint64_t>> acc;
+  for (const auto& record : records_) {
+    if (record.sink_time < from || record.sink_time >= to) continue;
+    for (const auto& hop : record.hops) {
+      auto& [sum, n] = acc[hop.sw];
+      sum += static_cast<double>(hop.hop_latency);
+      ++n;
+    }
+  }
+  std::unordered_map<net::SwitchId, double> out;
+  for (const auto& [sw, pair] : acc) {
+    if (pair.second > 0) {
+      out[sw] = pair.first / static_cast<double>(pair.second);
+    }
+  }
+  return out;
+}
+
+}  // namespace mars::telemetry

@@ -1,0 +1,94 @@
+#pragma once
+// INT-MD (eMbed Data) mode, per the INT 2.1 dataplane specification —
+// the conventional alternative MARS's Motivation #2 argues against:
+// every hop pushes its metadata onto a stack inside the packet header, so
+// the header grows with the path and the sink sees full per-hop detail.
+//
+// Implemented as a PacketObserver so it can be deployed on the same
+// substrate as the MARS pipeline for apples-to-apples bandwidth and
+// diagnosis-power comparisons (Fig. 3, extended Fig. 9).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/observer.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace mars::telemetry {
+
+/// One hop's embedded metadata (a subset of the INT 2.1 instruction set:
+/// node id, level-1 ports, hop latency, queue occupancy).
+struct IntMdHop {
+  net::SwitchId sw = net::kInvalidSwitch;
+  net::PortId in_port = 0;
+  net::PortId out_port = 0;
+  sim::Time hop_latency = 0;
+  std::uint32_t queue_depth = 0;
+
+  /// Wire bytes per hop entry (4 metadata words, as in the INT spec).
+  static constexpr std::uint32_t kWireBytes = 8;
+};
+
+struct IntMdConfig {
+  /// INT shim + md header prepended at the source.
+  std::uint32_t shim_bytes = 12;
+  /// Sample 1-in-N packets (1 = every packet, the classic deployment).
+  std::uint32_t sample_every = 1;
+  /// Stop pushing metadata beyond this many hops (spec's Remaining Hop
+  /// Count); deeper hops traverse without recording.
+  std::uint32_t max_hops = 16;
+};
+
+/// Per-hop record sink-side, after the stack is popped.
+struct IntMdRecord {
+  std::uint64_t packet_id = 0;
+  net::FlowId flow;
+  sim::Time sink_time = 0;
+  std::vector<IntMdHop> hops;
+};
+
+class IntMdPipeline : public net::PacketObserver {
+ public:
+  explicit IntMdPipeline(IntMdConfig config = {});
+
+  /// Records extracted at sinks, in delivery order.
+  [[nodiscard]] const std::vector<IntMdRecord>& records() const {
+    return records_;
+  }
+  /// In-band bytes this mode put on the wire so far.
+  [[nodiscard]] std::uint64_t telemetry_bytes() const {
+    return telemetry_bytes_;
+  }
+
+  /// Mean hop latency per switch over records within [from, to) — the
+  /// kind of query full INT visibility makes trivial.
+  [[nodiscard]] std::unordered_map<net::SwitchId, double> mean_hop_latency(
+      sim::Time from, sim::Time to) const;
+
+  // ---- PacketObserver ----
+  void on_ingress(net::SwitchContext& ctx, net::Packet& pkt) override;
+  void on_enqueue(net::SwitchContext& ctx, net::Packet& pkt, net::PortId out,
+                  std::uint32_t queue_depth) override;
+  void on_egress(net::SwitchContext& ctx, net::Packet& pkt, net::PortId out,
+                 sim::Time hop_latency) override;
+  void on_deliver(net::SwitchContext& ctx, net::Packet& pkt) override;
+  void on_drop(net::SwitchContext& ctx, const net::Packet& pkt,
+               net::PortId out) override;
+
+ private:
+  struct InFlight {
+    std::vector<IntMdHop> hops;
+    std::uint32_t pending_queue_depth = 0;
+    net::PortId pending_out = 0;
+  };
+
+  IntMdConfig config_;
+  std::unordered_map<std::uint64_t, InFlight> in_flight_;
+  std::vector<IntMdRecord> records_;
+  std::uint64_t telemetry_bytes_ = 0;
+  std::uint64_t sample_counter_ = 0;
+};
+
+}  // namespace mars::telemetry

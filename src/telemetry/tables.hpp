@@ -1,0 +1,196 @@
+#pragma once
+// Edge-switch telemetry state (paper §4.2.2):
+//
+//   - Ingress Table (IT), on source switches: per-flow packet counts per
+//     epoch plus the timestamp/epoch of the last telemetry packet, so only
+//     one telemetry packet is marked per flow per epoch.
+//   - Egress Table (ET), on sink switches: per-(PathID, FlowID) packet and
+//     byte counts per epoch.
+//   - Ring Table (RT), on sink switches: fixed-size ring of per-telemetry-
+//     packet records (latency, counts, queue depth, epoch gap) that the
+//     control plane drains on demand for diagnosis.
+//
+// The paper stores only the "other half" of the FlowID on each edge switch
+// (s_sink on the source, s_source on the sink); we keep full FlowIds in the
+// API for clarity and account the memory with the halved key width.
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+#include "telemetry/epoch.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace mars::telemetry {
+
+/// Ingress Table: lives on every source switch.
+class IngressTable {
+ public:
+  explicit IngressTable(sim::Time epoch_period = kDefaultEpochPeriod)
+      : period_(epoch_period) {}
+
+  /// Count one incoming packet of `flow` at time `now`. Rolls the per-flow
+  /// epoch window forward when `now` enters a new epoch.
+  void count_packet(const net::FlowId& flow, sim::Time now);
+
+  /// True if no telemetry packet has been marked for `flow` in the epoch of
+  /// `now`; records the marking when it returns true.
+  bool try_mark_telemetry(const net::FlowId& flow, sim::Time now);
+
+  /// Packet count of `flow` in the epoch before the one containing `now`
+  /// (the value the telemetry header carries as "packet count ... in the
+  /// last epoch").
+  [[nodiscard]] std::uint32_t last_epoch_count(const net::FlowId& flow,
+                                               sim::Time now) const;
+
+  /// Packet count so far in the epoch containing `now`.
+  [[nodiscard]] std::uint32_t current_epoch_count(const net::FlowId& flow,
+                                                  sim::Time now) const;
+
+  [[nodiscard]] sim::Time epoch_period() const { return period_; }
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+ private:
+  struct FlowEntry {
+    EpochId epoch = 0;                  ///< epoch of `current_count`
+    std::uint32_t current_count = 0;
+    std::uint32_t previous_count = 0;   ///< count in `epoch - 1` (0 if stale)
+    EpochId previous_epoch = 0;
+    EpochId last_telemetry_epoch = 0;
+    bool telemetry_marked = false;
+    sim::Time last_telemetry_time = 0;
+  };
+
+  void roll(FlowEntry& e, EpochId epoch) const;
+
+  sim::Time period_;
+  std::unordered_map<net::FlowId, FlowEntry> flows_;
+};
+
+/// Egress Table: per-(PathID, FlowID) counters on sink switches.
+class EgressTable {
+ public:
+  explicit EgressTable(sim::Time epoch_period = kDefaultEpochPeriod)
+      : period_(epoch_period) {}
+
+  void count_packet(std::uint32_t path_id, const net::FlowId& flow,
+                    std::uint32_t bytes, sim::Time now);
+
+  struct PathCounters {
+    std::uint32_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Counters for the epoch containing `now`.
+  [[nodiscard]] PathCounters current(std::uint32_t path_id,
+                                     const net::FlowId& flow,
+                                     sim::Time now) const;
+  /// Counters for the epoch before the one containing `now`.
+  [[nodiscard]] PathCounters previous(std::uint32_t path_id,
+                                      const net::FlowId& flow,
+                                      sim::Time now) const;
+
+  /// Packets of `flow` summed over all paths in the epoch containing `now`.
+  [[nodiscard]] std::uint32_t flow_current_packets(const net::FlowId& flow,
+                                                   sim::Time now) const;
+  /// Same for the previous epoch.
+  [[nodiscard]] std::uint32_t flow_previous_packets(const net::FlowId& flow,
+                                                    sim::Time now) const;
+
+  /// Per-path packet counts of `flow` in the epoch containing `now`
+  /// (current + previous epoch summed, so a path sampled in either stays
+  /// visible). Sorted by path id for determinism.
+  struct FlowPathCount {
+    std::uint32_t path_id = 0;
+    std::uint32_t packets = 0;
+  };
+  [[nodiscard]] std::vector<FlowPathCount> flow_path_counts(
+      const net::FlowId& flow, sim::Time now) const;
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+
+ private:
+  struct Key {
+    std::uint32_t path_id;
+    net::FlowId flow;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<net::FlowId>{}(k.flow) * 1000003u ^ k.path_id;
+    }
+  };
+  struct Entry {
+    EpochId epoch = 0;
+    PathCounters current;
+    PathCounters previous;
+    EpochId previous_epoch = 0;
+  };
+
+  void roll(Entry& e, EpochId epoch) const;
+
+  sim::Time period_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+};
+
+/// One Ring Table record, extracted from a telemetry packet at the sink.
+struct RtRecord {
+  net::FlowId flow;
+  std::uint32_t path_id = 0;
+  EpochId epoch_id = 0;            ///< epoch id carried by the packet
+  sim::Time source_timestamp = 0;  ///< ingress time at the source switch
+  sim::Time sink_timestamp = 0;    ///< extraction time at the sink
+  sim::Time latency = 0;           ///< sink_timestamp - source_timestamp
+  std::uint32_t total_queue_depth = 0;  ///< in-network sum over hops
+  std::uint32_t src_last_epoch_count = 0;  ///< from the telemetry header
+  std::uint32_t sink_last_epoch_count = 0; ///< ET count at the sink
+  std::uint32_t path_epoch_packets = 0;    ///< path-level count, this epoch
+  std::uint64_t path_epoch_bytes = 0;
+  std::uint32_t flow_epoch_packets = 0;    ///< flow-level count, this epoch
+  std::uint32_t epoch_gap = 0;  ///< gap to the previous telemetry epoch - 1
+  /// Per-path packet counts of the flow around this epoch (from the
+  /// Egress Table), capped at kMaxPaths entries. Complete counts — not
+  /// just the sampled path — so the control plane can judge ECMP splits.
+  static constexpr std::size_t kMaxPaths = 4;
+  std::array<EgressTable::FlowPathCount, kMaxPaths> path_counts{};
+  std::uint8_t path_count_n = 0;
+
+  /// Serialized size when the control plane drains the record (diagnosis
+  /// bandwidth accounting, Fig. 9). Timestamps are compressed to 4 bytes as
+  /// in SpiderMon.
+  static constexpr std::uint32_t kWireBytes =
+      4 /*flow*/ + 4 /*path*/ + 4 /*epoch*/ + 4 /*latency*/ + 4 /*qdepth*/ +
+      8 /*counts*/ + 6 /*path stats*/ + 2 /*gap*/ +
+      kMaxPaths * 6 /*per-path counts*/;
+};
+
+/// Ring Table: newest-overwrites-oldest record store on sink switches.
+class RingTable {
+ public:
+  explicit RingTable(std::size_t capacity = 1024) : ring_(capacity) {}
+
+  void insert(const RtRecord& record) { ring_.push(record); }
+
+  /// Records currently retained, oldest first (the control plane's
+  /// diagnosis snapshot).
+  [[nodiscard]] std::vector<RtRecord> snapshot() const {
+    return ring_.snapshot();
+  }
+
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return ring_.capacity(); }
+  void clear() { ring_.clear(); }
+
+  /// SRAM register bytes this table occupies on-switch (Fig. 10 accounting).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return capacity() * RtRecord::kWireBytes;
+  }
+
+ private:
+  util::RingBuffer<RtRecord> ring_;
+};
+
+}  // namespace mars::telemetry

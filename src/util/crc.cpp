@@ -1,0 +1,92 @@
+#include "util/crc.hpp"
+
+#include <array>
+
+namespace mars::util {
+namespace {
+
+constexpr std::array<std::uint16_t, 256> make_crc16_table() {
+  std::array<std::uint16_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint16_t crc = static_cast<std::uint16_t>(i << 8);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x8000u) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021u)
+                            : static_cast<std::uint16_t>(crc << 1);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ 0xEDB88320u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr auto kCrc16Table = make_crc16_table();
+constexpr auto kCrc32Table = make_crc32_table();
+
+}  // namespace
+
+void Crc16::update(std::uint8_t byte) {
+  const auto idx = static_cast<std::uint8_t>((state_ >> 8) ^ byte);
+  state_ = static_cast<std::uint16_t>((state_ << 8) ^ kCrc16Table[idx]);
+}
+
+void Crc16::update(std::span<const std::byte> data) {
+  for (std::byte b : data) update(static_cast<std::uint8_t>(b));
+}
+
+std::uint16_t Crc16::compute(std::span<const std::byte> data) {
+  Crc16 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+void Crc32::update(std::uint8_t byte) {
+  const auto idx = static_cast<std::uint8_t>((state_ ^ byte) & 0xFFu);
+  state_ = (state_ >> 8) ^ kCrc32Table[idx];
+}
+
+void Crc32::update(std::span<const std::byte> data) {
+  for (std::byte b : data) update(static_cast<std::uint8_t>(b));
+}
+
+std::uint32_t Crc32::compute(std::span<const std::byte> data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+namespace {
+template <typename Crc>
+void feed_words(Crc& crc, std::span<const std::uint32_t> words) {
+  for (std::uint32_t w : words) {
+    crc.update(static_cast<std::uint8_t>(w & 0xFFu));
+    crc.update(static_cast<std::uint8_t>((w >> 8) & 0xFFu));
+    crc.update(static_cast<std::uint8_t>((w >> 16) & 0xFFu));
+    crc.update(static_cast<std::uint8_t>((w >> 24) & 0xFFu));
+  }
+}
+}  // namespace
+
+std::uint16_t crc16_words(std::span<const std::uint32_t> words) {
+  Crc16 crc;
+  feed_words(crc, words);
+  return crc.value();
+}
+
+std::uint32_t crc32_words(std::span<const std::uint32_t> words) {
+  Crc32 crc;
+  feed_words(crc, words);
+  return crc.value();
+}
+
+}  // namespace mars::util

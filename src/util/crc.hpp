@@ -1,0 +1,57 @@
+#pragma once
+// CRC-16/CCITT-FALSE and CRC-32 (IEEE 802.3) used by the PathID engine.
+//
+// MARS updates the PathID at every hop by hashing
+// {PathID, switchID, ingress port, egress port, control} (paper §4.1).
+// The paper names CRC16/CRC32 as the hash algorithms available in the
+// Tofino hash generators, so we provide both with the standard polynomials.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mars::util {
+
+/// CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, no reflection, no xorout.
+/// This matches the `crc16` extern commonly exposed by P4 targets.
+class Crc16 {
+ public:
+  /// One-shot CRC over a byte range.
+  [[nodiscard]] static std::uint16_t compute(std::span<const std::byte> data);
+
+  /// Incremental interface: feed bytes, then read value().
+  void update(std::span<const std::byte> data);
+  void update(std::uint8_t byte);
+  [[nodiscard]] std::uint16_t value() const { return state_; }
+  void reset() { state_ = kInit; }
+
+ private:
+  static constexpr std::uint16_t kInit = 0xFFFF;
+  std::uint16_t state_ = kInit;
+};
+
+/// CRC-32 (IEEE 802.3): poly 0x04C11DB7 reflected (0xEDB88320),
+/// init 0xFFFFFFFF, reflected in/out, final xor 0xFFFFFFFF.
+class Crc32 {
+ public:
+  [[nodiscard]] static std::uint32_t compute(std::span<const std::byte> data);
+
+  void update(std::span<const std::byte> data);
+  void update(std::uint8_t byte);
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ kXorOut; }
+  void reset() { state_ = kInit; }
+
+ private:
+  static constexpr std::uint32_t kInit = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kXorOut = 0xFFFFFFFFu;
+  std::uint32_t state_ = kInit;
+};
+
+/// Hash a sequence of 32-bit words with CRC16 (little-endian byte order).
+/// Convenience used by the PathID engine.
+[[nodiscard]] std::uint16_t crc16_words(std::span<const std::uint32_t> words);
+
+/// Hash a sequence of 32-bit words with CRC32 (little-endian byte order).
+[[nodiscard]] std::uint32_t crc32_words(std::span<const std::uint32_t> words);
+
+}  // namespace mars::util

@@ -1,0 +1,78 @@
+#pragma once
+// Fixed-capacity overwriting ring buffer.
+//
+// This is the storage discipline of the MARS Ring Table (paper §4.2.2):
+// "When RT is full, the oldest data will be covered by the newest data."
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace mars::util {
+
+/// Fixed-capacity FIFO that overwrites its oldest element when full.
+/// Iteration order (via for_each / at) is oldest-to-newest.
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : capacity_(capacity) {
+    assert(capacity > 0);
+    data_.reserve(capacity);
+  }
+
+  /// Append, overwriting the oldest element if at capacity.
+  /// Returns true if an element was overwritten.
+  bool push(T value) {
+    if (data_.size() < capacity_) {
+      data_.push_back(std::move(value));
+      return false;
+    }
+    data_[head_] = std::move(value);
+    head_ = (head_ + 1) % capacity_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] bool full() const { return data_.size() == capacity_; }
+
+  /// Element by logical index: 0 is the oldest retained element.
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < data_.size());
+    return data_[(head_ + i) % data_.size()];
+  }
+
+  /// Most recently pushed element.
+  [[nodiscard]] const T& back() const {
+    assert(!data_.empty());
+    return data_[(head_ + data_.size() - 1) % data_.size()];
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < data_.size(); ++i) fn(at(i));
+  }
+
+  /// Copy contents oldest-to-newest into a vector (used when the control
+  /// plane drains a Ring Table for diagnosis).
+  [[nodiscard]] std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(data_.size());
+    for_each([&](const T& v) { out.push_back(v); });
+    return out;
+  }
+
+  void clear() {
+    data_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of the oldest element once full
+  std::vector<T> data_;
+};
+
+}  // namespace mars::util

@@ -1,0 +1,98 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mars::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::clear() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double median(std::span<const double> values) {
+  std::vector<double> copy(values.begin(), values.end());
+  return median_inplace(copy);
+}
+
+double median_inplace(std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid),
+                   values.end());
+  double hi = values[mid];
+  if (values.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(values.begin(), values.begin() + static_cast<long>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(copy.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, copy.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return copy[lo] + frac * (copy[hi] - copy[lo]);
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double mad_sigma(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  const double m = median(values);
+  std::vector<double> deviations;
+  deviations.reserve(values.size());
+  for (double v : values) deviations.push_back(std::abs(v - m));
+  return 1.4826 * median_inplace(deviations);
+}
+
+std::vector<double> ecdf(std::span<const double> values,
+                         std::span<const double> at) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(at.size());
+  for (double point : at) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), point);
+    const auto count = static_cast<double>(it - sorted.begin());
+    out.push_back(sorted.empty() ? 0.0
+                                 : count / static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+}  // namespace mars::util

@@ -1,0 +1,60 @@
+#pragma once
+// Streaming and batch statistics used across MARS.
+//
+// The reservoir detector (paper Alg. 1) thresholds on median(R) + C·σ(R);
+// the evaluation computes CDFs, percentiles and classification scores.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mars::util {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void clear();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance. Zero for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Median of a sample. Copies the input (non-destructive). Empty input -> 0.
+[[nodiscard]] double median(std::span<const double> values);
+
+/// In-place median via nth_element. Empty input -> 0.
+[[nodiscard]] double median_inplace(std::vector<double>& values);
+
+/// q-quantile in [0,1] using linear interpolation (type-7, the numpy
+/// default). Empty input -> 0.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Population standard deviation of a sample. Empty input -> 0.
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// Median absolute deviation scaled to be consistent with σ for normal
+/// data (x1.4826). Robust: a few extreme outliers barely move it.
+[[nodiscard]] double mad_sigma(std::span<const double> values);
+
+/// Mean of a sample. Empty input -> 0.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Empirical CDF: for each point in `at`, the fraction of `values` <= point.
+[[nodiscard]] std::vector<double> ecdf(std::span<const double> values,
+                                       std::span<const double> at);
+
+}  // namespace mars::util

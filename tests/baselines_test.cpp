@@ -1,0 +1,189 @@
+#include "baselines/intsight.hpp"
+#include "baselines/spidermon.hpp"
+#include "baselines/syndb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/fat_tree.hpp"
+#include "sim/simulator.hpp"
+
+namespace mars::baselines {
+namespace {
+
+using namespace mars::sim::literals;
+
+struct Fixture {
+  sim::Simulator sim;
+  net::FatTree ft = net::build_fat_tree({.k = 4});
+  net::Network net{sim, ft.topology};
+
+  void traffic(net::FlowId flow, std::uint32_t hash, int count,
+               sim::Time gap, sim::Time start = 0) {
+    for (int i = 0; i < count; ++i) {
+      sim.schedule_in(start + gap * i, [this, flow, hash] {
+        net.inject(flow, hash, 500);
+      });
+    }
+  }
+};
+
+TEST(SpiderMonTest, NoTriggerOnHealthyTraffic) {
+  Fixture f;
+  SpiderMon sm(f.ft.topology.switch_count());
+  f.net.add_observer(sm);
+  f.traffic({f.ft.edge[0], f.ft.edge[1]}, 5, 100, 5_ms);
+  f.sim.run();
+  EXPECT_FALSE(sm.triggered());
+  EXPECT_TRUE(sm.diagnose().empty());
+  EXPECT_GT(sm.overheads().telemetry_bytes, 0u);  // headers always ride
+  EXPECT_EQ(sm.overheads().diagnosis_bytes, 0u);  // but nothing collected
+}
+
+TEST(SpiderMonTest, QueueingDelayTriggersAndLocalizesSwitch) {
+  Fixture f;
+  SpiderMon sm(f.ft.topology.switch_count());
+  f.net.add_observer(sm);
+  const net::FlowId flow{f.ft.edge[0], f.ft.edge[1]};
+  net::PortId out = 0;
+  ASSERT_TRUE(f.net.routing().select_port(flow.source, flow.sink, 5, out));
+  f.net.node(flow.source).set_max_pps(out, 50.0);
+  // Two flows sharing the throttled queue create wait-for edges.
+  f.traffic(flow, 5, 100, 2_ms);
+  f.traffic(flow, 1234567, 100, 2_ms);
+  f.sim.run();
+  ASSERT_TRUE(sm.triggered());
+  const auto culprits = sm.diagnose();
+  ASSERT_FALSE(culprits.empty());
+  bool found = false;
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, culprits.size());
+       ++i) {
+    if (culprits[i].level == rca::CulpritLevel::kSwitch &&
+        culprits[i].location == std::vector<net::SwitchId>{flow.source}) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GT(sm.overheads().diagnosis_bytes, 0u);
+}
+
+TEST(SpiderMonTest, NoTriggerOnPureDelayFault) {
+  Fixture f;
+  SpiderMon sm(f.ft.topology.switch_count());
+  f.net.add_observer(sm);
+  const net::FlowId flow{f.ft.edge[0], f.ft.edge[1]};
+  net::PortId out = 0;
+  ASSERT_TRUE(f.net.routing().select_port(flow.source, flow.sink, 5, out));
+  f.net.node(flow.source).set_extra_delay(out, 20_ms);  // outside the queue
+  f.traffic(flow, 5, 100, 5_ms);
+  f.sim.run();
+  EXPECT_FALSE(sm.triggered());  // the paper's "-" cell
+}
+
+TEST(IntSightTest, SloViolationProducesFlowReports) {
+  Fixture f;
+  IntSightConfig cfg;
+  cfg.slo = 2_ms;
+  IntSight is(cfg);
+  f.net.add_observer(is);
+  const net::FlowId flow{f.ft.edge[0], f.ft.edge[1]};
+  net::PortId out = 0;
+  ASSERT_TRUE(f.net.routing().select_port(flow.source, flow.sink, 5, out));
+  f.net.node(flow.source).set_max_pps(out, 50.0);
+  f.traffic(flow, 5, 200, 2_ms);
+  f.sim.run();
+  EXPECT_TRUE(is.triggered());
+  EXPECT_FALSE(is.reports().empty());
+  const auto culprits = is.diagnose();
+  EXPECT_FALSE(culprits.empty());
+  EXPECT_GT(is.overheads().telemetry_bytes, 0u);
+}
+
+TEST(IntSightTest, ContentionBitmapMarksCongestedSwitch) {
+  Fixture f;
+  IntSightConfig cfg;
+  cfg.slo = 2_ms;
+  cfg.contention_threshold = 1_ms;
+  IntSight is(cfg);
+  f.net.add_observer(is);
+  const net::FlowId flow{f.ft.edge[0], f.ft.edge[1]};
+  net::PortId out = 0;
+  ASSERT_TRUE(f.net.routing().select_port(flow.source, flow.sink, 5, out));
+  f.net.node(flow.source).set_max_pps(out, 50.0);
+  f.traffic(flow, 5, 200, 2_ms);
+  f.sim.run();
+  const auto culprits = is.diagnose();
+  ASSERT_FALSE(culprits.empty());
+  EXPECT_EQ(culprits[0].location, std::vector<net::SwitchId>{flow.source});
+}
+
+TEST(IntSightTest, HeaderBytesAreLarge) {
+  Fixture f;
+  IntSight is;
+  f.net.add_observer(is);
+  const net::FlowId flow{f.ft.edge[0], f.ft.edge[4]};  // 5-switch path
+  f.traffic(flow, 5, 10, 1_ms);
+  f.sim.run();
+  // 33B per packet per traversed link (4 inter-switch hops).
+  EXPECT_EQ(is.overheads().telemetry_bytes, 10u * 4u * 33u);
+}
+
+TEST(SynDbTest, RecordsEverythingAndChargesBandwidth) {
+  Fixture f;
+  SynDb db;
+  f.net.add_observer(db);
+  const net::FlowId flow{f.ft.edge[0], f.ft.edge[4]};
+  f.traffic(flow, 5, 50, 1_ms);
+  f.sim.run();
+  const auto oh = db.overheads();
+  EXPECT_EQ(oh.telemetry_bytes, 0u);  // no INT headers
+  // >= one ingress + one egress record per hop per packet.
+  EXPECT_GE(oh.diagnosis_bytes, 50u * 5u * 40u);
+}
+
+TEST(SynDbTest, ExpertQueryLocalizesSlowSwitch) {
+  Fixture f;
+  SynDb db;
+  f.net.add_observer(db);
+  const net::FlowId flow{f.ft.edge[0], f.ft.edge[1]};
+  // Healthy baseline, then throttle.
+  f.traffic(flow, 5, 200, 2_ms);
+  f.sim.run(500_ms);
+  net::PortId out = 0;
+  ASSERT_TRUE(f.net.routing().select_port(flow.source, flow.sink, 5, out));
+  f.net.node(flow.source).set_max_pps(out, 50.0);
+  f.traffic(flow, 5, 100, 2_ms, 10_ms);
+  f.sim.run();
+  const auto culprits = db.diagnose_with_hint(
+      faults::FaultKind::kProcessRateDecrease, f.sim.now());
+  ASSERT_FALSE(culprits.empty());
+  EXPECT_EQ(culprits[0].location, std::vector<net::SwitchId>{flow.source});
+}
+
+TEST(SynDbTest, ExpertQueryLocalizesDrops) {
+  Fixture f;
+  SynDb db;
+  f.net.add_observer(db);
+  const net::FlowId flow{f.ft.edge[0], f.ft.edge[1]};
+  net::PortId out = 0;
+  ASSERT_TRUE(f.net.routing().select_port(flow.source, flow.sink, 5, out));
+  f.net.node(flow.source).set_drop_probability(out, 0.5);
+  f.traffic(flow, 5, 100, 2_ms);
+  f.sim.run();
+  const auto culprits =
+      db.diagnose_with_hint(faults::FaultKind::kDrop, f.sim.now());
+  ASSERT_FALSE(culprits.empty());
+  EXPECT_EQ(culprits[0].location, std::vector<net::SwitchId>{flow.source});
+  EXPECT_EQ(culprits[0].cause, rca::CauseKind::kDrop);
+}
+
+TEST(SynDbTest, UnaidedDiagnosisIsEmpty) {
+  Fixture f;
+  SynDb db;
+  f.net.add_observer(db);
+  f.traffic({f.ft.edge[0], f.ft.edge[1]}, 5, 10, 1_ms);
+  f.sim.run();
+  EXPECT_TRUE(db.diagnose().empty());
+}
+
+}  // namespace
+}  // namespace mars::baselines

@@ -1,0 +1,96 @@
+#include "control/path_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/fat_tree.hpp"
+
+namespace mars::control {
+namespace {
+
+struct Built {
+  net::FatTree ft = net::build_fat_tree({.k = 4});
+  net::RoutingTable routing{ft.topology};
+};
+
+TEST(PathRegistryTest, RegistersAllEdgePaths) {
+  Built b;
+  const PathRegistry reg(b.ft.topology, b.routing, {});
+  // K=4 ordered edge pairs: 16 three-switch + 192 five-switch paths.
+  EXPECT_EQ(reg.path_count(), 208u);
+}
+
+TEST(PathRegistryTest, ResolvesToUniqueIds) {
+  Built b;
+  const PathRegistry reg(b.ft.topology, b.routing,
+                         {telemetry::HashKind::kCrc16, 16});
+  EXPECT_TRUE(reg.conflict_free());
+  std::set<std::uint32_t> ids;
+  for (const auto& p : reg.paths()) ids.insert(p.path_id);
+  EXPECT_EQ(ids.size(), reg.path_count());
+}
+
+TEST(PathRegistryTest, LookupDecompressesPath) {
+  Built b;
+  const PathRegistry reg(b.ft.topology, b.routing, {});
+  for (const auto& p : reg.paths()) {
+    const auto* found = reg.lookup(p.path_id);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, p.switches);
+  }
+  EXPECT_EQ(reg.lookup(0xDEADBEEF & 0xFFFF), nullptr);  // probably unknown
+}
+
+TEST(PathRegistryTest, NarrowWidthForcesConflictsButStillResolves) {
+  Built b;
+  // 208 paths into 8 bits (256 values): collisions guaranteed by load.
+  const PathRegistry reg(b.ft.topology, b.routing,
+                         {telemetry::HashKind::kCrc16, 8});
+  EXPECT_GT(reg.initial_collisions(), 0u);
+  if (reg.conflict_free()) {
+    std::set<std::uint32_t> ids;
+    for (const auto& p : reg.paths()) ids.insert(p.path_id);
+    EXPECT_EQ(ids.size(), reg.path_count());
+    EXPECT_GT(reg.mat_entry_count(), 0u);
+  }
+}
+
+TEST(PathRegistryTest, WiderHashNeedsFewerMatEntriesThanNarrow) {
+  Built b;
+  const PathRegistry narrow(b.ft.topology, b.routing,
+                            {telemetry::HashKind::kCrc16, 10});
+  const PathRegistry wide(b.ft.topology, b.routing,
+                          {telemetry::HashKind::kCrc32, 32});
+  EXPECT_LE(wide.mat_entry_count(), narrow.mat_entry_count());
+}
+
+TEST(PathRegistryTest, MemoryAccountingMatchesPaperShape) {
+  Built b;
+  const PathRegistry reg(b.ft.topology, b.routing,
+                         {telemetry::HashKind::kCrc16, 16});
+  // IntSight assigns one entry per hop of every path; MARS only pays for
+  // hash conflicts. §5.5: M_IS > M_MS in all cases.
+  EXPECT_GT(reg.intsight_memory_bytes(), reg.mars_memory_bytes());
+  // Our ordered-pair census: 16*3 + 192*5 = 1008 hops at 7B each.
+  EXPECT_EQ(reg.intsight_memory_bytes(), 1008u * 7u);
+}
+
+TEST(PathRegistryTest, HopPortsAreConsistentWithTopology) {
+  Built b;
+  const PathRegistry reg(b.ft.topology, b.routing, {});
+  for (const auto& p : reg.paths()) {
+    ASSERT_EQ(p.hops.size(), p.switches.size());
+    EXPECT_EQ(p.hops.front().in_port, net::kHostPort);
+    EXPECT_EQ(p.hops.back().out_port, net::kHostPort);
+    for (std::size_t i = 0; i + 1 < p.switches.size(); ++i) {
+      const auto port =
+          b.ft.topology.port_towards(p.switches[i], p.switches[i + 1]);
+      ASSERT_TRUE(port.has_value());
+      EXPECT_EQ(p.hops[i].out_port, *port);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mars::control

@@ -1,0 +1,107 @@
+#include "fsm/postprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/miner.hpp"
+#include "util/rng.hpp"
+
+namespace mars::fsm {
+namespace {
+
+TEST(SubpatternTest, ProperSubpatternSemantics) {
+  const Pattern sw{{2}, 6};
+  const Pattern link{{2, 4}, 4};
+  EXPECT_TRUE(is_proper_subpattern(sw, link, true));
+  EXPECT_FALSE(is_proper_subpattern(link, sw, true));
+  EXPECT_FALSE(is_proper_subpattern(sw, sw, true));  // not proper
+  const Pattern gapped{{1, 3}, 2};
+  const Pattern seq{{1, 2, 3}, 2};
+  EXPECT_FALSE(is_proper_subpattern(gapped, seq, true));
+  EXPECT_TRUE(is_proper_subpattern(gapped, seq, false));
+}
+
+TEST(ClosedPatternsTest, DropsAbsorbedSubpatterns) {
+  // <s2> support 4 is absorbed by <s2,s4> support 4; <s3> support 7 is
+  // NOT absorbed (strictly higher support than any super-pattern).
+  std::vector<Pattern> patterns{
+      {{2}, 4},
+      {{2, 4}, 4},
+      {{3}, 7},
+      {{3, 2}, 4},
+  };
+  const auto closed = closed_patterns(patterns, true);
+  ASSERT_EQ(closed.size(), 3u);
+  EXPECT_EQ(closed[0].items, (Sequence{2, 4}));
+  EXPECT_EQ(closed[1].items, (Sequence{3}));
+  EXPECT_EQ(closed[2].items, (Sequence{3, 2}));
+}
+
+TEST(ClosedPatternsTest, PaperExampleClosure) {
+  // §4.4.2 output: <s2>:6 <s2,s4>:4 <s3>:4 <s3,s2>:4 <s4>:4.
+  // Closed: <s2>:6 stays (no equal-support super-pattern); <s3>, <s4>
+  // are absorbed by the links containing them.
+  std::vector<Pattern> patterns{
+      {{2}, 6}, {{2, 4}, 4}, {{3}, 4}, {{3, 2}, 4}, {{4}, 4},
+  };
+  const auto closed = closed_patterns(patterns, true);
+  ASSERT_EQ(closed.size(), 3u);
+  EXPECT_EQ(closed[0].items, (Sequence{2}));
+  EXPECT_EQ(closed[1].items, (Sequence{2, 4}));
+  EXPECT_EQ(closed[2].items, (Sequence{3, 2}));
+}
+
+TEST(TopKTest, SortsBySupportWithDeterministicTies) {
+  std::vector<Pattern> patterns{
+      {{9}, 3}, {{1, 2}, 5}, {{7}, 5}, {{2}, 8},
+  };
+  const auto top = top_k_patterns(patterns, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].items, (Sequence{2}));       // support 8
+  EXPECT_EQ(top[1].items, (Sequence{7}));       // tie at 5: shorter first
+  EXPECT_EQ(top[2].items, (Sequence{1, 2}));
+}
+
+TEST(TopKTest, KLargerThanInputKeepsAll) {
+  std::vector<Pattern> patterns{{{1}, 1}, {{2}, 2}};
+  EXPECT_EQ(top_k_patterns(patterns, 10).size(), 2u);
+}
+
+TEST(ClosedPatternsTest, ClosureNeverLosesSupportInformation) {
+  // Property: every dropped pattern has a retained super-pattern with >=
+  // its support (on mined output from random databases).
+  util::Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    SequenceDatabase db;
+    for (int s = 0; s < 30; ++s) {
+      Sequence seq;
+      for (int i = 0; i < 5; ++i) {
+        seq.push_back(static_cast<Item>(rng.below(6)));
+      }
+      db.add(std::move(seq), 1 + rng.below(3));
+    }
+    MiningParams params;
+    params.min_support_abs = 2;
+    params.max_length = 3;
+    const auto mined =
+        make_miner(MinerKind::kPrefixSpan)->mine(db, params);
+    const auto closed = closed_patterns(mined, true);
+    for (const auto& original : mined) {
+      bool retained = false;
+      for (const auto& kept : closed) {
+        if (kept.items == original.items) retained = true;
+      }
+      if (retained) continue;
+      bool covered = false;
+      for (const auto& kept : closed) {
+        if (is_proper_subpattern(original, kept, true) &&
+            kept.support >= original.support) {
+          covered = true;
+        }
+      }
+      EXPECT_TRUE(covered) << to_string(original);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mars::fsm

@@ -1,0 +1,141 @@
+// Tests for the MarsSystem facade: wiring, diagnosis selection, the
+// cross-session merge/refinement rules, and overhead roll-up.
+
+#include "mars/mars.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/fat_tree.hpp"
+#include "sim/simulator.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace mars {
+namespace {
+
+using namespace mars::sim::literals;
+
+struct Fixture {
+  sim::Simulator sim;
+  net::FatTree ft = net::build_fat_tree(
+      {.k = 4, .edge_agg_gbps = 0.007, .agg_core_gbps = 0.010});
+  net::Network net{sim, ft.topology};
+  MarsSystem mars{net, tuned_config()};
+
+  static MarsConfig tuned_config() {
+    MarsConfig cfg;
+    cfg.controller.reservoir.warmup = 12;
+    cfg.controller.reservoir.relative_margin = 0.3;
+    return cfg;
+  }
+
+  Fixture() {
+    for (net::SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+      net.node(sw).set_queue_capacity(4096);
+    }
+  }
+};
+
+TEST(MarsSystemTest, WiresRegistryPipelineControllerAnalyzer) {
+  Fixture f;
+  EXPECT_TRUE(f.mars.registry().conflict_free());
+  EXPECT_EQ(f.mars.registry().path_count(), 208u);  // K=4 ordered pairs
+  EXPECT_TRUE(f.mars.diagnoses().empty());
+  const auto oh = f.mars.overheads();
+  EXPECT_EQ(oh.telemetry_bytes, 0u);
+  EXPECT_EQ(oh.diagnosis_bytes, 0u);
+}
+
+TEST(MarsSystemTest, HealthyTrafficProducesNoDiagnosis) {
+  Fixture f;
+  f.mars.start();
+  workload::TrafficGenerator traffic(f.net, 3);
+  workload::BackgroundConfig cfg;
+  cfg.flows = 16;
+  traffic.add_background(cfg, f.ft.edge, 4);
+  traffic.start();
+  f.sim.run(4_s);
+  EXPECT_TRUE(f.mars.diagnoses().empty());
+  EXPECT_TRUE(f.mars.culprits_for(0).empty());
+  // Telemetry rode along even though nothing went wrong.
+  EXPECT_GT(f.mars.overheads().telemetry_bytes, 0u);
+}
+
+TEST(MarsSystemTest, FaultTriggersDiagnosisAndOverheadRollup) {
+  Fixture f;
+  f.mars.start();
+  workload::TrafficGenerator traffic(f.net, 3);
+  workload::BackgroundConfig cfg;
+  cfg.flows = 24;
+  traffic.add_background(cfg, f.ft.edge, 4);
+  traffic.start();
+  // Throttle a loaded port at 3s.
+  const auto& spec = traffic.flows().front();
+  net::PortId out = 0;
+  ASSERT_TRUE(f.net.routing().select_port(spec.flow.source, spec.flow.sink,
+                                          spec.flow_hash, out));
+  f.sim.schedule_at(3_s, [&f, &spec, out] {
+    f.net.node(spec.flow.source).set_max_pps(out, 60.0);
+  });
+  f.sim.schedule_at(4_s,
+                    [&f, &spec] { f.net.node(spec.flow.source).clear_faults(); });
+  f.sim.run(6_s);
+
+  ASSERT_FALSE(f.mars.diagnoses().empty());
+  const auto culprits = f.mars.culprits_for(3_s);
+  ASSERT_FALSE(culprits.empty());
+  // Scores descend and the list is bounded.
+  for (std::size_t i = 1; i < culprits.size(); ++i) {
+    EXPECT_GE(culprits[i - 1].score, culprits[i].score);
+  }
+  EXPECT_LE(culprits.size(), 20u);
+  const auto oh = f.mars.overheads();
+  EXPECT_GT(oh.diagnosis_bytes, 0u);
+}
+
+TEST(MarsSystemTest, CulpritsForIgnoresPreFaultSessions) {
+  Fixture f;
+  // Two synthetic diagnoses cannot be pushed from outside; instead check
+  // the fallback contract: with no post-fault session, the latest one is
+  // used, and with none at all the list is empty.
+  EXPECT_TRUE(f.mars.culprits_for(10_s).empty());
+}
+
+TEST(CrossSessionFoldTest, DropFoldsIntoSameLocationLatencyCause) {
+  // Unit-level check of the refinement rule via the public description:
+  // build two fake sessions by running the private path indirectly is not
+  // possible, so this validates the rule's observable effect in a real
+  // run: after a process-rate fault, no Drop culprit shares (location,
+  // port) with a higher-ranked latency-signature culprit.
+  Fixture f;
+  f.mars.start();
+  workload::TrafficGenerator traffic(f.net, 7);
+  workload::BackgroundConfig cfg;
+  cfg.flows = 24;
+  traffic.add_background(cfg, f.ft.edge, 4);
+  traffic.start();
+  const auto& spec = traffic.flows()[2];
+  net::PortId out = 0;
+  ASSERT_TRUE(f.net.routing().select_port(spec.flow.source, spec.flow.sink,
+                                          spec.flow_hash, out));
+  f.sim.schedule_at(3_s, [&f, &spec, out] {
+    f.net.node(spec.flow.source).set_max_pps(out, 60.0);
+  });
+  f.sim.schedule_at(4_s,
+                    [&f, &spec] { f.net.node(spec.flow.source).clear_faults(); });
+  f.sim.run(6_s);
+
+  const auto culprits = f.mars.culprits_for(3_s);
+  for (const auto& drop : culprits) {
+    if (drop.cause != rca::CauseKind::kDrop) continue;
+    for (const auto& other : culprits) {
+      if (&other == &drop || other.cause == rca::CauseKind::kDrop) continue;
+      const bool same_place =
+          other.location == drop.location && other.port == drop.port;
+      EXPECT_FALSE(same_place)
+          << "unfolded drop duplicate at " << drop.describe();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mars

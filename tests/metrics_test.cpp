@@ -1,0 +1,127 @@
+#include "metrics/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "metrics/classification.hpp"
+
+namespace mars::metrics {
+namespace {
+
+rca::Culprit switch_culprit(net::SwitchId sw, rca::CauseKind cause,
+                            double score) {
+  rca::Culprit c;
+  c.level = rca::CulpritLevel::kSwitch;
+  c.location = {sw};
+  c.cause = cause;
+  c.score = score;
+  return c;
+}
+
+faults::GroundTruth switch_truth(faults::FaultKind kind, net::SwitchId sw) {
+  faults::GroundTruth t;
+  t.kind = kind;
+  t.switch_id = sw;
+  return t;
+}
+
+TEST(ClassificationTest, PrecisionRecallF1) {
+  BinaryCounts c;
+  // 8 TP, 2 FP, 1 FN, 89 TN.
+  for (int i = 0; i < 8; ++i) c.add(true, true);
+  for (int i = 0; i < 2; ++i) c.add(true, false);
+  c.add(false, true);
+  for (int i = 0; i < 89; ++i) c.add(false, false);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.8);
+  EXPECT_NEAR(c.recall(), 8.0 / 9.0, 1e-12);
+  EXPECT_NEAR(c.f1(), 2 * 0.8 * (8.0 / 9.0) / (0.8 + 8.0 / 9.0), 1e-12);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.97);
+}
+
+TEST(ClassificationTest, DegenerateCases) {
+  BinaryCounts c;
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(MatchTest, SwitchLocationAndCause) {
+  const auto truth =
+      switch_truth(faults::FaultKind::kProcessRateDecrease, 7);
+  const auto right =
+      switch_culprit(7, rca::CauseKind::kProcessRateDecrease, 1.0);
+  const auto wrong_loc =
+      switch_culprit(8, rca::CauseKind::kProcessRateDecrease, 1.0);
+  const auto wrong_cause = switch_culprit(7, rca::CauseKind::kDelay, 1.0);
+  EXPECT_TRUE(culprit_matches(right, truth));
+  EXPECT_FALSE(culprit_matches(wrong_loc, truth));
+  EXPECT_FALSE(culprit_matches(wrong_cause, truth));
+  // Location-only grading (baselines) accepts the wrong cause.
+  EXPECT_TRUE(culprit_matches(wrong_cause, truth, {.require_cause = false}));
+}
+
+TEST(MatchTest, LinkCulpritMatchesIfItContainsTheSwitch) {
+  const auto truth = switch_truth(faults::FaultKind::kDrop, 3);
+  rca::Culprit link;
+  link.level = rca::CulpritLevel::kLink;
+  link.location = {3, 9};
+  link.cause = rca::CauseKind::kDrop;
+  EXPECT_TRUE(culprit_matches(link, truth));
+  link.location = {4, 9};
+  EXPECT_FALSE(culprit_matches(link, truth));
+}
+
+TEST(MatchTest, MicroBurstMatchesFlow) {
+  faults::GroundTruth truth;
+  truth.kind = faults::FaultKind::kMicroBurst;
+  truth.flow = {2, 6};
+  rca::Culprit c;
+  c.level = rca::CulpritLevel::kFlow;
+  c.flow = {2, 6};
+  c.cause = rca::CauseKind::kMicroBurst;
+  EXPECT_TRUE(culprit_matches(c, truth));
+  c.flow = {2, 7};
+  EXPECT_FALSE(culprit_matches(c, truth));
+}
+
+TEST(RankTest, FindsFirstMatch) {
+  const auto truth = switch_truth(faults::FaultKind::kDelay, 5);
+  rca::CulpritList list{
+      switch_culprit(1, rca::CauseKind::kDelay, 3.0),
+      switch_culprit(5, rca::CauseKind::kDelay, 2.0),
+      switch_culprit(5, rca::CauseKind::kDelay, 1.0),
+  };
+  const auto rank = rank_of_truth(list, truth);
+  ASSERT_TRUE(rank.has_value());
+  EXPECT_EQ(*rank, 2u);
+  EXPECT_FALSE(rank_of_truth({}, truth).has_value());
+}
+
+TEST(LocalizationStatsTest, RecallAtK) {
+  LocalizationStats stats;
+  stats.add(1);             // top-1
+  stats.add(2);             // top-2
+  stats.add(4);             // top-5
+  stats.add(std::nullopt);  // miss
+  EXPECT_DOUBLE_EQ(stats.recall_at(1), 0.25);
+  EXPECT_DOUBLE_EQ(stats.recall_at(2), 0.5);
+  EXPECT_DOUBLE_EQ(stats.recall_at(5), 0.75);
+}
+
+TEST(LocalizationStatsTest, ExamScoreDefaultsOutOfTopFive) {
+  LocalizationStats stats;
+  stats.add(1);             // 0 false positives
+  stats.add(3);             // 2 false positives
+  stats.add(7);             // beyond top-5 -> default 10
+  stats.add(std::nullopt);  // missing -> default 10
+  EXPECT_DOUBLE_EQ(stats.exam_score(), (0.0 + 2.0 + 10.0 + 10.0) / 4.0);
+}
+
+TEST(LocalizationStatsTest, PerfectSystem) {
+  LocalizationStats stats;
+  for (int i = 0; i < 10; ++i) stats.add(1);
+  EXPECT_DOUBLE_EQ(stats.recall_at(1), 1.0);
+  EXPECT_DOUBLE_EQ(stats.exam_score(), 0.0);
+}
+
+}  // namespace
+}  // namespace mars::metrics

@@ -1,0 +1,118 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "net/fat_tree.hpp"
+
+namespace mars::net {
+namespace {
+
+TEST(RoutingTest, DistancesInFatTree) {
+  const auto ft = build_fat_tree({.k = 4});
+  const RoutingTable rt(ft.topology);
+  // Same pod: edge -> agg -> edge = 2 hops.
+  EXPECT_EQ(rt.distance(ft.edge[0], ft.edge[1]), 2);
+  // Different pod: edge -> agg -> core -> agg -> edge = 4 hops.
+  EXPECT_EQ(rt.distance(ft.edge[0], ft.edge[2]), 4);
+  EXPECT_EQ(rt.distance(ft.edge[0], ft.edge[0]), 0);
+}
+
+TEST(RoutingTest, EcmpGroupSizes) {
+  const auto ft = build_fat_tree({.k = 4});
+  const RoutingTable rt(ft.topology);
+  // Towards an intra-pod edge, both aggs are equally good: group of 2.
+  EXPECT_EQ(rt.group(ft.edge[0], ft.edge[1]).members.size(), 2u);
+  // Towards an inter-pod edge from an edge switch: both aggs work.
+  EXPECT_EQ(rt.group(ft.edge[0], ft.edge[4]).members.size(), 2u);
+  // An agg switch towards another pod can use both of its core uplinks.
+  EXPECT_EQ(rt.group(ft.agg[0], ft.edge[4]).members.size(), 2u);
+}
+
+TEST(RoutingTest, SelectPortIsDeterministicPerFlow) {
+  const auto ft = build_fat_tree({.k = 4});
+  const RoutingTable rt(ft.topology);
+  PortId p1 = 0, p2 = 0;
+  ASSERT_TRUE(rt.select_port(ft.edge[0], ft.edge[4], 12345, p1));
+  ASSERT_TRUE(rt.select_port(ft.edge[0], ft.edge[4], 12345, p2));
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(RoutingTest, SelectPortSpreadsFlows) {
+  const auto ft = build_fat_tree({.k = 4});
+  const RoutingTable rt(ft.topology);
+  std::map<PortId, int> counts;
+  for (std::uint32_t h = 0; h < 1000; ++h) {
+    PortId p = 0;
+    ASSERT_TRUE(rt.select_port(ft.edge[0], ft.edge[4], h * 2654435761u, p));
+    ++counts[p];
+  }
+  ASSERT_EQ(counts.size(), 2u);
+  for (const auto& [port, n] : counts) EXPECT_NEAR(n, 500, 150);
+}
+
+TEST(RoutingTest, WeightedSelectionFollowsWeights) {
+  const auto ft = build_fat_tree({.k = 4});
+  RoutingTable rt(ft.topology);
+  auto& g = rt.mutable_group(ft.edge[0], ft.edge[4]);
+  ASSERT_EQ(g.members.size(), 2u);
+  g.members[0].weight = 1;
+  g.members[1].weight = 9;  // the paper's imbalance fault uses 1:4..1:10
+  std::map<PortId, int> counts;
+  for (std::uint32_t h = 0; h < 5000; ++h) {
+    PortId p = 0;
+    ASSERT_TRUE(rt.select_port(ft.edge[0], ft.edge[4], h * 2654435761u, p));
+    ++counts[p];
+  }
+  EXPECT_NEAR(counts[g.members[0].port], 500, 200);
+  EXPECT_NEAR(counts[g.members[1].port], 4500, 200);
+}
+
+TEST(RoutingTest, EnumeratePathsIntraPod) {
+  const auto ft = build_fat_tree({.k = 4});
+  const RoutingTable rt(ft.topology);
+  const auto paths = rt.enumerate_paths(ft.edge[0], ft.edge[1]);
+  // Two 3-switch paths, one through each pod agg.
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.front(), ft.edge[0]);
+    EXPECT_EQ(p.back(), ft.edge[1]);
+    EXPECT_EQ(ft.topology.layer(p[1]), Layer::kAggregation);
+  }
+}
+
+TEST(RoutingTest, EnumeratePathsInterPod) {
+  const auto ft = build_fat_tree({.k = 4});
+  const RoutingTable rt(ft.topology);
+  const auto paths = rt.enumerate_paths(ft.edge[0], ft.edge[4]);
+  // 2 aggs * 2 cores each = 4 five-switch paths.
+  ASSERT_EQ(paths.size(), 4u);
+  std::set<SwitchPath> unique(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (const auto& p : paths) EXPECT_EQ(p.size(), 5u);
+}
+
+TEST(RoutingTest, EdgePathCensusMatchesPaper) {
+  // Paper §5.5 path census for K=4 (per unordered pair): every edge pair in
+  // the same pod has 2 three-switch paths; inter-pod pairs have 4
+  // five-switch paths. Ordered-pair totals double that.
+  const auto ft = build_fat_tree({.k = 4});
+  const RoutingTable rt(ft.topology);
+  const auto all = rt.enumerate_edge_paths();
+  std::size_t three = 0, five = 0;
+  for (const auto& p : all) {
+    if (p.size() == 3) ++three;
+    if (p.size() == 5) ++five;
+  }
+  // 8 intra-pod ordered pairs * 2 paths = 16; 48 inter-pod ordered pairs
+  // * 4 paths = 192.
+  EXPECT_EQ(three, 16u);
+  EXPECT_EQ(five, 192u);
+  EXPECT_EQ(all.size(), three + five);
+}
+
+}  // namespace
+}  // namespace mars::net

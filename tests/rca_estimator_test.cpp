@@ -1,0 +1,66 @@
+#include "rca/traffic_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mars::rca {
+namespace {
+
+using namespace mars::sim::literals;
+
+telemetry::RtRecord make_record(std::uint32_t path_packets,
+                                sim::Time sink_ts) {
+  telemetry::RtRecord rec;
+  rec.flow = {1, 5};
+  rec.path_id = 0xAB;
+  rec.sink_timestamp = sink_ts;
+  rec.latency = 2_ms;
+  rec.total_queue_depth = 7;
+  rec.path_epoch_packets = path_packets;
+  return rec;
+}
+
+TEST(EstimatorTest, ReplicatesSampleByCount) {
+  const auto recs = std::vector<telemetry::RtRecord>{make_record(5, 1_s)};
+  const auto est = estimate_traffic(recs, {.sample_gap = 100_ms});
+  ASSERT_EQ(est.size(), 5u);
+  for (const auto& p : est) {
+    EXPECT_EQ(p.flow, (net::FlowId{1, 5}));
+    EXPECT_EQ(p.path_id, 0xABu);
+    EXPECT_EQ(p.latency, 2_ms);
+    EXPECT_EQ(p.total_queue_depth, 7u);
+  }
+}
+
+TEST(EstimatorTest, SpreadsTimestampsEvenlyAcrossGap) {
+  // Alg. 2 line 5: t_hat = t + i*T/count.
+  const auto recs = std::vector<telemetry::RtRecord>{make_record(4, 1_s)};
+  const auto est = estimate_traffic(recs, {.sample_gap = 100_ms});
+  ASSERT_EQ(est.size(), 4u);
+  EXPECT_EQ(est[0].t, 1_s);
+  EXPECT_EQ(est[1].t, 1_s + 25_ms);
+  EXPECT_EQ(est[2].t, 1_s + 50_ms);
+  EXPECT_EQ(est[3].t, 1_s + 75_ms);
+}
+
+TEST(EstimatorTest, ZeroCountStillYieldsTheSampleItself) {
+  const auto recs = std::vector<telemetry::RtRecord>{make_record(0, 1_s)};
+  const auto est = estimate_traffic(recs, {});
+  EXPECT_EQ(est.size(), 1u);
+}
+
+TEST(EstimatorTest, CapBoundsExpansion) {
+  const auto recs = std::vector<telemetry::RtRecord>{make_record(100000, 0)};
+  const auto est =
+      estimate_traffic(recs, {.sample_gap = 100_ms, .max_per_record = 64});
+  EXPECT_EQ(est.size(), 64u);
+}
+
+TEST(EstimatorTest, MultipleRecordsConcatenate) {
+  const std::vector<telemetry::RtRecord> recs{make_record(3, 0),
+                                              make_record(2, 100_ms)};
+  const auto est = estimate_traffic(recs, {.sample_gap = 100_ms});
+  EXPECT_EQ(est.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mars::rca

@@ -1,0 +1,96 @@
+#include "rca/sbfl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mars::rca {
+namespace {
+
+TEST(SbflTest, RelativeRiskMatchesEquationOne) {
+  // Score = (N_pf/(N_pf+N_ps)) / (N_nf/(N_nf+N_ns)).
+  const SpectrumCounts c{8, 2, 4, 16};
+  const double expected = (8.0 / 10.0) / (4.0 / 20.0);
+  EXPECT_DOUBLE_EQ(sbfl_score(c, SbflFormula::kRelativeRisk), expected);
+}
+
+TEST(SbflTest, RelativeRiskGuardsZeroNnf) {
+  // All abnormal packets contain the pattern: N_nf = 0 becomes 1 (§4.4.3).
+  const SpectrumCounts c{10, 5, 0, 20};
+  const double expected = (10.0 / 15.0) / (1.0 / 21.0);
+  EXPECT_DOUBLE_EQ(sbfl_score(c, SbflFormula::kRelativeRisk), expected);
+}
+
+TEST(SbflTest, RelativeRiskZeroWhenPatternUncovered) {
+  const SpectrumCounts c{0, 0, 5, 5};
+  EXPECT_DOUBLE_EQ(sbfl_score(c, SbflFormula::kRelativeRisk), 0.0);
+}
+
+TEST(SbflTest, FaultyLocationOutscoresInnocentOne) {
+  // Pattern on the faulty path: covered by most failures, few successes.
+  const SpectrumCounts faulty{90, 10, 10, 190};
+  // Innocent pattern: covered uniformly.
+  const SpectrumCounts innocent{50, 100, 50, 100};
+  for (const auto formula :
+       {SbflFormula::kRelativeRisk, SbflFormula::kTarantula,
+        SbflFormula::kOchiai, SbflFormula::kJaccard, SbflFormula::kDstar2}) {
+    EXPECT_GT(sbfl_score(faulty, formula), sbfl_score(innocent, formula))
+        << to_string(formula);
+  }
+}
+
+TEST(SbflTest, TarantulaKnownValue) {
+  const SpectrumCounts c{6, 2, 2, 6};
+  // fail_frac = 6/8, pass_frac = 2/8 -> 0.75/(0.75+0.25) = 0.75.
+  EXPECT_DOUBLE_EQ(sbfl_score(c, SbflFormula::kTarantula), 0.75);
+}
+
+TEST(SbflTest, OchiaiKnownValue) {
+  const SpectrumCounts c{4, 0, 0, 4};
+  // 4 / sqrt((4+0)*(4+0)) = 1.
+  EXPECT_DOUBLE_EQ(sbfl_score(c, SbflFormula::kOchiai), 1.0);
+}
+
+TEST(ScorePatternsTest, CountsAndRanksPatterns) {
+  fsm::SequenceDatabase abnormal, normal;
+  abnormal.add({1, 2, 3}, 8);  // failing traffic through s2
+  abnormal.add({4, 2, 5}, 4);
+  normal.add({1, 6, 3}, 50);  // healthy traffic avoids s2
+  normal.add({4, 2, 5}, 2);   // a little healthy traffic crosses s2
+
+  std::vector<fsm::Pattern> patterns{
+      {{2}, 12},
+      {{1}, 8},
+      {{6}, 0},
+  };
+  const auto scored = score_patterns(patterns, abnormal, normal, true,
+                                     SbflFormula::kRelativeRisk);
+  ASSERT_EQ(scored.size(), 3u);
+  // s2 covers all 12 abnormal and only 2 of 52 normal: ranked first.
+  EXPECT_EQ(scored[0].pattern.items, fsm::Sequence{2});
+  EXPECT_EQ(scored[0].counts.n_pf, 12u);
+  EXPECT_EQ(scored[0].counts.n_ps, 2u);
+  EXPECT_EQ(scored[0].counts.n_nf, 0u);
+  EXPECT_EQ(scored[0].counts.n_ns, 50u);
+  // s6 only appears in healthy traffic: last, score 0.
+  EXPECT_EQ(scored[2].pattern.items, fsm::Sequence{6});
+  EXPECT_DOUBLE_EQ(scored[2].score, 0.0);
+  // Scores descend.
+  EXPECT_GE(scored[0].score, scored[1].score);
+  EXPECT_GE(scored[1].score, scored[2].score);
+}
+
+TEST(ScorePatternsTest, LinkPatternsUseContiguity) {
+  fsm::SequenceDatabase abnormal, normal;
+  abnormal.add({1, 2, 3}, 10);
+  normal.add({1, 9, 2, 3}, 10);  // contains <1,2> only with a gap
+
+  std::vector<fsm::Pattern> patterns{{{1, 2}, 10}};
+  const auto contiguous = score_patterns(patterns, abnormal, normal, true,
+                                         SbflFormula::kRelativeRisk);
+  EXPECT_EQ(contiguous[0].counts.n_ps, 0u);  // gapped match doesn't count
+  const auto gapped = score_patterns(patterns, abnormal, normal, false,
+                                     SbflFormula::kRelativeRisk);
+  EXPECT_EQ(gapped[0].counts.n_ps, 10u);
+}
+
+}  // namespace
+}  // namespace mars::rca

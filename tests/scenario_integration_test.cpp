@@ -1,0 +1,120 @@
+// End-to-end integration: one full trial per fault class, asserting the
+// headline behaviour of Table 1 — MARS localizes the injected culprit
+// within a small prefix of its ranked list, while the baselines show their
+// documented blind spots (SpiderMon/IntSight never trigger on delay/drop).
+
+#include "mars/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mars {
+namespace {
+
+class ScenarioFaultTest
+    : public ::testing::TestWithParam<faults::FaultKind> {};
+
+TEST_P(ScenarioFaultTest, MarsLocalizesWithinTopFive) {
+  // A few seeds: most trials must localize in the top 5. Single trials can
+  // legitimately miss (the paper's own R@5 is not 100% either), and ECMP
+  // imbalance is the hardest case in this reproduction (see
+  // EXPERIMENTS.md): its observable effect is a moderate, slowly-building
+  // queue shift that sits closest to the ambient noise floor.
+  int hits = 0, trials = 0;
+  for (std::uint64_t seed : {11u, 23u, 47u}) {
+    const auto cfg = default_scenario(GetParam(), seed);
+    const auto result = run_scenario(cfg);
+    if (!result.fault_injected) continue;
+    ++trials;
+    if (result.mars.rank && *result.mars.rank <= 5) ++hits;
+  }
+  ASSERT_GE(trials, 2);
+  const int required =
+      GetParam() == faults::FaultKind::kEcmpImbalance ? 1 : trials - 1;
+  EXPECT_GE(hits, required)
+      << "MARS localized only " << hits << "/" << trials << " trials";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaults, ScenarioFaultTest,
+    ::testing::Values(faults::FaultKind::kMicroBurst,
+                      faults::FaultKind::kEcmpImbalance,
+                      faults::FaultKind::kProcessRateDecrease,
+                      faults::FaultKind::kDelay, faults::FaultKind::kDrop),
+    [](const auto& info) {
+      std::string name{faults::to_string(info.param)};
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ScenarioTest, HealthyRunProducesNoDiagnosis) {
+  auto cfg = default_scenario(faults::FaultKind::kDelay, 5);
+  cfg.fault_at = 100 * sim::kSecond;  // fault never fires within duration
+  cfg.duration = 4 * sim::kSecond;
+  const auto result = run_scenario(cfg);
+  EXPECT_TRUE(result.mars.culprits.empty());
+  EXPECT_GT(result.packets_injected, 0u);
+}
+
+TEST(ScenarioTest, SpiderMonAndIntSightMissDelayFault) {
+  // Paper §5.4: both sense only queueing; a delay outside the queue never
+  // triggers them ("-" cells in Table 1).
+  const auto result =
+      run_scenario(default_scenario(faults::FaultKind::kDelay, 31));
+  ASSERT_TRUE(result.fault_injected);
+  EXPECT_FALSE(result.spidermon.triggered);
+  EXPECT_TRUE(result.spidermon.culprits.empty());
+}
+
+TEST(ScenarioTest, SynDbWithExpertHintLocalizesProcessRate) {
+  const auto result = run_scenario(
+      default_scenario(faults::FaultKind::kProcessRateDecrease, 17));
+  ASSERT_TRUE(result.fault_injected);
+  ASSERT_TRUE(result.syndb.rank.has_value());
+  EXPECT_LE(*result.syndb.rank, 3u);
+}
+
+TEST(ScenarioTest, MarsDiagnosisBandwidthBelowSynDb) {
+  // Fig. 9: SyNDB streams every p-record; MARS drains edge ring tables on
+  // demand. Orders of magnitude apart.
+  const auto result = run_scenario(
+      default_scenario(faults::FaultKind::kProcessRateDecrease, 29));
+  EXPECT_LT(result.mars.diagnosis_bytes, result.syndb.diagnosis_bytes / 10);
+}
+
+TEST(ScenarioTest, MarsTelemetryBandwidthBelowIntSight) {
+  // IntSight's 33B header on every packet dwarfs MARS's 1B PathID + 11B
+  // on one sampled packet per flow-epoch.
+  const auto result = run_scenario(
+      default_scenario(faults::FaultKind::kMicroBurst, 37));
+  EXPECT_LT(result.mars.telemetry_bytes, result.intsight.telemetry_bytes);
+}
+
+TEST(ScenarioTest, DeterministicInSeed) {
+  const auto a = run_scenario(
+      default_scenario(faults::FaultKind::kProcessRateDecrease, 99));
+  const auto b = run_scenario(
+      default_scenario(faults::FaultKind::kProcessRateDecrease, 99));
+  ASSERT_EQ(a.fault_injected, b.fault_injected);
+  EXPECT_EQ(a.truth.switch_id, b.truth.switch_id);
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+  ASSERT_EQ(a.mars.culprits.size(), b.mars.culprits.size());
+  for (std::size_t i = 0; i < a.mars.culprits.size(); ++i) {
+    EXPECT_EQ(a.mars.culprits[i].describe(), b.mars.culprits[i].describe());
+  }
+}
+
+TEST(ScenarioTest, PacketConservationHolds) {
+  const auto result =
+      run_scenario(default_scenario(faults::FaultKind::kDrop, 41));
+  const auto& st = result.net_stats;
+  // injected = delivered + dropped + unroutable + in-flight-at-end; the
+  // in-flight remainder is bounded by a tiny number of packets.
+  EXPECT_LE(st.delivered + st.dropped + st.unroutable, st.injected);
+  EXPECT_GE(st.delivered + st.dropped + st.unroutable + 100, st.injected);
+  EXPECT_GT(st.dropped, 0u);  // the drop fault did drop packets
+}
+
+}  // namespace
+}  // namespace mars

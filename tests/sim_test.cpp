@@ -1,0 +1,117 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace mars::sim {
+namespace {
+
+using namespace mars::sim::literals;
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const auto id = q.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double-cancel reports false
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const auto id = q.schedule(1, [] {});
+  q.schedule(9, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(SimulatorTest, TimeAdvancesMonotonically) {
+  Simulator sim;
+  std::vector<Time> times;
+  sim.schedule_in(5_us, [&] { times.push_back(sim.now()); });
+  sim.schedule_in(1_us, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(2_us, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<Time>{1_us, 3_us, 5_us}));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_in(10, [&] { ++ran; });
+  sim.schedule_in(100, [&] { ++ran; });
+  sim.run(50);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), 50);
+  sim.run(200);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, EventAtExactlyUntilRuns) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_in(50, [&] { ran = true; });
+  sim.run(50);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, ZeroDelayRunsAtCurrentTime) {
+  Simulator sim;
+  Time when = -1;
+  sim.schedule_in(7, [&] {
+    sim.schedule_in(0, [&] { when = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(when, 7);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_in(1, [&] { ++ran; });
+  sim.schedule_in(2, [&] { ++ran; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(TimeTest, LiteralsAndConversions) {
+  EXPECT_EQ(1_s, 1'000'000'000);
+  EXPECT_EQ(3_ms, 3'000'000);
+  EXPECT_EQ(2_us, 2'000);
+  EXPECT_DOUBLE_EQ(to_seconds(1_s + 500_ms), 1.5);
+  EXPECT_DOUBLE_EQ(to_millis(250_us), 0.25);
+}
+
+}  // namespace
+}  // namespace mars::sim

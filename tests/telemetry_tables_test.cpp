@@ -1,0 +1,99 @@
+#include "telemetry/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace mars::telemetry {
+namespace {
+
+using namespace mars::sim::literals;
+
+constexpr net::FlowId kFlow{1, 5};
+constexpr net::FlowId kOther{2, 6};
+
+TEST(IngressTableTest, CountsPerEpoch) {
+  IngressTable it(100_ms);
+  for (int i = 0; i < 7; ++i) it.count_packet(kFlow, 10_ms * (i + 1));
+  EXPECT_EQ(it.current_epoch_count(kFlow, 80_ms), 7u);
+  EXPECT_EQ(it.current_epoch_count(kOther, 80_ms), 0u);
+}
+
+TEST(IngressTableTest, LastEpochCountRollsOver) {
+  IngressTable it(100_ms);
+  for (int i = 0; i < 5; ++i) it.count_packet(kFlow, 10_ms);
+  // Move into the next epoch.
+  it.count_packet(kFlow, 150_ms);
+  EXPECT_EQ(it.last_epoch_count(kFlow, 150_ms), 5u);
+  EXPECT_EQ(it.current_epoch_count(kFlow, 150_ms), 1u);
+}
+
+TEST(IngressTableTest, LastEpochCountZeroAfterIdleGap) {
+  IngressTable it(100_ms);
+  it.count_packet(kFlow, 10_ms);
+  // Two epochs of silence: epoch 3's "last epoch" (2) saw nothing.
+  EXPECT_EQ(it.last_epoch_count(kFlow, 310_ms), 0u);
+}
+
+TEST(IngressTableTest, OneTelemetryPacketPerFlowPerEpoch) {
+  IngressTable it(100_ms);
+  EXPECT_TRUE(it.try_mark_telemetry(kFlow, 10_ms));
+  EXPECT_FALSE(it.try_mark_telemetry(kFlow, 50_ms));
+  EXPECT_FALSE(it.try_mark_telemetry(kFlow, 99_ms));
+  // New epoch: marking allowed again.
+  EXPECT_TRUE(it.try_mark_telemetry(kFlow, 101_ms));
+  // Independent per flow.
+  EXPECT_TRUE(it.try_mark_telemetry(kOther, 150_ms));
+}
+
+TEST(EgressTableTest, PerPathPerFlowCounters) {
+  EgressTable et(100_ms);
+  et.count_packet(0xAA, kFlow, 500, 10_ms);
+  et.count_packet(0xAA, kFlow, 700, 20_ms);
+  et.count_packet(0xBB, kFlow, 100, 30_ms);
+  const auto a = et.current(0xAA, kFlow, 50_ms);
+  EXPECT_EQ(a.packets, 2u);
+  EXPECT_EQ(a.bytes, 1200u);
+  const auto b = et.current(0xBB, kFlow, 50_ms);
+  EXPECT_EQ(b.packets, 1u);
+  EXPECT_EQ(et.flow_current_packets(kFlow, 50_ms), 3u);
+  EXPECT_EQ(et.flow_current_packets(kOther, 50_ms), 0u);
+}
+
+TEST(EgressTableTest, PreviousEpochVisibleFromNext) {
+  EgressTable et(100_ms);
+  et.count_packet(0xAA, kFlow, 500, 50_ms);
+  et.count_packet(0xAA, kFlow, 500, 60_ms);
+  // Query from epoch 1 without new traffic: the entry still holds epoch 0
+  // as "current", which previous() must interpret correctly.
+  EXPECT_EQ(et.previous(0xAA, kFlow, 150_ms).packets, 2u);
+  EXPECT_EQ(et.flow_previous_packets(kFlow, 150_ms), 2u);
+  // After new traffic in epoch 1 the rollover is explicit.
+  et.count_packet(0xAA, kFlow, 500, 160_ms);
+  EXPECT_EQ(et.previous(0xAA, kFlow, 170_ms).packets, 2u);
+  EXPECT_EQ(et.current(0xAA, kFlow, 170_ms).packets, 1u);
+}
+
+TEST(EgressTableTest, StaleEpochsReadZero) {
+  EgressTable et(100_ms);
+  et.count_packet(0xAA, kFlow, 500, 50_ms);
+  EXPECT_EQ(et.current(0xAA, kFlow, 550_ms).packets, 0u);
+  EXPECT_EQ(et.previous(0xAA, kFlow, 550_ms).packets, 0u);
+}
+
+TEST(RingTableTest, OverwritesOldestAndReportsMemory) {
+  RingTable rt(4);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    RtRecord rec;
+    rec.epoch_id = i;
+    rt.insert(rec);
+  }
+  const auto snap = rt.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().epoch_id, 2u);
+  EXPECT_EQ(snap.back().epoch_id, 5u);
+  EXPECT_EQ(rt.memory_bytes(), 4 * RtRecord::kWireBytes);
+}
+
+}  // namespace
+}  // namespace mars::telemetry

@@ -1,0 +1,116 @@
+#include "util/count_min.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace mars::util {
+namespace {
+
+TEST(CountMinTest, ExactWhenUncrowded) {
+  CountMinSketch sketch(1024, 4);
+  for (std::uint64_t k = 0; k < 10; ++k) sketch.add(k, k + 1);
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(sketch.estimate(k), k + 1);
+  }
+  EXPECT_EQ(sketch.estimate(999), 0u);
+  EXPECT_EQ(sketch.total(), 55u);
+}
+
+TEST(CountMinTest, NeverUndercounts) {
+  // The defining one-sided guarantee, exercised under heavy crowding.
+  CountMinSketch sketch(64, 3);
+  util::Rng rng(7);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.below(500);
+    const std::uint64_t count = 1 + rng.below(4);
+    sketch.add(key, count);
+    truth[key] += count;
+  }
+  for (const auto& [key, exact] : truth) {
+    EXPECT_GE(sketch.estimate(key), exact);
+  }
+}
+
+TEST(CountMinTest, ErrorBoundHolds) {
+  // Overcount <= 2N/width for the vast majority of keys (Markov bound per
+  // row, amplified across depth).
+  const std::size_t width = 512;
+  CountMinSketch sketch(width, 4);
+  util::Rng rng(13);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  std::uint64_t total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.below(2000);
+    sketch.add(key);
+    ++truth[key];
+    ++total;
+  }
+  const double bound = 2.0 * static_cast<double>(total) /
+                       static_cast<double>(width);
+  int violations = 0;
+  for (const auto& [key, exact] : truth) {
+    if (static_cast<double>(sketch.estimate(key) - exact) > bound) {
+      ++violations;
+    }
+  }
+  // With depth 4 the per-key failure probability is ~(1/2)^4.
+  EXPECT_LT(violations, static_cast<int>(truth.size() / 10));
+}
+
+TEST(CountMinTest, HeavyHitterStandsOut) {
+  // The Ingress-Table use case: the micro-burst flow's count must remain
+  // clearly separable from background flows despite sketch noise.
+  CountMinSketch sketch(256, 4);
+  util::Rng rng(21);
+  for (int i = 0; i < 4000; ++i) sketch.add(rng.below(400));  // background
+  sketch.add(0xB00B5, 1500);                                  // the burst
+  EXPECT_GE(sketch.estimate(0xB00B5), 1500u);
+  EXPECT_LT(sketch.estimate(12345) * 10, sketch.estimate(0xB00B5));
+}
+
+TEST(CountMinTest, ClearResets) {
+  CountMinSketch sketch(64, 2);
+  sketch.add(1, 100);
+  sketch.clear();
+  EXPECT_EQ(sketch.estimate(1), 0u);
+  EXPECT_EQ(sketch.total(), 0u);
+}
+
+TEST(CountMinTest, MemoryAccounting) {
+  const CountMinSketch sketch(2048, 4);
+  EXPECT_EQ(sketch.memory_bytes(), 2048u * 4u * 4u);
+}
+
+class CountMinWidthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CountMinWidthTest, WiderIsNeverWorse) {
+  // Property: mean overcount shrinks (weakly) as width grows.
+  util::Rng rng(5);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stream;
+  for (int i = 0; i < 10000; ++i) stream.push_back({rng.below(1000), 1});
+
+  auto mean_error = [&](std::size_t width) {
+    CountMinSketch sketch(width, 4);
+    std::map<std::uint64_t, std::uint64_t> truth;
+    for (const auto& [k, c] : stream) {
+      sketch.add(k, c);
+      truth[k] += c;
+    }
+    double err = 0;
+    for (const auto& [k, exact] : truth) {
+      err += static_cast<double>(sketch.estimate(k) - exact);
+    }
+    return err / static_cast<double>(truth.size());
+  };
+  EXPECT_LE(mean_error(GetParam() * 2), mean_error(GetParam()) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CountMinWidthTest,
+                         ::testing::Values(64, 128, 256, 512));
+
+}  // namespace
+}  // namespace mars::util

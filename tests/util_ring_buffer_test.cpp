@@ -1,0 +1,69 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace mars::util {
+namespace {
+
+TEST(RingBufferTest, FillsThenOverwritesOldest) {
+  RingBuffer<int> rb(3);
+  EXPECT_FALSE(rb.push(1));
+  EXPECT_FALSE(rb.push(2));
+  EXPECT_FALSE(rb.push(3));
+  EXPECT_TRUE(rb.full());
+  // Paper §4.2.2: "When RT is full, the oldest data will be covered by the
+  // newest data."
+  EXPECT_TRUE(rb.push(4));
+  EXPECT_EQ(rb.at(0), 2);
+  EXPECT_EQ(rb.at(1), 3);
+  EXPECT_EQ(rb.at(2), 4);
+  EXPECT_EQ(rb.back(), 4);
+}
+
+TEST(RingBufferTest, SnapshotIsOldestToNewest) {
+  RingBuffer<int> rb(4);
+  for (int i = 0; i < 10; ++i) rb.push(i);
+  EXPECT_EQ(rb.snapshot(), (std::vector<int>{6, 7, 8, 9}));
+}
+
+TEST(RingBufferTest, PartialFill) {
+  RingBuffer<int> rb(8);
+  rb.push(5);
+  rb.push(6);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.snapshot(), (std::vector<int>{5, 6}));
+}
+
+TEST(RingBufferTest, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.at(0), 9);
+}
+
+class RingBufferParamTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingBufferParamTest, AlwaysKeepsTheNewestCapacityElements) {
+  const std::size_t cap = GetParam();
+  RingBuffer<std::size_t> rb(cap);
+  const std::size_t total = cap * 3 + 1;
+  for (std::size_t i = 0; i < total; ++i) rb.push(i);
+  ASSERT_EQ(rb.size(), cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    EXPECT_EQ(rb.at(i), total - cap + i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferParamTest,
+                         ::testing::Values(1, 2, 3, 7, 64, 1024));
+
+}  // namespace
+}  // namespace mars::util

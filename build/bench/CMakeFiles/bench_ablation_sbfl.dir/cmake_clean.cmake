@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sbfl.dir/bench_ablation_sbfl.cpp.o"
+  "CMakeFiles/bench_ablation_sbfl.dir/bench_ablation_sbfl.cpp.o.d"
+  "bench_ablation_sbfl"
+  "bench_ablation_sbfl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sbfl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

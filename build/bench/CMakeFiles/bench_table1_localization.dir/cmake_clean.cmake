@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_localization.dir/bench_table1_localization.cpp.o"
+  "CMakeFiles/bench_table1_localization.dir/bench_table1_localization.cpp.o.d"
+  "bench_table1_localization"
+  "bench_table1_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnosis_dump.dir/diagnosis_dump.cpp.o"
+  "CMakeFiles/diagnosis_dump.dir/diagnosis_dump.cpp.o.d"
+  "diagnosis_dump"
+  "diagnosis_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnosis_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecmp_audit.dir/ecmp_audit.cpp.o"
+  "CMakeFiles/ecmp_audit.dir/ecmp_audit.cpp.o.d"
+  "ecmp_audit"
+  "ecmp_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecmp_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

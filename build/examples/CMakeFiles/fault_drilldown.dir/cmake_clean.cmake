@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_drilldown.dir/fault_drilldown.cpp.o"
+  "CMakeFiles/fault_drilldown.dir/fault_drilldown.cpp.o.d"
+  "fault_drilldown"
+  "fault_drilldown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_drilldown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_explorer.dir/fsm_explorer.cpp.o"
+  "CMakeFiles/fsm_explorer.dir/fsm_explorer.cpp.o.d"
+  "fsm_explorer"
+  "fsm_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_storm.dir/incast_storm.cpp.o"
+  "CMakeFiles/incast_storm.dir/incast_storm.cpp.o.d"
+  "incast_storm"
+  "incast_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_cli.dir/mars_cli.cpp.o"
+  "CMakeFiles/mars_cli.dir/mars_cli.cpp.o.d"
+  "mars_cli"
+  "mars_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

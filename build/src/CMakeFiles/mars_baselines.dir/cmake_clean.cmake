@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_baselines.dir/baselines/intsight.cpp.o"
+  "CMakeFiles/mars_baselines.dir/baselines/intsight.cpp.o.d"
+  "CMakeFiles/mars_baselines.dir/baselines/spidermon.cpp.o"
+  "CMakeFiles/mars_baselines.dir/baselines/spidermon.cpp.o.d"
+  "CMakeFiles/mars_baselines.dir/baselines/syndb.cpp.o"
+  "CMakeFiles/mars_baselines.dir/baselines/syndb.cpp.o.d"
+  "libmars_baselines.a"
+  "libmars_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

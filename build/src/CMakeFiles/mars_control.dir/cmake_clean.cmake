@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_control.dir/control/controller.cpp.o"
+  "CMakeFiles/mars_control.dir/control/controller.cpp.o.d"
+  "CMakeFiles/mars_control.dir/control/path_registry.cpp.o"
+  "CMakeFiles/mars_control.dir/control/path_registry.cpp.o.d"
+  "libmars_control.a"
+  "libmars_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_dataplane.dir/dataplane/mars_pipeline.cpp.o"
+  "CMakeFiles/mars_dataplane.dir/dataplane/mars_pipeline.cpp.o.d"
+  "libmars_dataplane.a"
+  "libmars_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_detect.dir/detect/reservoir.cpp.o"
+  "CMakeFiles/mars_detect.dir/detect/reservoir.cpp.o.d"
+  "libmars_detect.a"
+  "libmars_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_faults.dir/faults/injector.cpp.o"
+  "CMakeFiles/mars_faults.dir/faults/injector.cpp.o.d"
+  "libmars_faults.a"
+  "libmars_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

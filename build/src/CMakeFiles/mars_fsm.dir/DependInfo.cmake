@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fsm/brute_force.cpp" "src/CMakeFiles/mars_fsm.dir/fsm/brute_force.cpp.o" "gcc" "src/CMakeFiles/mars_fsm.dir/fsm/brute_force.cpp.o.d"
+  "/root/repo/src/fsm/gsp.cpp" "src/CMakeFiles/mars_fsm.dir/fsm/gsp.cpp.o" "gcc" "src/CMakeFiles/mars_fsm.dir/fsm/gsp.cpp.o.d"
+  "/root/repo/src/fsm/miner.cpp" "src/CMakeFiles/mars_fsm.dir/fsm/miner.cpp.o" "gcc" "src/CMakeFiles/mars_fsm.dir/fsm/miner.cpp.o.d"
+  "/root/repo/src/fsm/postprocess.cpp" "src/CMakeFiles/mars_fsm.dir/fsm/postprocess.cpp.o" "gcc" "src/CMakeFiles/mars_fsm.dir/fsm/postprocess.cpp.o.d"
+  "/root/repo/src/fsm/prefixspan.cpp" "src/CMakeFiles/mars_fsm.dir/fsm/prefixspan.cpp.o" "gcc" "src/CMakeFiles/mars_fsm.dir/fsm/prefixspan.cpp.o.d"
+  "/root/repo/src/fsm/sequence.cpp" "src/CMakeFiles/mars_fsm.dir/fsm/sequence.cpp.o" "gcc" "src/CMakeFiles/mars_fsm.dir/fsm/sequence.cpp.o.d"
+  "/root/repo/src/fsm/spade.cpp" "src/CMakeFiles/mars_fsm.dir/fsm/spade.cpp.o" "gcc" "src/CMakeFiles/mars_fsm.dir/fsm/spade.cpp.o.d"
+  "/root/repo/src/fsm/spam.cpp" "src/CMakeFiles/mars_fsm.dir/fsm/spam.cpp.o" "gcc" "src/CMakeFiles/mars_fsm.dir/fsm/spam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mars_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

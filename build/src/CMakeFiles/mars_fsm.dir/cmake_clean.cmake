@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_fsm.dir/fsm/brute_force.cpp.o"
+  "CMakeFiles/mars_fsm.dir/fsm/brute_force.cpp.o.d"
+  "CMakeFiles/mars_fsm.dir/fsm/gsp.cpp.o"
+  "CMakeFiles/mars_fsm.dir/fsm/gsp.cpp.o.d"
+  "CMakeFiles/mars_fsm.dir/fsm/miner.cpp.o"
+  "CMakeFiles/mars_fsm.dir/fsm/miner.cpp.o.d"
+  "CMakeFiles/mars_fsm.dir/fsm/postprocess.cpp.o"
+  "CMakeFiles/mars_fsm.dir/fsm/postprocess.cpp.o.d"
+  "CMakeFiles/mars_fsm.dir/fsm/prefixspan.cpp.o"
+  "CMakeFiles/mars_fsm.dir/fsm/prefixspan.cpp.o.d"
+  "CMakeFiles/mars_fsm.dir/fsm/sequence.cpp.o"
+  "CMakeFiles/mars_fsm.dir/fsm/sequence.cpp.o.d"
+  "CMakeFiles/mars_fsm.dir/fsm/spade.cpp.o"
+  "CMakeFiles/mars_fsm.dir/fsm/spade.cpp.o.d"
+  "CMakeFiles/mars_fsm.dir/fsm/spam.cpp.o"
+  "CMakeFiles/mars_fsm.dir/fsm/spam.cpp.o.d"
+  "libmars_fsm.a"
+  "libmars_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_metrics.dir/metrics/ranking.cpp.o"
+  "CMakeFiles/mars_metrics.dir/metrics/ranking.cpp.o.d"
+  "libmars_metrics.a"
+  "libmars_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

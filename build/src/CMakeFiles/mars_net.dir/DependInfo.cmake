@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fat_tree.cpp" "src/CMakeFiles/mars_net.dir/net/fat_tree.cpp.o" "gcc" "src/CMakeFiles/mars_net.dir/net/fat_tree.cpp.o.d"
+  "/root/repo/src/net/leaf_spine.cpp" "src/CMakeFiles/mars_net.dir/net/leaf_spine.cpp.o" "gcc" "src/CMakeFiles/mars_net.dir/net/leaf_spine.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/mars_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/mars_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/CMakeFiles/mars_net.dir/net/routing.cpp.o" "gcc" "src/CMakeFiles/mars_net.dir/net/routing.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/CMakeFiles/mars_net.dir/net/switch.cpp.o" "gcc" "src/CMakeFiles/mars_net.dir/net/switch.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/mars_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/mars_net.dir/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mars_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mars_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_net.dir/net/fat_tree.cpp.o"
+  "CMakeFiles/mars_net.dir/net/fat_tree.cpp.o.d"
+  "CMakeFiles/mars_net.dir/net/leaf_spine.cpp.o"
+  "CMakeFiles/mars_net.dir/net/leaf_spine.cpp.o.d"
+  "CMakeFiles/mars_net.dir/net/network.cpp.o"
+  "CMakeFiles/mars_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/mars_net.dir/net/routing.cpp.o"
+  "CMakeFiles/mars_net.dir/net/routing.cpp.o.d"
+  "CMakeFiles/mars_net.dir/net/switch.cpp.o"
+  "CMakeFiles/mars_net.dir/net/switch.cpp.o.d"
+  "CMakeFiles/mars_net.dir/net/topology.cpp.o"
+  "CMakeFiles/mars_net.dir/net/topology.cpp.o.d"
+  "libmars_net.a"
+  "libmars_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

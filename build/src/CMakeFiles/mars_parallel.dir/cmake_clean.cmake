@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_parallel.dir/parallel/thread_pool.cpp.o"
+  "CMakeFiles/mars_parallel.dir/parallel/thread_pool.cpp.o.d"
+  "libmars_parallel.a"
+  "libmars_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

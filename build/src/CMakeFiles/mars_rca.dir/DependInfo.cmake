@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rca/analyzer.cpp" "src/CMakeFiles/mars_rca.dir/rca/analyzer.cpp.o" "gcc" "src/CMakeFiles/mars_rca.dir/rca/analyzer.cpp.o.d"
+  "/root/repo/src/rca/report.cpp" "src/CMakeFiles/mars_rca.dir/rca/report.cpp.o" "gcc" "src/CMakeFiles/mars_rca.dir/rca/report.cpp.o.d"
+  "/root/repo/src/rca/sbfl.cpp" "src/CMakeFiles/mars_rca.dir/rca/sbfl.cpp.o" "gcc" "src/CMakeFiles/mars_rca.dir/rca/sbfl.cpp.o.d"
+  "/root/repo/src/rca/signatures.cpp" "src/CMakeFiles/mars_rca.dir/rca/signatures.cpp.o" "gcc" "src/CMakeFiles/mars_rca.dir/rca/signatures.cpp.o.d"
+  "/root/repo/src/rca/traffic_estimator.cpp" "src/CMakeFiles/mars_rca.dir/rca/traffic_estimator.cpp.o" "gcc" "src/CMakeFiles/mars_rca.dir/rca/traffic_estimator.cpp.o.d"
+  "/root/repo/src/rca/types.cpp" "src/CMakeFiles/mars_rca.dir/rca/types.cpp.o" "gcc" "src/CMakeFiles/mars_rca.dir/rca/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mars_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mars_fsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mars_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mars_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mars_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mars_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mars_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mars_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

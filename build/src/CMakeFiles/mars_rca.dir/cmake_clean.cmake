@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_rca.dir/rca/analyzer.cpp.o"
+  "CMakeFiles/mars_rca.dir/rca/analyzer.cpp.o.d"
+  "CMakeFiles/mars_rca.dir/rca/report.cpp.o"
+  "CMakeFiles/mars_rca.dir/rca/report.cpp.o.d"
+  "CMakeFiles/mars_rca.dir/rca/sbfl.cpp.o"
+  "CMakeFiles/mars_rca.dir/rca/sbfl.cpp.o.d"
+  "CMakeFiles/mars_rca.dir/rca/signatures.cpp.o"
+  "CMakeFiles/mars_rca.dir/rca/signatures.cpp.o.d"
+  "CMakeFiles/mars_rca.dir/rca/traffic_estimator.cpp.o"
+  "CMakeFiles/mars_rca.dir/rca/traffic_estimator.cpp.o.d"
+  "CMakeFiles/mars_rca.dir/rca/types.cpp.o"
+  "CMakeFiles/mars_rca.dir/rca/types.cpp.o.d"
+  "libmars_rca.a"
+  "libmars_rca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_rca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

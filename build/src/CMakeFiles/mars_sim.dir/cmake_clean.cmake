@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/mars_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/mars_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/mars_sim.dir/sim/simulator.cpp.o.d"
+  "libmars_sim.a"
+  "libmars_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_system.dir/mars/mars.cpp.o"
+  "CMakeFiles/mars_system.dir/mars/mars.cpp.o.d"
+  "CMakeFiles/mars_system.dir/mars/scenario.cpp.o"
+  "CMakeFiles/mars_system.dir/mars/scenario.cpp.o.d"
+  "libmars_system.a"
+  "libmars_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/int_md.cpp" "src/CMakeFiles/mars_telemetry.dir/telemetry/int_md.cpp.o" "gcc" "src/CMakeFiles/mars_telemetry.dir/telemetry/int_md.cpp.o.d"
+  "/root/repo/src/telemetry/path_id.cpp" "src/CMakeFiles/mars_telemetry.dir/telemetry/path_id.cpp.o" "gcc" "src/CMakeFiles/mars_telemetry.dir/telemetry/path_id.cpp.o.d"
+  "/root/repo/src/telemetry/tables.cpp" "src/CMakeFiles/mars_telemetry.dir/telemetry/tables.cpp.o" "gcc" "src/CMakeFiles/mars_telemetry.dir/telemetry/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mars_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mars_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mars_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_telemetry.dir/telemetry/int_md.cpp.o"
+  "CMakeFiles/mars_telemetry.dir/telemetry/int_md.cpp.o.d"
+  "CMakeFiles/mars_telemetry.dir/telemetry/path_id.cpp.o"
+  "CMakeFiles/mars_telemetry.dir/telemetry/path_id.cpp.o.d"
+  "CMakeFiles/mars_telemetry.dir/telemetry/tables.cpp.o"
+  "CMakeFiles/mars_telemetry.dir/telemetry/tables.cpp.o.d"
+  "libmars_telemetry.a"
+  "libmars_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_util.dir/util/crc.cpp.o"
+  "CMakeFiles/mars_util.dir/util/crc.cpp.o.d"
+  "CMakeFiles/mars_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/mars_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/mars_util.dir/util/stats.cpp.o"
+  "CMakeFiles/mars_util.dir/util/stats.cpp.o.d"
+  "libmars_util.a"
+  "libmars_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

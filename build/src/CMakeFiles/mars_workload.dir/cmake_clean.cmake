@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/mars_workload.dir/workload/trace.cpp.o.d"
+  "CMakeFiles/mars_workload.dir/workload/traffic_gen.cpp.o"
+  "CMakeFiles/mars_workload.dir/workload/traffic_gen.cpp.o.d"
+  "libmars_workload.a"
+  "libmars_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

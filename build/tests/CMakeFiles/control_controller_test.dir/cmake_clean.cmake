@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_controller_test.dir/control_controller_test.cpp.o"
+  "CMakeFiles/control_controller_test.dir/control_controller_test.cpp.o.d"
+  "control_controller_test"
+  "control_controller_test.pdb"
+  "control_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_path_registry_test.dir/control_path_registry_test.cpp.o"
+  "CMakeFiles/control_path_registry_test.dir/control_path_registry_test.cpp.o.d"
+  "control_path_registry_test"
+  "control_path_registry_test.pdb"
+  "control_path_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_path_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

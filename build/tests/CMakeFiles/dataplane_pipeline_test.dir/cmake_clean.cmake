@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataplane_pipeline_test.dir/dataplane_pipeline_test.cpp.o"
+  "CMakeFiles/dataplane_pipeline_test.dir/dataplane_pipeline_test.cpp.o.d"
+  "dataplane_pipeline_test"
+  "dataplane_pipeline_test.pdb"
+  "dataplane_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataplane_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

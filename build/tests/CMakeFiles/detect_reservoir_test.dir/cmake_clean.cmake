@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_reservoir_test.dir/detect_reservoir_test.cpp.o"
+  "CMakeFiles/detect_reservoir_test.dir/detect_reservoir_test.cpp.o.d"
+  "detect_reservoir_test"
+  "detect_reservoir_test.pdb"
+  "detect_reservoir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_reservoir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

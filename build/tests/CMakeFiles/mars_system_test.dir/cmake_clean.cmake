@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mars_system_test.dir/mars_system_test.cpp.o"
+  "CMakeFiles/mars_system_test.dir/mars_system_test.cpp.o.d"
+  "mars_system_test"
+  "mars_system_test.pdb"
+  "mars_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mars_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

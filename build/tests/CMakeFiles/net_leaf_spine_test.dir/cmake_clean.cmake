@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_leaf_spine_test.dir/net_leaf_spine_test.cpp.o"
+  "CMakeFiles/net_leaf_spine_test.dir/net_leaf_spine_test.cpp.o.d"
+  "net_leaf_spine_test"
+  "net_leaf_spine_test.pdb"
+  "net_leaf_spine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_leaf_spine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

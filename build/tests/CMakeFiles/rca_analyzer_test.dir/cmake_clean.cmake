@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_analyzer_test.dir/rca_analyzer_test.cpp.o"
+  "CMakeFiles/rca_analyzer_test.dir/rca_analyzer_test.cpp.o.d"
+  "rca_analyzer_test"
+  "rca_analyzer_test.pdb"
+  "rca_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_estimator_test.dir/rca_estimator_test.cpp.o"
+  "CMakeFiles/rca_estimator_test.dir/rca_estimator_test.cpp.o.d"
+  "rca_estimator_test"
+  "rca_estimator_test.pdb"
+  "rca_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_report_test.dir/rca_report_test.cpp.o"
+  "CMakeFiles/rca_report_test.dir/rca_report_test.cpp.o.d"
+  "rca_report_test"
+  "rca_report_test.pdb"
+  "rca_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

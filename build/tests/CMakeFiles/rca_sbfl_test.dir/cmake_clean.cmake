@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_sbfl_test.dir/rca_sbfl_test.cpp.o"
+  "CMakeFiles/rca_sbfl_test.dir/rca_sbfl_test.cpp.o.d"
+  "rca_sbfl_test"
+  "rca_sbfl_test.pdb"
+  "rca_sbfl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_sbfl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rca_signatures_test.dir/rca_signatures_test.cpp.o"
+  "CMakeFiles/rca_signatures_test.dir/rca_signatures_test.cpp.o.d"
+  "rca_signatures_test"
+  "rca_signatures_test.pdb"
+  "rca_signatures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rca_signatures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_int_md_test.dir/telemetry_int_md_test.cpp.o"
+  "CMakeFiles/telemetry_int_md_test.dir/telemetry_int_md_test.cpp.o.d"
+  "telemetry_int_md_test"
+  "telemetry_int_md_test.pdb"
+  "telemetry_int_md_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_int_md_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_path_id_test.dir/telemetry_path_id_test.cpp.o"
+  "CMakeFiles/telemetry_path_id_test.dir/telemetry_path_id_test.cpp.o.d"
+  "telemetry_path_id_test"
+  "telemetry_path_id_test.pdb"
+  "telemetry_path_id_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_path_id_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_tables_test.dir/telemetry_tables_test.cpp.o"
+  "CMakeFiles/telemetry_tables_test.dir/telemetry_tables_test.cpp.o.d"
+  "telemetry_tables_test"
+  "telemetry_tables_test.pdb"
+  "telemetry_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

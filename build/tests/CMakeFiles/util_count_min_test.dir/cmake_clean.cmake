@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_count_min_test.dir/util_count_min_test.cpp.o"
+  "CMakeFiles/util_count_min_test.dir/util_count_min_test.cpp.o.d"
+  "util_count_min_test"
+  "util_count_min_test.pdb"
+  "util_count_min_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_count_min_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -83,6 +83,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   if (truth) result.truth = *truth;
   result.net_stats = network.stats();
   result.packets_injected = traffic.packets_injected();
+  result.events_executed = simulator.events_executed();
 
   const metrics::MatchOptions mars_match{.require_cause = true};
   const metrics::MatchOptions location_match{.require_cause = false};

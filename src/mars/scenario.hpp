@@ -69,6 +69,10 @@ struct ScenarioResult {
   SystemOutcome syndb;
   net::NetworkStats net_stats;
   std::uint64_t packets_injected = 0;
+  /// Total simulator events executed — a fingerprint of the event
+  /// schedule. Identical seeds must produce identical values regardless of
+  /// event-queue internals (determinism contract, see DESIGN.md).
+  std::uint64_t events_executed = 0;
 };
 
 /// Run one trial. Deterministic in config.seed.

@@ -8,10 +8,22 @@ namespace mars::net {
 
 Network::Network(sim::Simulator& sim, Topology topology)
     : sim_(&sim), topology_(std::move(topology)), routing_(topology_) {
+  port_links_.resize(topology_.switch_count());
   switches_.reserve(topology_.switch_count());
   for (SwitchId id = 0; id < topology_.switch_count(); ++id) {
+    auto& links = port_links_[id];
+    links.resize(topology_.port_count(id));
+    for (PortId p = 0; p < links.size(); ++p) {
+      const auto& peer = topology_.peer(id, p);
+      const Link& link = topology_.links()[peer.link];
+      links[p] = PortLink{peer.neighbor, peer.neighbor_port,
+                          link.propagation, link.gbps};
+    }
     switches_.push_back(std::make_unique<Switch>(
         *this, id, topology_.layer(id), topology_.port_count(id)));
+    for (PortId p = 0; p < links.size(); ++p) {
+      switches_.back()->set_port_rate(p, links[p].gbps);
+    }
   }
 }
 
@@ -24,34 +36,44 @@ std::uint64_t Network::inject(FlowId flow, std::uint32_t flow_hash,
   pkt.flow_hash = flow_hash;
   pkt.size_bytes = size_bytes;
   pkt.created = sim_->now();
+  pkt.true_path = pool_.take_path();
   const std::uint64_t id = pkt.id;
   ++stats_.injected;
   switches_[flow.source]->receive(std::move(pkt));
   return id;
 }
 
-void Network::forward_to_neighbor(SwitchId from, PortId from_port, Packet pkt,
-                                  sim::Time extra_delay) {
-  const auto& peer = topology_.peer(from, from_port);
-  const sim::Time prop = topology_.links()[peer.link].propagation;
-  pkt.ingress_port = peer.neighbor_port;
-  auto carried = std::make_shared<Packet>(std::move(pkt));
-  const SwitchId next = peer.neighbor;
-  sim_->schedule_in(prop + extra_delay, [this, next, carried] {
-    switches_[next]->receive(std::move(*carried));
-  });
+void Network::forward_to_neighbor(SwitchId from, PortId from_port,
+                                  Packet&& pkt, sim::Time extra_delay) {
+  const PortLink& link = port_links_[from][from_port];
+  const sim::Time prop = link.propagation;
+  pkt.ingress_port = link.neighbor_port;
+  // Park the packet in a pool slot; the link event carries only the raw
+  // slot pointer, so the closure stays inside the inline buffer and the
+  // hop costs no allocation (the old path make_shared'd every hop).
+  Packet* slot = pool_.acquire(std::move(pkt));
+  const SwitchId next = link.neighbor;
+  auto hop = [this, next, slot] {
+    switches_[next]->receive(std::move(*slot));
+    pool_.release(slot);
+  };
+  static_assert(sim::event_fn_fits_inline<decltype(hop)>,
+                "link-hop closure must fit the inline event buffer");
+  sim_->schedule_in(prop + extra_delay, std::move(hop));
 }
 
-void Network::deliver(Switch& sink, Packet pkt) {
-  SwitchContext ctx{*sim_, sink, sink.id(), sink.layer()};
-  for (auto* obs : observers_) obs->on_deliver(ctx, pkt);
+void Network::deliver(Switch& sink, Packet&& pkt) {
+  if (!observers_.empty()) {
+    SwitchContext ctx{*sim_, sink, sink.id(), sink.layer()};
+    for (auto* obs : observers_) obs->on_deliver(ctx, pkt);
+  }
   ++stats_.delivered;
   if (on_delivery_) on_delivery_(pkt, sim_->now());
+  pool_.recycle_path(std::move(pkt.true_path));
 }
 
 double Network::port_rate_gbps(SwitchId sw, PortId port) const {
-  const auto& peer = topology_.peer(sw, port);
-  return topology_.links()[peer.link].gbps;
+  return port_links_[sw][port].gbps;
 }
 
 std::vector<Network::LinkUtilization> Network::link_utilization() const {

@@ -10,6 +10,7 @@
 
 #include "net/observer.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "net/routing.hpp"
 #include "net/switch.hpp"
 #include "net/topology.hpp"
@@ -66,10 +67,18 @@ class Network {
   };
   [[nodiscard]] std::vector<LinkUtilization> link_utilization() const;
 
+  /// Pool parking packets in flight across links (introspection/tests).
+  [[nodiscard]] const PacketPool& packet_pool() const { return pool_; }
+
   // ---- internal API used by Switch ----
-  void forward_to_neighbor(SwitchId from, PortId from_port, Packet pkt,
+  void forward_to_neighbor(SwitchId from, PortId from_port, Packet&& pkt,
                            sim::Time extra_delay);
-  void deliver(Switch& sink, Packet pkt);
+  void deliver(Switch& sink, Packet&& pkt);
+  /// Reclaim the buffers of a packet leaving the network without being
+  /// delivered (dropped or unroutable).
+  void recycle_dead(Packet&& pkt) {
+    pool_.recycle_path(std::move(pkt.true_path));
+  }
   void count_drop() { ++stats_.dropped; }
   void count_unroutable() { ++stats_.unroutable; }
   [[nodiscard]] std::vector<PacketObserver*>& observers() {
@@ -79,10 +88,22 @@ class Network {
   [[nodiscard]] double port_rate_gbps(SwitchId sw, PortId port) const;
 
  private:
+  /// Per-port link facts, flattened out of Topology so the per-hop path
+  /// (forward_to_neighbor) and per-service path (port_rate_gbps) read one
+  /// cache line instead of chasing peer()/links() indirections.
+  struct PortLink {
+    SwitchId neighbor = kInvalidSwitch;
+    PortId neighbor_port = 0;
+    sim::Time propagation = 0;
+    double gbps = 0.0;
+  };
+
   sim::Simulator* sim_;
   Topology topology_;
   RoutingTable routing_;
+  std::vector<std::vector<PortLink>> port_links_;  // [switch][port]
   std::vector<std::unique_ptr<Switch>> switches_;
+  PacketPool pool_;
   std::vector<PacketObserver*> observers_;
   DeliveryFn on_delivery_;
   NetworkStats stats_;

@@ -1,0 +1,87 @@
+#pragma once
+// Free-list pool for packets in flight across links, plus recycling of
+// true_path buffers.
+//
+// Network::forward_to_neighbor used to wrap every hop in
+// std::make_shared<Packet>: one control-block allocation per hop per
+// packet. The pool instead parks the packet in a stable arena slot and the
+// link event captures the raw slot pointer (which fits the event's inline
+// closure buffer). Ownership rules:
+//
+//   * acquire() parks a packet; the slot belongs to the scheduled link
+//     event until it fires.
+//   * The event moves the packet out (Switch::receive takes an rvalue) and
+//     must then call release() to return the slot.
+//   * Slots are never handed to application code; addresses are stable
+//     (deque arena) for the lifetime of the pool.
+//   * If the simulation ends with events still pending, parked packets are
+//     simply destroyed with the pool — nothing leaks.
+//
+// take_path()/recycle_path() recirculate true_path vectors between dying
+// packets (delivered, dropped, unroutable) and freshly injected ones so
+// steady-state forwarding performs zero heap allocations.
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/types.hpp"
+
+namespace mars::net {
+
+class PacketPool {
+ public:
+  /// Capacity reserved in every pooled true_path buffer. Fat-tree and
+  /// leaf-spine paths are <= 6 hops; longer paths just grow the buffer
+  /// once and the larger capacity is recycled with it.
+  static constexpr std::size_t kPathReserve = 16;
+
+  /// Park a packet while it crosses a link. The returned pointer is stable
+  /// until release().
+  Packet* acquire(Packet&& pkt) {
+    if (free_.empty()) {
+      slots_.push_back(std::move(pkt));
+      return &slots_.back();
+    }
+    Packet* slot = free_.back();
+    free_.pop_back();
+    *slot = std::move(pkt);
+    return slot;
+  }
+
+  /// Return a slot whose packet has been moved out.
+  void release(Packet* slot) { free_.push_back(slot); }
+
+  /// A cleared true_path buffer, with capacity recycled from dead packets.
+  std::vector<SwitchId> take_path() {
+    if (paths_.empty()) {
+      std::vector<SwitchId> path;
+      path.reserve(kPathReserve);
+      return path;
+    }
+    std::vector<SwitchId> path = std::move(paths_.back());
+    paths_.pop_back();
+    path.clear();
+    return path;
+  }
+
+  /// Reclaim a dying packet's true_path buffer.
+  void recycle_path(std::vector<SwitchId>&& path) {
+    if (path.capacity() == 0) return;  // moved-from husk: nothing to keep
+    paths_.push_back(std::move(path));
+  }
+
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+  [[nodiscard]] std::size_t in_flight() const {
+    return slots_.size() - free_.size();
+  }
+
+ private:
+  std::deque<Packet> slots_;  ///< stable addresses; grows to peak in-flight
+  std::vector<Packet*> free_;
+  std::vector<std::vector<SwitchId>> paths_;
+};
+
+}  // namespace mars::net

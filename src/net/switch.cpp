@@ -13,15 +13,18 @@ Switch::Switch(Network& net, SwitchId id, Layer layer, std::size_t port_count)
     : net_(net), id_(id), layer_(layer), ports_(port_count),
       rng_(0xC0FFEEull ^ (static_cast<std::uint64_t>(id) << 20)) {}
 
-void Switch::receive(Packet pkt) {
+void Switch::receive(Packet&& pkt) {
   auto& sim = net_.simulator();
   pkt.switch_arrival = sim.now();
   if (pkt.true_path.empty()) pkt.source_switch_time = sim.now();
   pkt.true_path.push_back(id_);
   ++pkt.hop_count;
 
-  SwitchContext ctx{sim, *this, id_, layer_};
-  for (auto* obs : net_.observers()) obs->on_ingress(ctx, pkt);
+  const auto& observers = net_.observers();
+  if (!observers.empty()) {
+    SwitchContext ctx{sim, *this, id_, layer_};
+    for (auto* obs : observers) obs->on_ingress(ctx, pkt);
+  }
 
   if (id_ == pkt.flow.sink) {
     net_.deliver(*this, std::move(pkt));
@@ -31,15 +34,16 @@ void Switch::receive(Packet pkt) {
   PortId out = 0;
   if (!net_.routing().select_port(id_, pkt.flow.sink, pkt.flow_hash, out)) {
     net_.count_unroutable();
+    net_.recycle_dead(std::move(pkt));
     return;
   }
   enqueue(std::move(pkt), out);
 }
 
-void Switch::enqueue(Packet pkt, PortId out) {
+void Switch::enqueue(Packet&& pkt, PortId out) {
   auto& sim = net_.simulator();
-  SwitchContext ctx{sim, *this, id_, layer_};
   PortState& port = ports_[out];
+  const auto& observers = net_.observers();
 
   const bool fault_drop =
       port.drop_probability > 0.0 && rng_.chance(port.drop_probability);
@@ -47,12 +51,19 @@ void Switch::enqueue(Packet pkt, PortId out) {
   if (fault_drop || tail_drop) {
     ++port.counters.drops;
     net_.count_drop();
-    for (auto* obs : net_.observers()) obs->on_drop(ctx, pkt, out);
+    if (!observers.empty()) {
+      SwitchContext ctx{sim, *this, id_, layer_};
+      for (auto* obs : observers) obs->on_drop(ctx, pkt, out);
+    }
+    net_.recycle_dead(std::move(pkt));
     return;
   }
 
-  const auto depth = static_cast<std::uint32_t>(port.queue.size());
-  for (auto* obs : net_.observers()) obs->on_enqueue(ctx, pkt, out, depth);
+  if (!observers.empty()) {
+    SwitchContext ctx{sim, *this, id_, layer_};
+    const auto depth = static_cast<std::uint32_t>(port.queue.size());
+    for (auto* obs : observers) obs->on_enqueue(ctx, pkt, out, depth);
+  }
   port.queue.push_back(std::move(pkt));
   if (!port.busy) start_service(out);
 }
@@ -64,16 +75,16 @@ void Switch::start_service(PortId out) {
   port.busy = true;
 
   const Packet& head = port.queue.front();
-  const double gbps = net_.port_rate_gbps(id_, out);  // bits per nanosecond
+  const double gbps = port.rate_gbps;  // bits per nanosecond
   const double bits = static_cast<double>(head.wire_bytes()) * 8.0;
   auto service = static_cast<sim::Time>(std::ceil(bits / gbps));
-  if (std::isfinite(port.max_pps) && port.max_pps > 0.0) {
-    const auto floor_ns = static_cast<sim::Time>(1e9 / port.max_pps);
-    service = std::max(service, floor_ns);
-  }
+  service = std::max(service, port.service_floor);
   service = std::max<sim::Time>(service, 1);
   port.counters.busy_time += service;
-  sim.schedule_in(service, [this, out] { finish_service(out); });
+  auto done = [this, out] { finish_service(out); };
+  static_assert(sim::event_fn_fits_inline<decltype(done)>,
+                "service-completion closure must fit the inline buffer");
+  sim.schedule_in(service, std::move(done));
 }
 
 void Switch::finish_service(PortId out) {
@@ -81,16 +92,21 @@ void Switch::finish_service(PortId out) {
   PortState& port = ports_[out];
   assert(port.busy && !port.queue.empty());
 
-  Packet pkt = std::move(port.queue.front());
-  port.queue.pop_front();
+  // Work on the head in place; it is moved straight from the ring into the
+  // in-flight pool slot, so a serviced packet costs exactly one move.
+  Packet& pkt = port.queue.front();
   ++port.counters.tx_packets;
   port.counters.tx_bytes += pkt.wire_bytes();
 
-  SwitchContext ctx{sim, *this, id_, layer_};
-  const sim::Time hop_latency = sim.now() - pkt.switch_arrival;
-  for (auto* obs : net_.observers()) obs->on_egress(ctx, pkt, out, hop_latency);
+  const auto& observers = net_.observers();
+  if (!observers.empty()) {
+    SwitchContext ctx{sim, *this, id_, layer_};
+    const sim::Time hop_latency = sim.now() - pkt.switch_arrival;
+    for (auto* obs : observers) obs->on_egress(ctx, pkt, out, hop_latency);
+  }
 
   net_.forward_to_neighbor(id_, out, std::move(pkt), port.extra_delay);
+  port.queue.drop_front_moved();
 
   if (!port.queue.empty()) {
     start_service(out);
@@ -100,7 +116,13 @@ void Switch::finish_service(PortId out) {
 }
 
 void Switch::set_max_pps(PortId port, double pps) {
-  ports_[port].max_pps = pps;
+  // Same expression the service path used to evaluate per packet, now
+  // folded to an integer floor once at fault-injection time.
+  if (std::isfinite(pps) && pps > 0.0) {
+    ports_[port].service_floor = static_cast<sim::Time>(1e9 / pps);
+  } else {
+    ports_[port].service_floor = 0;
+  }
 }
 
 void Switch::set_extra_delay(PortId port, sim::Time delay) {
@@ -113,7 +135,7 @@ void Switch::set_drop_probability(PortId port, double p) {
 
 void Switch::clear_faults() {
   for (auto& port : ports_) {
-    port.max_pps = std::numeric_limits<double>::infinity();
+    port.service_floor = 0;
     port.extra_delay = 0;
     port.drop_probability = 0.0;
   }

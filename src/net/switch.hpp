@@ -7,13 +7,12 @@
 // `extra_delay` (delay outside the queue), `drop_probability` (drop).
 
 #include <cstdint>
-#include <deque>
-#include <limits>
 #include <vector>
 
 #include "net/packet.hpp"
 #include "net/types.hpp"
 #include "sim/time.hpp"
+#include "util/fifo_ring.hpp"
 #include "util/rng.hpp"
 
 namespace mars::net {
@@ -38,7 +37,9 @@ class Switch {
   [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
 
   /// Entry point: a packet arrives from a link or is injected by a host.
-  void receive(Packet pkt);
+  /// Takes ownership by move — the hot path never copies a Packet (the
+  /// true_path vector would drag an allocation through every hop).
+  void receive(Packet&& pkt);
 
   // ---- fault knobs (per port) ----
   void set_max_pps(PortId port, double pps);
@@ -58,18 +59,27 @@ class Switch {
 
   void set_queue_capacity(std::uint32_t packets) { queue_capacity_ = packets; }
 
+  /// Internal: called once by Network after topology wiring to cache the
+  /// egress link rate (bits/ns) next to the queue it drains.
+  void set_port_rate(PortId port, double gbps) {
+    ports_[port].rate_gbps = gbps;
+  }
+
  private:
   struct PortState {
-    std::deque<Packet> queue;
+    util::FifoRing<Packet> queue;
     bool busy = false;
-    // fault knobs
-    double max_pps = std::numeric_limits<double>::infinity();
+    double rate_gbps = 1.0;  ///< egress link rate, cached from Network
+    // fault knobs. service_floor is the precomputed per-packet
+    // serialization floor in ns derived from set_max_pps (0 = no fault);
+    // keeping it as an integer keeps isfinite/divide off the service path.
+    sim::Time service_floor = 0;
     sim::Time extra_delay = 0;
     double drop_probability = 0.0;
     PortCounters counters;
   };
 
-  void enqueue(Packet pkt, PortId out);
+  void enqueue(Packet&& pkt, PortId out);
   void start_service(PortId out);
   void finish_service(PortId out);
 

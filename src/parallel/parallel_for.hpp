@@ -12,26 +12,54 @@
 
 namespace mars::parallel {
 
+namespace detail {
+
+/// Split n items into at most max_chunks contiguous chunks of at least
+/// min_chunk items each; the remainder is spread one item at a time over
+/// the leading chunks. The only chunk ever smaller than min_chunk is a
+/// lone chunk covering a range with fewer than min_chunk items in total.
+/// (Ceil-division sizing would instead leave a runt last chunk below the
+/// floor: n=10, min_chunk=3 would split 4/4/2.)
+inline std::vector<std::size_t> chunk_sizes(std::size_t n,
+                                            std::size_t min_chunk,
+                                            std::size_t max_chunks) {
+  std::vector<std::size_t> sizes;
+  if (n == 0) return sizes;
+  const std::size_t floor = std::max<std::size_t>(min_chunk, 1);
+  const std::size_t chunks = std::max<std::size_t>(
+      1, std::min(n / floor, std::max<std::size_t>(max_chunks, 1)));
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;  // first `extra` chunks take +1
+  sizes.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    sizes.push_back(base + (c < extra ? 1 : 0));
+  }
+  return sizes;
+}
+
+}  // namespace detail
+
 /// Run fn(i) for i in [begin, end) across the pool in contiguous chunks.
 /// Rethrows the first task exception in the calling thread.
+///
+/// min_chunk is a hard floor on chunk size: every spawned chunk covers at
+/// least min_chunk indices (see detail::chunk_sizes). Use it to keep
+/// per-task overhead amortized when fn is cheap.
 template <typename Fn>
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   Fn&& fn, std::size_t min_chunk = 1) {
   if (begin >= end) return;
-  const std::size_t n = end - begin;
-  const std::size_t chunks =
-      std::max<std::size_t>(1, std::min(n / std::max<std::size_t>(min_chunk, 1),
-                                        pool.size() * 4));
-  const std::size_t chunk = (n + chunks - 1) / chunks;
+  const std::vector<std::size_t> sizes =
+      detail::chunk_sizes(end - begin, min_chunk, pool.size() * 4);
   std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk;
-    if (lo >= end) break;
-    const std::size_t hi = std::min(end, lo + chunk);
+  futures.reserve(sizes.size());
+  std::size_t lo = begin;
+  for (const std::size_t size : sizes) {
+    const std::size_t hi = lo + size;
     futures.push_back(pool.submit([lo, hi, &fn] {
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
+    lo = hi;
   }
   std::exception_ptr first_error;
   for (auto& f : futures) {

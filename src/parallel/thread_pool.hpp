@@ -30,6 +30,13 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// Enqueue a task; the returned future yields its result.
+  ///
+  /// Wake-up contract: each submit() calls cv_.notify_one() exactly once,
+  /// after releasing the queue lock. One notify per task is sufficient
+  /// because a worker that finishes a task re-checks the queue under the
+  /// lock before sleeping again, so a notify can never be "lost" between
+  /// a task being enqueued and a worker going idle; notifying outside the
+  /// lock avoids waking a worker only to have it block on the mutex.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;

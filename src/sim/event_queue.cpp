@@ -4,69 +4,126 @@
 
 namespace mars::sim {
 
-void EventQueue::sift_up(std::size_t i) {
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
-    i = parent;
+// 4-ary layout: children of pos are 4*pos+1 .. 4*pos+4, parent (pos-1)/4.
+// The wider fan-out halves tree depth versus a binary heap, and sift
+// compares stream through the contiguous heap array only.
+
+void EventQueue::sift_up(std::size_t pos) {
+  const HeapEntry moving = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!before(moving, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
   }
+  heap_[pos] = moving;
 }
 
-void EventQueue::sift_down(std::size_t i) {
+void EventQueue::sift_down(std::size_t pos) {
+  // Bottom-up variant: the displaced entry is almost always heap-bottom
+  // material (pop_root moves the last leaf to the root), so percolate the
+  // hole to a leaf along the min-child path without testing `moving` at
+  // each level, then bubble `moving` back up the same path. This trades
+  // the per-level "is moving smaller?" compare for a short upward walk
+  // that usually terminates immediately.
   const std::size_t n = heap_.size();
+  const HeapEntry moving = heap_[pos];
+  std::size_t hole = pos;
   for (;;) {
-    std::size_t smallest = i;
-    const std::size_t l = 2 * i + 1, r = 2 * i + 2;
-    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
-    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
-    if (smallest == i) break;
-    std::swap(heap_[i], heap_[smallest]);
-    i = smallest;
+    const std::size_t first_child = 4 * hole + 1;
+    if (first_child >= n) break;
+    std::size_t best;
+    if (first_child + 3 < n) {
+      // Full fan-out (the common case): branchless cmov tournament over
+      // the four children. Keys are unique, so bracket order is moot.
+      const std::size_t c0 = first_child;
+      const std::size_t b01 = before(heap_[c0 + 1], heap_[c0]) ? c0 + 1 : c0;
+      const std::size_t b23 =
+          before(heap_[c0 + 3], heap_[c0 + 2]) ? c0 + 3 : c0 + 2;
+      best = before(heap_[b23], heap_[b01]) ? b23 : b01;
+    } else {
+      const std::size_t last_child = n - 1;
+      best = first_child;
+      for (std::size_t c = first_child + 1; c <= last_child; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  while (hole > pos) {
+    const std::size_t parent = (hole - 1) / 4;
+    if (!before(moving, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = moving;
+}
+
+void EventQueue::pop_root() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_.front() = last;
+    sift_down(0);
   }
 }
 
-std::uint64_t EventQueue::schedule(Time t, EventFn fn) {
-  const std::uint64_t id = next_seq_++;
-  heap_.push_back(Entry{t, id, std::move(fn)});
-  sift_up(heap_.size() - 1);
-  pending_.insert(id);
-  ++live_;
-  return id;
-}
+
+
 
 bool EventQueue::cancel(std::uint64_t id) {
-  if (pending_.erase(id) == 0) return false;
-  cancelled_.insert(id);
-  --live_;
+  const auto idx = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= slots_.size()) return false;
+  Slot& slot = slots_[idx];
+  if (slot.generation != generation) {
+    return false;  // already ran, already cancelled, or stale id
+  }
+  // The heap entry stays behind as a tombstone; pop()/next_time() discard
+  // it when it surfaces, recognised by the stale generation stamp.
+  retire_slot(idx);
   return true;
 }
 
-void EventQueue::drop_dead_top() {
-  while (!heap_.empty() && cancelled_.count(heap_.front().seq)) {
-    cancelled_.erase(heap_.front().seq);
-    std::swap(heap_.front(), heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
+Time EventQueue::next_time() {
+  for (;;) {
+    assert(!heap_.empty());
+    const HeapEntry& top = heap_.front();
+    if (slots_[top.slot].generation == top.generation) return top.time();
+    pop_root();
   }
 }
 
-Time EventQueue::next_time() {
-  drop_dead_top();
-  assert(!heap_.empty());
-  return heap_.front().time;
+std::pair<Time, EventFn> EventQueue::pop() {
+  for (;;) {
+    assert(!heap_.empty());
+    const HeapEntry top = heap_.front();
+    pop_root();
+    Slot& slot = slots_[top.slot];
+    if (slot.generation != top.generation) continue;  // tombstone
+    std::pair<Time, EventFn> out{top.time(), std::move(slot.fn)};
+    retire_slot(top.slot);
+    return out;
+  }
 }
 
-std::pair<Time, EventFn> EventQueue::pop() {
-  drop_dead_top();
-  assert(!heap_.empty());
-  Entry top = std::move(heap_.front());
-  std::swap(heap_.front(), heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) sift_down(0);
-  pending_.erase(top.seq);
-  --live_;
-  return {top.time, std::move(top.fn)};
+bool EventQueue::pop_if_at_most(Time until, Time& t_out, EventFn& fn_out) {
+  for (;;) {
+    if (live_ == 0) return false;
+    const HeapEntry top = heap_.front();
+    Slot& slot = slots_[top.slot];
+    if (slot.generation != top.generation) {  // tombstone
+      pop_root();
+      continue;
+    }
+    if (top.time() > until) return false;
+    pop_root();
+    t_out = top.time();
+    fn_out = std::move(slot.fn);
+    retire_slot(top.slot);
+    return true;
+  }
 }
 
 }  // namespace mars::sim

@@ -1,0 +1,164 @@
+#pragma once
+// Move-only callable with small-buffer storage for the simulator hot path.
+//
+// Every scheduled event used to cost a std::function heap allocation; the
+// closures the substrate actually schedules (Switch service completions,
+// Network link hops, traffic arrivals) capture at most a few pointers and
+// ids. InlineFn stores any nothrow-movable callable of up to
+// kInlineCapacity bytes in place — zero heap traffic — and falls back to
+// the heap only for oversized captures (e.g. control-plane closures that
+// carry a whole Notification). Hot-path call sites static_assert
+// `event_fn_fits_inline` so a capture that silently grows past the buffer
+// fails the build, not the perf budget. See DESIGN.md "Simulator hot
+// path".
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mars::sim {
+
+class InlineFn {
+ public:
+  /// Size contract: 48 bytes holds six pointer-sized captures — enough for
+  /// every substrate closure (they capture {this, port}, {this, slot,
+  /// switch id}, or one small trace event) with room to grow.
+  static constexpr std::size_t kInlineCapacity = 48;
+  static constexpr std::size_t kInlineAlign = 16;
+
+  /// True when F is stored in the inline buffer (no heap allocation).
+  template <typename F>
+  static constexpr bool stores_inline =
+      sizeof(F) <= kInlineCapacity && alignof(F) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  constexpr InlineFn() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFn(InlineFn&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) {
+      relocate_from(other);
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) {
+        relocate_from(other);
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Destroy the held callable (if any); leaves the wrapper empty.
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      if (vtable_->destroy != nullptr) vtable_->destroy(&storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  /// Construct a callable directly in this wrapper, replacing any held
+  /// one. Used by the scheduler hot path to build the closure in its
+  /// final slot instead of relocating it through temporaries.
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  void assign(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return vtable_ != nullptr;
+  }
+
+  void operator()() { vtable_->invoke(&storage_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    /// Move-construct into dst from src, then destroy src. Null means the
+    /// payload is trivially relocatable: a memcpy of the buffer suffices
+    /// (every pointer/id-capturing hot-path closure, and the heap-fallback
+    /// pointer itself). Keeping the null check inline avoids an indirect
+    /// call per move on the scheduler path.
+    void (*relocate)(void* dst, void* src) noexcept;
+    /// Null means trivially destructible: reset() skips the call entirely.
+    void (*destroy)(void*) noexcept;
+  };
+
+  void relocate_from(InlineFn& other) noexcept {
+    if (vtable_->relocate != nullptr) {
+      vtable_->relocate(&storage_, &other.storage_);
+    } else {
+      std::memcpy(&storage_, &other.storage_, kInlineCapacity);
+    }
+    other.vtable_ = nullptr;
+  }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (stores_inline<Fn>) {
+      ::new (static_cast<void*>(&storage_)) Fn(std::forward<F>(f));
+      static constexpr VTable vt{
+          [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+          std::is_trivially_copyable_v<Fn>
+              ? nullptr
+              : +[](void* dst, void* src) noexcept {
+                  Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+                  ::new (dst) Fn(std::move(*s));
+                  s->~Fn();
+                },
+          std::is_trivially_destructible_v<Fn>
+              ? nullptr
+              : +[](void* p) noexcept {
+                  std::launder(reinterpret_cast<Fn*>(p))->~Fn();
+                },
+      };
+      vtable_ = &vt;
+    } else {
+      // Oversized capture: one pointer in the buffer, callable on the heap.
+      // The pointer relocates by memcpy (null relocate); destroy deletes.
+      ::new (static_cast<void*>(&storage_)) Fn*(new Fn(std::forward<F>(f)));
+      static constexpr VTable vt{
+          [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+          nullptr,
+          [](void* p) noexcept {
+            delete *std::launder(reinterpret_cast<Fn**>(p));
+          },
+      };
+      vtable_ = &vt;
+    }
+  }
+
+  alignas(kInlineAlign) std::byte storage_[kInlineCapacity];
+  const VTable* vtable_ = nullptr;
+};
+
+/// Event callback type used by EventQueue/Simulator.
+using EventFn = InlineFn;
+
+/// Compile-time check that a closure runs allocation-free as an event.
+template <typename F>
+inline constexpr bool event_fn_fits_inline =
+    InlineFn::stores_inline<std::remove_cvref_t<F>>;
+
+}  // namespace mars::sim

@@ -5,8 +5,10 @@
 // network component schedules callbacks here, and the run loop advances
 // virtual time monotonically.
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -19,10 +21,19 @@ class Simulator {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule fn at now() + delay (delay may be 0; never negative).
-  std::uint64_t schedule_in(Time delay, EventFn fn);
+  /// Forwards the raw callable so it is built in place in the event arena.
+  template <typename F>
+  std::uint64_t schedule_in(Time delay, F&& fn) {
+    assert(delay >= 0);
+    return queue_.schedule(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Schedule fn at absolute time t >= now().
-  std::uint64_t schedule_at(Time t, EventFn fn);
+  template <typename F>
+  std::uint64_t schedule_at(Time t, F&& fn) {
+    assert(t >= now_);
+    return queue_.schedule(t, std::forward<F>(fn));
+  }
 
   bool cancel(std::uint64_t id) { return queue_.cancel(id); }
 

@@ -30,8 +30,24 @@ constexpr std::array<std::uint32_t, 256> make_crc32_table() {
   return table;
 }
 
+// Slicing-by-4 extension tables: kCrc32Slice[k][i] advances the CRC of
+// byte i by k more zero bytes. Lets crc32_words fold a whole 32-bit word
+// per step (4 parallel lookups) instead of four serial byte steps, with
+// bit-identical output — the ECMP hash runs on every hop of every packet.
+constexpr std::array<std::array<std::uint32_t, 256>, 4> make_crc32_slices() {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+  t[0] = make_crc32_table();
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    for (int k = 1; k < 4; ++k) {
+      t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+    }
+  }
+  return t;
+}
+
 constexpr auto kCrc16Table = make_crc16_table();
-constexpr auto kCrc32Table = make_crc32_table();
+constexpr auto kCrc32Slices = make_crc32_slices();
+constexpr const auto& kCrc32Table = kCrc32Slices[0];
 
 }  // namespace
 
@@ -84,9 +100,16 @@ std::uint16_t crc16_words(std::span<const std::uint32_t> words) {
 }
 
 std::uint32_t crc32_words(std::span<const std::uint32_t> words) {
-  Crc32 crc;
-  feed_words(crc, words);
-  return crc.value();
+  // Slicing-by-4: XOR the little-endian word into the state (equivalent to
+  // feeding its four bytes low-to-high for a reflected CRC), then combine
+  // the four per-byte advance tables in one step.
+  std::uint32_t state = 0xFFFFFFFFu;
+  for (std::uint32_t w : words) {
+    const std::uint32_t x = state ^ w;
+    state = kCrc32Slices[3][x & 0xFFu] ^ kCrc32Slices[2][(x >> 8) & 0xFFu] ^
+            kCrc32Slices[1][(x >> 16) & 0xFFu] ^ kCrc32Slices[0][x >> 24];
+  }
+  return state ^ 0xFFFFFFFFu;
 }
 
 }  // namespace mars::util

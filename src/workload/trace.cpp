@@ -24,9 +24,12 @@ std::size_t FlowTrace::replay(net::Network& network) const {
       ++skipped;
       continue;
     }
-    sim.schedule_at(event.at, [&network, event] {
+    auto replay_one = [&network, event] {
       network.inject(event.flow, event.flow_hash, event.size_bytes);
-    });
+    };
+    static_assert(sim::event_fn_fits_inline<decltype(replay_one)>,
+                  "trace-replay closure must fit the inline buffer");
+    sim.schedule_at(event.at, std::move(replay_one));
   }
   return skipped;
 }

@@ -102,7 +102,7 @@ void TrafficGenerator::schedule_next(std::size_t flow_index) {
   if (next < spec.start) next = spec.start;
   if (next >= spec.stop) return;
 
-  sim.schedule_at(next, [this, flow_index] {
+  auto arrival = [this, flow_index] {
     const FlowSpec& s = flows_[flow_index];
     const double raw = rng_.lognormal(s.size_mu, s.size_sigma);
     const auto size = static_cast<std::uint32_t>(
@@ -110,7 +110,10 @@ void TrafficGenerator::schedule_next(std::size_t flow_index) {
     network_->inject(s.flow, s.flow_hash, size);
     ++injected_;
     schedule_next(flow_index);
-  });
+  };
+  static_assert(sim::event_fn_fits_inline<decltype(arrival)>,
+                "per-packet arrival closure must fit the inline buffer");
+  sim.schedule_at(next, std::move(arrival));
 }
 
 }  // namespace mars::workload

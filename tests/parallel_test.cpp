@@ -66,6 +66,72 @@ TEST(ParallelForTest, RethrowsTaskException) {
                std::logic_error);
 }
 
+TEST(ParallelForTest, ExceptionDoesNotSkipOtherChunks) {
+  // A throw aborts only its own chunk; every other chunk still runs to
+  // completion (futures are drained before the rethrow). With 100 items
+  // and min_chunk=10 on a 4-thread pool the split is ten chunks of 10;
+  // the chunk [50,60) throws on its first index, so exactly 90 run.
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(parallel_for(
+                   pool, 0, 100,
+                   [&](std::size_t i) {
+                     if (i == 50) throw std::runtime_error("mid");
+                     ++executed;
+                   },
+                   /*min_chunk=*/10),
+               std::runtime_error);
+  EXPECT_EQ(executed.load(), 90);
+}
+
+TEST(ChunkSizesTest, RemainderNeverProducesRuntChunk) {
+  // n=10, min_chunk=3: ceil-division sizing would split 4/4/2 and break
+  // the floor; the remainder must spread over the leading chunks instead.
+  const auto sizes = detail::chunk_sizes(10, 3, 16);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], 4u);
+  EXPECT_EQ(sizes[1], 3u);
+  EXPECT_EQ(sizes[2], 3u);
+}
+
+TEST(ChunkSizesTest, SweepHonoursFloorAndCoversRange) {
+  for (std::size_t n = 1; n <= 128; ++n) {
+    for (std::size_t min_chunk = 1; min_chunk <= 9; ++min_chunk) {
+      for (std::size_t max_chunks : {1u, 4u, 16u}) {
+        const auto sizes = detail::chunk_sizes(n, min_chunk, max_chunks);
+        ASSERT_LE(sizes.size(), max_chunks);
+        std::size_t total = 0;
+        for (std::size_t s : sizes) {
+          total += s;
+          EXPECT_GE(s, std::min(min_chunk, n))
+              << "n=" << n << " min_chunk=" << min_chunk
+              << " max_chunks=" << max_chunks;
+        }
+        EXPECT_EQ(total, n);
+      }
+    }
+  }
+}
+
+TEST(ChunkSizesTest, RangeSmallerThanMinChunkIsOneChunk) {
+  const auto sizes = detail::chunk_sizes(2, 8, 16);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 2u);
+}
+
+TEST(ChunkSizesTest, EmptyRangeHasNoChunks) {
+  EXPECT_TRUE(detail::chunk_sizes(0, 4, 16).empty());
+}
+
+TEST(ParallelForTest, MinChunkStillCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(101);  // prime-ish, forces remainder
+  parallel_for(
+      pool, 0, touched.size(), [&](std::size_t i) { ++touched[i]; },
+      /*min_chunk=*/7);
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
 TEST(ParallelMapTest, PreservesOrder) {
   ThreadPool pool(4);
   const auto out =

@@ -1,0 +1,76 @@
+// Fixed-seed determinism contract for the simulator hot path.
+//
+// The event queue orders events by (time, schedule sequence), so a fixed
+// seed must reproduce a scenario bit-identically: same number of events
+// executed, same packet conservation totals, and the same Table-1
+// localization ranks for every system. The fingerprints below were
+// captured before the allocation-free hot-path rewrite (inline event
+// closures, generation-stamped cancellation, pooled packets) and pin the
+// rewrite — and any future optimization — to the exact same executions.
+// If an intentional behavior change lands (new RNG draws, different event
+// counts), re-capture these with the harness in bench/run_sim_hotpath.sh's
+// sibling note in DESIGN.md ("Simulator hot path").
+
+#include "mars/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+
+namespace mars {
+namespace {
+
+struct Fingerprint {
+  faults::FaultKind kind;
+  std::uint64_t seed;
+  std::uint64_t events;
+  std::uint64_t injected;
+  std::uint64_t delivered;
+  std::uint64_t dropped;
+  std::optional<std::size_t> mars_rank;
+  std::optional<std::size_t> spidermon_rank;
+  std::optional<std::size_t> intsight_rank;
+  std::optional<std::size_t> syndb_rank;
+};
+
+class ScenarioDeterminismTest : public ::testing::TestWithParam<Fingerprint> {
+};
+
+TEST_P(ScenarioDeterminismTest, MatchesGoldenFingerprint) {
+  const Fingerprint& golden = GetParam();
+  auto cfg = default_scenario(golden.kind, golden.seed);
+  cfg.duration = 4 * sim::kSecond;
+  const ScenarioResult r = run_scenario(cfg);
+
+  EXPECT_EQ(r.events_executed, golden.events);
+  EXPECT_EQ(r.net_stats.injected, golden.injected);
+  EXPECT_EQ(r.net_stats.delivered, golden.delivered);
+  EXPECT_EQ(r.net_stats.dropped, golden.dropped);
+  EXPECT_EQ(r.mars.rank, golden.mars_rank);
+  EXPECT_EQ(r.spidermon.rank, golden.spidermon_rank);
+  EXPECT_EQ(r.intsight.rank, golden.intsight_rank);
+  EXPECT_EQ(r.syndb.rank, golden.syndb_rank);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GoldenFingerprints, ScenarioDeterminismTest,
+    ::testing::Values(
+        Fingerprint{faults::FaultKind::kProcessRateDecrease, 7, 303897,
+                    40676, 40012, 0, std::nullopt, 1, 3, 1},
+        Fingerprint{faults::FaultKind::kProcessRateDecrease, 21, 325843,
+                    39917, 39197, 0, std::nullopt, 1, 4, 1},
+        Fingerprint{faults::FaultKind::kDrop, 7, 304784, 40676, 40123, 530,
+                    2, std::nullopt, std::nullopt, 1},
+        Fingerprint{faults::FaultKind::kDrop, 21, 327619, 39917, 39468, 422,
+                    1, std::nullopt, 9, 1}),
+    [](const ::testing::TestParamInfo<Fingerprint>& info) {
+      return std::string(faults::to_string(info.param.kind) ==
+                                 std::string("process-rate-decrease")
+                             ? "ProcessRateDecrease"
+                             : "Drop") +
+             "Seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace mars

@@ -50,6 +50,85 @@ TEST(EventQueueTest, NextTimeSkipsCancelled) {
   EXPECT_EQ(q.next_time(), 9);
 }
 
+TEST(EventQueueTest, CancelAfterPopReturnsFalse) {
+  EventQueue q;
+  int runs = 0;
+  const auto id = q.schedule(10, [&] { ++runs; });
+  q.pop().second();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(q.cancel(id));  // already executed
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(EventQueueTest, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  const auto id = q.schedule(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, StaleIdDoesNotCancelSlotReuse) {
+  // After an event runs, its arena slot is recycled under a bumped
+  // generation; the old id must not cancel the new occupant.
+  EventQueue q;
+  const auto old_id = q.schedule(10, [] {});
+  q.pop().second();  // slot retired, generation bumped
+
+  int runs = 0;
+  const auto new_id = q.schedule(20, [&] { ++runs; });
+  // Same slot, different generation => different id.
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().second();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(q.cancel(new_id));  // it already ran
+}
+
+TEST(EventQueueTest, IdsStayUniqueAcrossManyGenerations) {
+  EventQueue q;
+  std::uint64_t prev = 0;
+  for (int round = 0; round < 100; ++round) {
+    const auto id = q.schedule(round, [] {});
+    if (round > 0) EXPECT_NE(id, prev);
+    prev = id;
+    if (round % 2 == 0) {
+      q.pop().second();
+    } else {
+      EXPECT_TRUE(q.cancel(id));
+    }
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, TieBreakSurvivesInterleavedCancels) {
+  // Cancelled tombstones between equal-time events must not perturb the
+  // insertion-order tie-break of the survivors.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(q.schedule(5, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 16; i += 2) q.cancel(ids[static_cast<std::size_t>(i)]);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 9, 11, 13, 15}));
+}
+
+TEST(EventQueueTest, SizeCountsOnlyLiveEvents) {
+  EventQueue q;
+  const auto a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);  // tombstone still in heap, but not live
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.next_time(), 2);
+  q.pop().second();
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(SimulatorTest, TimeAdvancesMonotonically) {
   Simulator sim;
   std::vector<Time> times;

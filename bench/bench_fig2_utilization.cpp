@@ -5,14 +5,23 @@
 // the busiest part of the fabric. We run the background workload (inter-
 // pod-heavy, as in data-center traffic studies) and print the utilization
 // CDFs per layer — the core curve should sit to the right.
+//
+// Collection goes through the observability layer: scrape_network
+// registers one lazy utilization gauge per link direction, classified
+// edge/core by name prefix, and a virtual-time Sampler scrapes them into
+// an epoch-aligned series. The CDF reads the final row.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "net/fat_tree.hpp"
 #include "net/network.hpp"
+#include "obs/net_scrape.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 #include "workload/traffic_gen.hpp"
@@ -41,18 +50,32 @@ UtilSample measure(double inter_pod_fraction, sim::Time duration,
   cfg.pps = 250.0;
   cfg.inter_pod_fraction = inter_pod_fraction;
   traffic.add_background(cfg, ft.edge, 4);
+
+  obs::MetricsRegistry registry;
+  obs::scrape_network(network, registry,
+                      {.per_port = false, .link_utilization = true,
+                       .totals = false});
+  obs::SeriesStore series;
+  obs::Sampler sampler(simulator, registry, series,
+                       {.period = 500 * sim::kMillisecond,
+                        .until = duration});
+  sampler.start();
+
   traffic.start();
   simulator.run(duration);
+  sampler.sample_now();  // final off-grid scrape at end-of-run
+  registry.remove_gauges();
 
+  // The gauge name carries the Fig. 2 layer classification:
+  //   net.link.{edge|core}.{up}-{down}.util
   UtilSample sample;
-  for (const auto& u : network.link_utilization()) {
-    // Classify the link (not the direction) by its deepest endpoint layer:
-    // edge<->agg links belong to the edge layer, agg<->core to the core.
-    const auto& link = network.topology().links()[u.link];
-    const bool touches_edge =
-        network.topology().layer(link.a.sw) == net::Layer::kEdge ||
-        network.topology().layer(link.b.sw) == net::Layer::kEdge;
-    (touches_edge ? sample.edge : sample.core).push_back(u.utilization);
+  for (const std::string& name : series.names()) {
+    const double value = series.last(name, 0.0);
+    if (name.rfind("net.link.edge.", 0) == 0) {
+      sample.edge.push_back(value);
+    } else if (name.rfind("net.link.core.", 0) == 0) {
+      sample.core.push_back(value);
+    }
   }
   return sample;
 }

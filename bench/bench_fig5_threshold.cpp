@@ -6,6 +6,13 @@
 // reservoir's dynamic threshold tracks the curve and catches only the
 // spike. We print the time series of signal + both thresholds, and the
 // resulting alarm counts.
+//
+// The dynamic-threshold series is collected by the observability Sampler:
+// the reservoir's threshold is a registered gauge, latency points feed the
+// reservoir as simulator events offset half a tick, and the epoch-aligned
+// sampler reads the gauge once per simulated minute — sample k therefore
+// sees the threshold after inputs 0..k-1, exactly the "threshold before
+// this point" the figure plots.
 
 #include <benchmark/benchmark.h>
 
@@ -15,6 +22,9 @@
 #include <vector>
 
 #include "detect/reservoir.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -94,12 +104,37 @@ int main(int argc, char** argv) {
   rcfg.warmup = 30;
   rcfg.relative_margin = 0.3;
   detect::Reservoir reservoir(rcfg);
-  std::vector<double> dynamic_thresholds;
-  dynamic_thresholds.reserve(day.size());
-  for (const auto& p : day) {
-    dynamic_thresholds.push_back(reservoir.threshold());
-    reservoir.input(p.latency_us);
+
+  // One simulated minute per point. Inputs land at k+0.5 min; the sampler
+  // ticks on whole minutes, so sample k reads the threshold that was in
+  // force when point k arrived.
+  sim::Simulator simulator;
+  const sim::Time minute = 60 * sim::kSecond;
+  for (std::size_t k = 0; k < day.size(); ++k) {
+    simulator.schedule_at(
+        static_cast<sim::Time>(k) * minute + minute / 2,
+        [&reservoir, latency = day[k].latency_us] {
+          reservoir.input(latency);
+        });
   }
+  obs::MetricsRegistry registry;
+  registry.gauge("reservoir.threshold",
+                 [&reservoir] { return reservoir.threshold(); });
+  registry.gauge("reservoir.fill", [&reservoir, &rcfg] {
+    return static_cast<double>(reservoir.size()) /
+           static_cast<double>(rcfg.volume);
+  });
+  obs::SeriesStore series;
+  obs::Sampler sampler(
+      simulator, registry, series,
+      {.period = minute,
+       .until = static_cast<sim::Time>(day.size() - 1) * minute});
+  sampler.start();
+  simulator.run(static_cast<sim::Time>(day.size()) * minute);
+  registry.remove_gauges();
+
+  const std::vector<double>& dynamic_thresholds =
+      *series.column("reservoir.threshold");
 
   std::printf("== Fig. 5: thresholds across one diurnal day ==\n");
   std::printf("  hour | load latency | static-low | static-high | dynamic\n");

@@ -8,11 +8,15 @@
 
 #include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "faults/injector.hpp"
 #include "net/fat_tree.hpp"
 #include "net/network.hpp"
+#include "obs/net_scrape.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 #include "workload/traffic_gen.hpp"
@@ -76,17 +80,17 @@ void fig7b() {
         sim::to_millis(t - p.created));
   });
 
-  // Sample the chooser's two uplink counters every 100ms.
-  struct Snapshot {
-    std::uint64_t port0 = 0, port1 = 0;
-  };
-  std::map<int, Snapshot> tx;
-  for (int bucket = 0; bucket <= 40; ++bucket) {
-    s.simulator.schedule_at(bucket * 100_ms, [&, bucket] {
-      tx[bucket] = {s.network.node(chooser).counters(0).tx_packets,
-                    s.network.node(chooser).counters(1).tx_packets};
-    });
-  }
+  // Sample the chooser's uplink tx counters every 100ms via the
+  // observability layer: scrape_network exports them as lazy gauges and
+  // the epoch-aligned Sampler turns them into a joined time series.
+  obs::MetricsRegistry registry;
+  obs::scrape_network(s.network, registry,
+                      {.per_port = true, .link_utilization = false,
+                       .totals = false});
+  obs::SeriesStore series;
+  obs::Sampler sampler(s.simulator, registry, series,
+                       {.period = 100_ms, .until = 4_s});
+  sampler.start();
 
   // Apply and lift the skew directly (deterministic chooser).
   s.simulator.schedule_at(2_s, [&] {
@@ -105,18 +109,22 @@ void fig7b() {
 
   s.traffic.start();
   s.simulator.run(4_s);
+  registry.remove_gauges();
+
+  const std::string sw_prefix = "net.sw" + std::to_string(chooser) + ".";
+  const std::vector<double>* tx0 = series.column(sw_prefix + "p0.tx_packets");
+  const std::vector<double>* tx1 = series.column(sw_prefix + "p1.tx_packets");
 
   std::printf("  t(s) | uplink0 pps | uplink1 pps | p99 latency ms (flows "
               "from the chooser)\n");
-  for (int bucket = 2; bucket <= 40; bucket += 2) {
-    if (!tx.count(bucket) || !tx.count(bucket - 2)) continue;
-    const double pps0 =
-        static_cast<double>(tx[bucket].port0 - tx[bucket - 2].port0) / 0.2;
-    const double pps1 =
-        static_cast<double>(tx[bucket].port1 - tx[bucket - 2].port1) / 0.2;
-    const auto& lat = latency[bucket - 1];
-    std::printf("  %4.1f | %11.0f | %11.0f | %10.2f\n", bucket / 10.0, pps0,
-                pps1, util::quantile(lat, 0.99));
+  for (std::size_t bucket = 2; bucket <= 40; bucket += 2) {
+    if (tx0 == nullptr || tx1 == nullptr || bucket >= tx0->size()) continue;
+    const double pps0 = ((*tx0)[bucket] - (*tx0)[bucket - 2]) / 0.2;
+    const double pps1 = ((*tx1)[bucket] - (*tx1)[bucket - 2]) / 0.2;
+    const auto& lat = latency[static_cast<int>(bucket) - 1];
+    std::printf("  %4.1f | %11.0f | %11.0f | %10.2f\n",
+                static_cast<double>(bucket) / 10.0, pps0, pps1,
+                util::quantile(lat, 0.99));
   }
 }
 

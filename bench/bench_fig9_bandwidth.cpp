@@ -6,10 +6,15 @@
 // traffic; IntSight's 33B header dominates telemetry; SpiderMon is light
 // in-band but collects from ALL switches on demand; MARS is lightest
 // overall and smallest in diagnosis (edge-only collection).
+//
+// Every system's byte counters are read from the scenario's observability
+// registry (mars.* gauges from MarsSystem, {system}.* from each
+// baseline's register_metrics) — one snapshot feeds the whole table.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 #include "mars/scenario.hpp"
 
@@ -19,30 +24,28 @@ using namespace mars;
 
 struct Row {
   const char* name;
-  double telemetry = 0;
-  double diagnosis = 0;
+  const char* prefix;
 };
 
-void print_rows(const char* label, const ScenarioResult& result,
+void print_rows(const char* label, const obs::MetricsSnapshot& snap,
                 std::uint64_t app_bytes) {
-  Row rows[4] = {
-      {"MARS", static_cast<double>(result.mars.telemetry_bytes),
-       static_cast<double>(result.mars.diagnosis_bytes)},
-      {"SpiderMon", static_cast<double>(result.spidermon.telemetry_bytes),
-       static_cast<double>(result.spidermon.diagnosis_bytes)},
-      {"IntSight", static_cast<double>(result.intsight.telemetry_bytes),
-       static_cast<double>(result.intsight.diagnosis_bytes)},
-      {"SyNDB", static_cast<double>(result.syndb.telemetry_bytes),
-       static_cast<double>(result.syndb.diagnosis_bytes)},
+  constexpr Row kRows[4] = {
+      {"MARS", "mars."},
+      {"SpiderMon", "spidermon."},
+      {"IntSight", "intsight."},
+      {"SyNDB", "syndb."},
   };
   std::printf(" %s (application bytes on wire: %.1f MB)\n", label,
               static_cast<double>(app_bytes) / 1e6);
   std::printf("  system    | telemetry KB | diagnosis KB | total KB | "
               "%% of app traffic\n");
-  for (const auto& row : rows) {
-    const double total = row.telemetry + row.diagnosis;
+  for (const auto& row : kRows) {
+    const std::string prefix = row.prefix;
+    const double telemetry = snap.gauge_or(prefix + "telemetry_bytes", 0.0);
+    const double diagnosis = snap.gauge_or(prefix + "diagnosis_bytes", 0.0);
+    const double total = telemetry + diagnosis;
     std::printf("  %-9s | %12.1f | %12.1f | %8.1f | %6.3f%%\n", row.name,
-                row.telemetry / 1e3, row.diagnosis / 1e3, total / 1e3,
+                telemetry / 1e3, diagnosis / 1e3, total / 1e3,
                 100.0 * total / static_cast<double>(app_bytes));
   }
 }
@@ -62,11 +65,13 @@ int main(int argc, char** argv) {
   std::printf("== Fig. 9: bandwidth overhead per system ==\n");
   for (const auto fault : {faults::FaultKind::kProcessRateDecrease,
                            faults::FaultKind::kMicroBurst}) {
-    const auto cfg = default_scenario(fault, 7);
+    auto cfg = default_scenario(fault, 7);
+    Observability obs;
+    cfg.observability = &obs;
     const auto result = run_scenario(cfg);
     // Approximate application bytes: delivered packets x mean wire size.
     const std::uint64_t app_bytes = result.net_stats.delivered * 590ull;
-    print_rows(faults::to_string(fault), result, app_bytes);
+    print_rows(faults::to_string(fault), obs.snapshot, app_bytes);
     std::printf("\n");
   }
 

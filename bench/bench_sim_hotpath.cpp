@@ -16,6 +16,9 @@
 
 #include "net/leaf_spine.hpp"
 #include "net/network.hpp"
+#include "obs/net_scrape.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "workload/traffic_gen.hpp"
@@ -156,10 +159,60 @@ void BM_LeafSpine_HotPath(benchmark::State& state) {
   state.counters["allocs_per_packet"] = packets > 0 ? allocs / packets : 0.0;
 }
 
+// Same replay with the observability layer compiled in and constructed but
+// with nothing attached: a registry full of lazy gauges over every port
+// counter (never sampled) and an idle SpanTracer. The "zero-overhead when
+// disabled" guarantee means events_per_sec here must stay within a few
+// percent of BM_LeafSpine_HotPath; bench/run_sim_hotpath.sh records the
+// pairwise ratio as instrumented_unattached_ratio.
+void BM_LeafSpine_HotPath_Instrumented(benchmark::State& state) {
+  sim::Simulator sim;
+  auto fabric = net::build_leaf_spine(
+      {.leaves = 8, .spines = 4, .leaf_spine_gbps = 10.0});
+  net::Network network(sim, fabric.topology);
+
+  obs::MetricsRegistry registry;
+  obs::scrape_network(network, registry);  // lazy gauges, never read
+  obs::SpanTracer tracer;                  // constructed, never written
+  benchmark::DoNotOptimize(&tracer);
+
+  workload::TrafficGenerator traffic(network, 42);
+  workload::BackgroundConfig bg;
+  bg.flows = 64;
+  bg.pps = 50'000.0;
+  traffic.add_background(bg, fabric.leaf, /*pods=*/1);
+  traffic.start();
+
+  sim.run(5 * sim::kMillisecond);
+
+  const std::uint64_t events0 = sim.events_executed();
+  const std::uint64_t packets0 = traffic.packets_injected();
+  const std::uint64_t allocs0 = alloc_count();
+
+  for (auto _ : state) {
+    sim.run(sim.now() + sim::kMillisecond);
+  }
+
+  const auto events = static_cast<double>(sim.events_executed() - events0);
+  const auto packets =
+      static_cast<double>(traffic.packets_injected() - packets0);
+  const auto allocs = static_cast<double>(alloc_count() - allocs0);
+  state.counters["events_per_sec"] =
+      benchmark::Counter(events, benchmark::Counter::kIsRate);
+  state.counters["packets_per_sec"] =
+      benchmark::Counter(packets, benchmark::Counter::kIsRate);
+  state.counters["allocs_per_event"] = events > 0 ? allocs / events : 0.0;
+  state.counters["allocs_per_packet"] = packets > 0 ? allocs / packets : 0.0;
+  state.counters["gauges_registered"] =
+      static_cast<double>(registry.gauge_count());
+  registry.remove_gauges();
+}
+
 }  // namespace
 
 BENCHMARK(BM_EventQueue_SchedulePop)->Arg(1 << 10)->Arg(1 << 14);
 BENCHMARK(BM_EventQueue_ScheduleCancel)->Arg(1 << 10)->Arg(1 << 14);
 BENCHMARK(BM_LeafSpine_HotPath)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LeafSpine_HotPath_Instrumented)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

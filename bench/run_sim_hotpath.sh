@@ -39,6 +39,11 @@ for b in raw['benchmarks']:
             entry[key] = round(b[key], 9)
     results[b['name']] = entry
 
+# The instrumented-but-unattached variant is tracked separately: its only
+# job is the pairwise ratio against the plain hot path from the SAME run
+# (the zero-overhead-when-disabled guarantee, bound: >= 0.97).
+instrumented = results.pop('BM_LeafSpine_HotPath_Instrumented', None)
+
 # Merge into the output file if it exists; otherwise seed a new file from
 # the committed record so the baseline (and thus the speedup) carries over.
 try:
@@ -57,6 +62,15 @@ cur = results.get('BM_LeafSpine_HotPath')
 if base and cur:
     doc['speedup_leaf_spine_events_per_sec'] = round(
         cur['events_per_sec'] / base['events_per_sec'], 3)
+if instrumented and cur:
+    doc['instrumented'] = {
+        'description': 'BM_LeafSpine_HotPath_Instrumented: same replay with '
+                       'a MetricsRegistry of lazy port gauges (never read) '
+                       'and an idle SpanTracer constructed but unattached',
+        'results': {'BM_LeafSpine_HotPath_Instrumented': instrumented},
+    }
+    doc['instrumented_unattached_ratio'] = round(
+        instrumented['events_per_sec'] / cur['events_per_sec'], 3)
 
 json.dump(doc, open(out_path, 'w'), indent=2)
 print(f"wrote {out_path}")

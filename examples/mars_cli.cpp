@@ -11,16 +11,20 @@
 //     --fault-at <seconds>    injection time      (default 3)
 //     --no-baselines          deploy MARS only
 //     --trace-out <file>      dump the workload as CSV
+//     --metrics-out <file>    metrics snapshot + sampled series (JSON)
+//     --spans-out <file>      Chrome/Perfetto trace-event JSON
 //     --json                  machine-readable result summary
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 
 #include "mars/scenario.hpp"
+#include "obs/json_writer.hpp"
 #include "workload/trace.hpp"
 
 namespace {
@@ -31,7 +35,8 @@ using namespace mars;
   std::fprintf(stderr,
                "usage: %s [--fault F] [--seed N] [--k K] [--flows N] "
                "[--pps X] [--duration S] [--fault-at S] [--no-baselines] "
-               "[--trace-out FILE] [--json]\n",
+               "[--trace-out FILE] [--metrics-out FILE] [--spans-out FILE] "
+               "[--json]\n",
                argv0);
   std::exit(2);
 }
@@ -60,15 +65,27 @@ void print_outcome_text(const char* name, const SystemOutcome& outcome) {
   std::printf("]\n");
 }
 
-void print_outcome_json(const char* name, const SystemOutcome& outcome,
-                        bool last) {
-  std::printf("    \"%s\": {\"rank\": %s, \"telemetry_bytes\": %llu, "
-              "\"diagnosis_bytes\": %llu, \"culprits\": %zu}%s\n",
-              name,
-              outcome.rank ? std::to_string(*outcome.rank).c_str() : "null",
-              static_cast<unsigned long long>(outcome.telemetry_bytes),
-              static_cast<unsigned long long>(outcome.diagnosis_bytes),
-              outcome.culprits.size(), last ? "" : ",");
+void write_outcome_json(obs::JsonWriter& w, const char* name,
+                        const SystemOutcome& outcome) {
+  w.key(name).begin_object();
+  if (outcome.rank) {
+    w.member("rank", std::uint64_t{*outcome.rank});
+  } else {
+    w.member_null("rank");
+  }
+  w.member("triggered", outcome.triggered);
+  w.member("telemetry_bytes", outcome.telemetry_bytes);
+  w.member("diagnosis_bytes", outcome.diagnosis_bytes);
+  w.key("culprits").begin_array();
+  for (const auto& c : outcome.culprits) w.value(c.describe());
+  w.end_array();
+  w.end_object();
+}
+
+bool open_out(std::ofstream& out, const std::string& path) {
+  out.open(path);
+  if (!out) std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  return static_cast<bool>(out);
 }
 
 }  // namespace
@@ -79,7 +96,7 @@ int main(int argc, char** argv) {
   std::optional<int> k, flows;
   std::optional<double> pps, duration_s, fault_at_s;
   bool baselines = true, json = false;
-  std::string trace_out;
+  std::string trace_out, metrics_out, spans_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -105,6 +122,10 @@ int main(int argc, char** argv) {
       baselines = false;
     } else if (arg == "--trace-out") {
       trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--spans-out") {
+      spans_out = next();
     } else if (arg == "--json") {
       json = true;
     } else {
@@ -124,6 +145,10 @@ int main(int argc, char** argv) {
   }
   cfg.with_baselines = baselines;
 
+  Observability obs;
+  const bool want_obs = !metrics_out.empty() || !spans_out.empty();
+  if (want_obs) cfg.observability = &obs;
+
   // The trace dump reruns the workload generator standalone so the CSV
   // matches what the scenario injected (same seed, same generator).
   if (!trace_out.empty()) {
@@ -138,37 +163,62 @@ int main(int argc, char** argv) {
     traffic.add_background(cfg.background, ft.edge, cfg.fat_tree_k);
     traffic.start();
     simulator.run(cfg.duration);
-    std::ofstream out(trace_out);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
-      return 1;
-    }
+    std::ofstream out;
+    if (!open_out(out, trace_out)) return 1;
     recorder.trace().write_csv(out);
     std::fprintf(stderr, "wrote %zu events to %s\n",
                  recorder.trace().size(), trace_out.c_str());
   }
 
   const auto result = run_scenario(cfg);
+
+  if (!metrics_out.empty()) {
+    std::ofstream out;
+    if (!open_out(out, metrics_out)) return 1;
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.key("snapshot");
+    obs::MetricsRegistry::write_json(w, obs.snapshot);
+    w.key("series");
+    obs.series.write_json(w);
+    w.end_object();
+    out << "\n";
+    std::fprintf(stderr, "wrote %zu gauges x %zu samples to %s\n",
+                 obs.snapshot.gauges.size(), obs.series.rows(),
+                 metrics_out.c_str());
+  }
+  if (!spans_out.empty()) {
+    std::ofstream out;
+    if (!open_out(out, spans_out)) return 1;
+    obs.tracer.write_chrome_json(out);
+    std::fprintf(stderr,
+                 "wrote %zu trace events to %s "
+                 "(load in ui.perfetto.dev or chrome://tracing)\n",
+                 obs.tracer.size(), spans_out.c_str());
+  }
+
   if (!result.fault_injected) {
     std::fprintf(stderr, "fault injection found no viable target\n");
     return 1;
   }
 
   if (json) {
-    std::printf("{\n  \"truth\": \"%s\",\n  \"injected\": %llu,\n"
-                "  \"delivered\": %llu,\n  \"dropped\": %llu,\n"
-                "  \"systems\": {\n",
-                result.truth.describe().c_str(),
-                static_cast<unsigned long long>(result.net_stats.injected),
-                static_cast<unsigned long long>(result.net_stats.delivered),
-                static_cast<unsigned long long>(result.net_stats.dropped));
-    print_outcome_json("mars", result.mars, !baselines);
+    obs::JsonWriter w(std::cout);
+    w.begin_object();
+    w.member("truth", result.truth.describe());
+    w.member("injected", result.net_stats.injected);
+    w.member("delivered", result.net_stats.delivered);
+    w.member("dropped", result.net_stats.dropped);
+    w.key("systems").begin_object();
+    write_outcome_json(w, "mars", result.mars);
     if (baselines) {
-      print_outcome_json("spidermon", result.spidermon, false);
-      print_outcome_json("intsight", result.intsight, false);
-      print_outcome_json("syndb", result.syndb, true);
+      write_outcome_json(w, "spidermon", result.spidermon);
+      write_outcome_json(w, "intsight", result.intsight);
+      write_outcome_json(w, "syndb", result.syndb);
     }
-    std::printf("  }\n}\n");
+    w.end_object();
+    w.end_object();
+    std::cout << "\n";
     return 0;
   }
 

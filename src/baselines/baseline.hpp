@@ -4,9 +4,12 @@
 // plane) plus a diagnose() step producing the same ranked CulpritList as
 // MARS, so Table 1 and Fig. 9 grade all four systems identically.
 
+#include <cctype>
+#include <string>
 #include <string_view>
 
 #include "net/observer.hpp"
+#include "obs/registry.hpp"
 #include "rca/types.hpp"
 #include "sim/time.hpp"
 
@@ -30,6 +33,27 @@ class BaselineSystem : public net::PacketObserver {
 
   /// True once the system's own detection logic fired.
   [[nodiscard]] virtual bool triggered() const = 0;
+
+  /// Export this system's overhead accounting as lazy gauges:
+  ///   {lowercased name()}.telemetry_bytes / .diagnosis_bytes / .triggered
+  /// so Fig. 9 reads every system from one registry. Gauges capture `this`;
+  /// remove them (or snapshot) before the system is destroyed.
+  virtual void register_metrics(obs::MetricsRegistry& registry) {
+    std::string prefix;
+    for (const char c : name()) {
+      prefix.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    prefix.push_back('.');
+    registry.gauge(prefix + "telemetry_bytes", [this] {
+      return static_cast<double>(overheads().telemetry_bytes);
+    });
+    registry.gauge(prefix + "diagnosis_bytes", [this] {
+      return static_cast<double>(overheads().diagnosis_bytes);
+    });
+    registry.gauge(prefix + "triggered",
+                   [this] { return triggered() ? 1.0 : 0.0; });
+  }
 };
 
 }  // namespace mars::baselines

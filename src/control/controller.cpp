@@ -1,5 +1,8 @@
 #include "control/controller.hpp"
 
+#include <algorithm>
+#include <optional>
+
 #include "sim/simulator.hpp"
 
 namespace mars::control {
@@ -22,12 +25,18 @@ void Controller::start() {
 
 void Controller::poll_once() {
   const sim::Time now = network_->simulator().now();
+  std::optional<obs::SpanTracer::WallSpan> span;
+  std::uint64_t samples = 0;
+  if (tracer_ != nullptr) {
+    span.emplace(tracer_->wall_span("controller.poll", "control"));
+  }
   for (const net::SwitchId sw : edge_switches()) {
     const sim::Time watermark =
         poll_watermark_.count(sw) ? poll_watermark_[sw] : -1;
     for (const auto& rec : pipeline_->ring_snapshot(sw)) {
       if (rec.sink_timestamp <= watermark) continue;
       overheads_.poll_bytes += config_.poll_sample_bytes;
+      ++samples;
       auto [it, inserted] = reservoirs_.try_emplace(
           rec.flow, config_.reservoir, reservoir_seed_++);
       it->second.input(static_cast<double>(rec.latency));
@@ -38,6 +47,7 @@ void Controller::poll_once() {
     }
     poll_watermark_[sw] = now;
   }
+  if (span) span->arg({"samples", samples});
 }
 
 void Controller::on_notification(const dataplane::Notification& n) {
@@ -46,10 +56,18 @@ void Controller::on_notification(const dataplane::Notification& n) {
   if (collection_pending_) {
     // A collection is already scheduled: fold this notification into it.
     pending_.push_back(n);
+    if (tracer_ != nullptr) {
+      tracer_->instant("controller.fold_into_pending", "control", now,
+                       {{"kind", dataplane::kind_name(n.kind)}});
+    }
     return;
   }
   if (last_response_ >= 0 && now - last_response_ < config_.response_window) {
     ++overheads_.notifications_suppressed;
+    if (tracer_ != nullptr) {
+      tracer_->instant("controller.window_suppressed", "control", now,
+                       {{"kind", dataplane::kind_name(n.kind)}});
+    }
     return;
   }
   last_response_ = now;
@@ -74,10 +92,19 @@ void Controller::collect_and_diagnose(const dataplane::Notification& n) {
   data.collected_at = network_->simulator().now();
   data.default_threshold = pipeline_->config().default_threshold;
   // MARS only drains edge switches (Motivation #1: offload core switches).
-  for (const net::SwitchId sw : edge_switches()) {
-    for (auto& rec : pipeline_->ring_snapshot(sw)) {
-      overheads_.diagnosis_bytes += telemetry::RtRecord::kWireBytes;
-      data.records.push_back(rec);
+  {
+    std::optional<obs::SpanTracer::WallSpan> span;
+    if (tracer_ != nullptr) {
+      span.emplace(tracer_->wall_span("controller.ring_drain", "control"));
+    }
+    for (const net::SwitchId sw : edge_switches()) {
+      for (auto& rec : pipeline_->ring_snapshot(sw)) {
+        overheads_.diagnosis_bytes += telemetry::RtRecord::kWireBytes;
+        data.records.push_back(rec);
+      }
+    }
+    if (span) {
+      span->arg({"records", std::uint64_t{data.records.size()}});
     }
   }
   for (const auto& [flow, reservoir] : reservoirs_) {
@@ -86,8 +113,28 @@ void Controller::collect_and_diagnose(const dataplane::Notification& n) {
     }
   }
   ++overheads_.diagnoses;
+  if (tracer_ != nullptr) {
+    // The posterior-collection window in virtual time: notification ->
+    // ring-table drain.
+    tracer_->complete(
+        "collection_window", "control", n.when, data.collected_at,
+        {{"trigger", dataplane::kind_name(n.kind)},
+         {"notifications", std::uint64_t{data.notifications.size()}},
+         {"records", std::uint64_t{data.records.size()}}});
+  }
   sessions_.push_back(data);
   if (on_diagnosis_) on_diagnosis_(sessions_.back());
+}
+
+double Controller::mean_reservoir_fill() const {
+  if (reservoirs_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [flow, reservoir] : reservoirs_) {
+    const auto volume = std::max<std::size_t>(reservoir.config().volume, 1);
+    sum += static_cast<double>(reservoir.size()) /
+           static_cast<double>(volume);
+  }
+  return sum / static_cast<double>(reservoirs_.size());
 }
 
 const detect::Reservoir* Controller::reservoir(const net::FlowId& flow) const {

@@ -18,6 +18,7 @@
 #include "dataplane/mars_pipeline.hpp"
 #include "detect/reservoir.hpp"
 #include "net/network.hpp"
+#include "obs/tracer.hpp"
 #include "telemetry/tables.hpp"
 
 namespace mars::control {
@@ -102,6 +103,18 @@ class Controller {
   [[nodiscard]] const detect::Reservoir* reservoir(
       const net::FlowId& flow) const;
 
+  /// Number of per-flow reservoirs currently maintained.
+  [[nodiscard]] std::size_t reservoir_count() const {
+    return reservoirs_.size();
+  }
+  /// Mean fill fraction (size / volume) across all reservoirs; 0 if none.
+  [[nodiscard]] double mean_reservoir_fill() const;
+
+  /// Attach a span tracer (nullptr detaches): instants per notification,
+  /// a virtual-time span for each collection window, and wall-clock spans
+  /// around poll and ring-drain work.
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+
   /// One polling pass (normally driven by start(); exposed for tests).
   void poll_once();
 
@@ -122,6 +135,7 @@ class Controller {
   bool collection_pending_ = false;
   std::vector<DiagnosisData> sessions_;
   ControllerOverheads overheads_;
+  obs::SpanTracer* tracer_ = nullptr;
   std::uint64_t reservoir_seed_ = 0x7E5E4D01ull;
 };
 

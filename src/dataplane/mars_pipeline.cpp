@@ -104,6 +104,19 @@ void MarsPipeline::notify(net::SwitchContext& ctx, Notification n) {
     ++overheads_.drop_notifications;
   }
   overheads_.notification_bytes += Notification::kWireBytes;
+  if (tracer_ != nullptr) {
+    obs::SpanArgs args{{"kind", kind_name(n.kind)},
+                       {"reporter", std::uint64_t{n.reporter}},
+                       {"flow", net::to_string(n.flow)}};
+    if (n.kind == Notification::Kind::kHighLatency) {
+      args.emplace_back("latency_ms", sim::to_seconds(n.latency) * 1e3);
+      args.emplace_back("threshold_ms", sim::to_seconds(n.threshold) * 1e3);
+    } else {
+      args.emplace_back("epoch_gap", n.epoch_gap);
+      args.emplace_back("dropped_estimate", n.dropped_estimate);
+    }
+    tracer_->instant("notification", "dataplane", now, std::move(args));
+  }
   if (notify_fn_) notify_fn_(n);
 }
 
@@ -181,6 +194,9 @@ void MarsPipeline::on_deliver(net::SwitchContext& ctx, net::Packet& pkt) {
     rec.path_counts[i] = per_path[i];
   }
   st.ring.insert(rec);
+  if (latency_hist_ != nullptr && latency >= 0) {
+    latency_hist_->record(static_cast<std::uint64_t>(latency));
+  }
 
   if (gap > 0 || count_drop) {
     Notification n;

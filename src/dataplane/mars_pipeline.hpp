@@ -21,6 +21,8 @@
 
 #include "dataplane/notification.hpp"
 #include "net/observer.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "telemetry/path_id.hpp"
 #include "telemetry/tables.hpp"
 
@@ -100,6 +102,16 @@ class MarsPipeline : public net::PacketObserver {
   }
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
 
+  // ---- observability (both optional; nullptr = zero overhead) ----
+  /// Emit a virtual-time instant per notification sent to the controller.
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+  /// Record each delivered telemetry packet's end-to-end latency into
+  /// "mars.telemetry_latency_ns" on `registry` (nullptr detaches).
+  void set_metrics(obs::MetricsRegistry* registry) {
+    latency_hist_ =
+        registry ? &registry->histogram("mars.telemetry_latency_ns") : nullptr;
+  }
+
   // ---- PacketObserver ----
   void on_ingress(net::SwitchContext& ctx, net::Packet& pkt) override;
   void on_enqueue(net::SwitchContext& ctx, net::Packet& pkt, net::PortId out,
@@ -139,6 +151,8 @@ class MarsPipeline : public net::PacketObserver {
   /// anomalies surface; a single map keeps that bookkeeping simple.
   std::unordered_map<net::FlowId, std::uint32_t> latency_streak_;
   PipelineOverheads overheads_;
+  obs::SpanTracer* tracer_ = nullptr;
+  obs::LogHistogram* latency_hist_ = nullptr;
 };
 
 }  // namespace mars::dataplane

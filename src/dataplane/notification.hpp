@@ -28,4 +28,8 @@ struct Notification {
   static constexpr std::uint32_t kWireBytes = 32;
 };
 
+[[nodiscard]] constexpr const char* kind_name(Notification::Kind kind) {
+  return kind == Notification::Kind::kHighLatency ? "HighLatency" : "Drop";
+}
+
 }  // namespace mars::dataplane

@@ -23,9 +23,74 @@ MarsSystem::MarsSystem(net::Network& network, MarsConfig config)
       *registry_, config_.rca, &network.topology());
   controller_->set_diagnosis_callback([this](const control::DiagnosisData& d) {
     diagnoses_.push_back(Diagnosis{d, analyzer_->analyze(d)});
+    if (config_.tracer != nullptr) {
+      // Close the virtual-time causal chain: trigger -> diagnosis.
+      config_.tracer->complete(
+          "diagnosis", "mars", d.trigger.when, d.collected_at,
+          {{"trigger", dataplane::kind_name(d.trigger.kind)},
+           {"culprits", std::uint64_t{diagnoses_.back().culprits.size()}}});
+    }
   });
 
+  if (config_.tracer != nullptr) {
+    pipeline_->set_tracer(config_.tracer);
+    controller_->set_tracer(config_.tracer);
+    analyzer_->set_tracer(config_.tracer);
+  }
+  if (config_.metrics != nullptr) {
+    pipeline_->set_metrics(config_.metrics);
+    register_metrics(*config_.metrics);
+  }
+
   network.add_observer(*pipeline_);
+}
+
+MarsSystem::~MarsSystem() {
+  // The "mars." gauges capture `this`; they must not outlive us.
+  if (config_.metrics != nullptr) config_.metrics->remove_gauges("mars.");
+}
+
+void MarsSystem::register_metrics(obs::MetricsRegistry& registry) {
+  registry.gauge("mars.telemetry_bytes", [this] {
+    return static_cast<double>(overheads().telemetry_bytes);
+  });
+  registry.gauge("mars.diagnosis_bytes", [this] {
+    return static_cast<double>(overheads().diagnosis_bytes);
+  });
+  registry.gauge("mars.notifications", [this] {
+    return static_cast<double>(pipeline_->overheads().notifications);
+  });
+  registry.gauge("mars.notifications_suppressed", [this] {
+    return static_cast<double>(pipeline_->overheads().window_suppressed);
+  });
+  registry.gauge("mars.telemetry_packets_marked", [this] {
+    return static_cast<double>(
+        pipeline_->overheads().telemetry_packets_marked);
+  });
+  registry.gauge("mars.diagnoses", [this] {
+    return static_cast<double>(diagnoses_.size());
+  });
+  registry.gauge("mars.reservoirs", [this] {
+    return static_cast<double>(controller_->reservoir_count());
+  });
+  registry.gauge("mars.reservoir_fill", [this] {
+    return controller_->mean_reservoir_fill();
+  });
+  registry.gauge("mars.ring_occupancy", [this] {
+    // Mean edge-switch Ring Table fill fraction (the paper's Fig. 10
+    // memory argument made observable).
+    const auto edges =
+        network_->topology().switches_in_layer(net::Layer::kEdge);
+    if (edges.empty()) return 0.0;
+    double sum = 0.0;
+    for (const net::SwitchId sw : edges) {
+      const auto& ring = pipeline_->ring_table(sw);
+      sum += ring.capacity() > 0 ? static_cast<double>(ring.size()) /
+                                       static_cast<double>(ring.capacity())
+                                 : 0.0;
+    }
+    return sum / static_cast<double>(edges.size());
+  });
 }
 
 rca::CulpritList MarsSystem::culprits_for(sim::Time fault_start) const {

@@ -11,6 +11,8 @@
 #include "control/path_registry.hpp"
 #include "dataplane/mars_pipeline.hpp"
 #include "net/network.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "rca/analyzer.hpp"
 
 namespace mars {
@@ -19,6 +21,13 @@ struct MarsConfig {
   dataplane::PipelineConfig pipeline;
   control::ControllerConfig controller;
   rca::RcaConfig rca;
+  /// Optional observability hooks (zero overhead when null). The registry
+  /// gains "mars."-prefixed gauges reading the pipeline/controller
+  /// overheads, ring-table occupancy, and reservoir state; the tracer gets
+  /// the notification -> collection -> diagnosis span chain. Both must
+  /// outlive the MarsSystem (its destructor removes the "mars." gauges).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::SpanTracer* tracer = nullptr;
 };
 
 /// One completed diagnosis: the session data and the ranked culprits.
@@ -32,6 +41,7 @@ class MarsSystem {
   /// Builds the registry, attaches the pipeline as an observer, and wires
   /// notifications -> controller -> analyzer. Does not start polling.
   MarsSystem(net::Network& network, MarsConfig config = {});
+  ~MarsSystem();
 
   /// Begin control-plane polling (call once before the simulation runs).
   void start() { controller_->start(); }
@@ -62,6 +72,8 @@ class MarsSystem {
   [[nodiscard]] Overheads overheads() const;
 
  private:
+  void register_metrics(obs::MetricsRegistry& registry);
+
   net::Network* network_;
   MarsConfig config_;
   std::unique_ptr<control::PathRegistry> registry_;

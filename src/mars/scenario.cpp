@@ -1,7 +1,9 @@
 #include "mars/scenario.hpp"
 
 #include <algorithm>
+#include <optional>
 
+#include "obs/net_scrape.hpp"
 #include "sim/simulator.hpp"
 
 namespace mars {
@@ -49,8 +51,15 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     network.node(sw).set_queue_capacity(config.queue_capacity);
   }
 
+  Observability* obs = config.observability;
+
   // MARS.
-  MarsSystem mars_system(network, config.mars);
+  MarsConfig mars_config = config.mars;
+  if (obs != nullptr) {
+    mars_config.metrics = &obs->registry;
+    mars_config.tracer = &obs->tracer;
+  }
+  MarsSystem mars_system(network, mars_config);
 
   // Baselines observe the same packets.
   std::unique_ptr<baselines::SpiderMon> spidermon;
@@ -64,6 +73,11 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     network.add_observer(*spidermon);
     network.add_observer(*intsight);
     network.add_observer(*syndb);
+    if (obs != nullptr) {
+      spidermon->register_metrics(obs->registry);
+      intsight->register_metrics(obs->registry);
+      syndb->register_metrics(obs->registry);
+    }
   }
 
   workload::TrafficGenerator traffic(network, config.seed);
@@ -72,11 +86,45 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   faults::FaultInjector injector(network, traffic, config.seed ^ 0xFA17,
                                  config.injector);
 
+  std::optional<obs::Sampler> sampler;
+  if (obs != nullptr) {
+    obs::scrape_network(network, obs->registry);
+    sampler.emplace(simulator, obs->registry, obs->series,
+                    obs::SamplerConfig{.period = config.sample_period,
+                                       .until = config.duration});
+    sampler->set_tracer(&obs->tracer);
+    sampler->start();
+  }
+
   mars_system.start();
   traffic.start();
   const auto truth = injector.inject(config.fault, config.fault_at);
+  if (obs != nullptr && truth) {
+    obs->tracer.instant("fault_injected", "scenario", config.fault_at,
+                        {{"fault", faults::to_string(config.fault)},
+                         {"truth", truth->describe()}});
+  }
 
-  simulator.run(config.duration);
+  {
+    std::optional<obs::SpanTracer::WallSpan> run_span;
+    if (obs != nullptr) {
+      run_span.emplace(obs->tracer.wall_span(
+          "simulator.run", "sim",
+          {{"duration_s", sim::to_seconds(config.duration)}}));
+    }
+    simulator.run(config.duration);
+    if (run_span) {
+      run_span->arg({"events", simulator.events_executed()});
+    }
+  }
+
+  if (obs != nullptr) {
+    sampler->stop();
+    obs->snapshot = obs->registry.snapshot();
+    // Scenario-scoped gauges capture the network/systems on this stack;
+    // drop them all so nothing dangles after return.
+    obs->registry.remove_gauges("");
+  }
 
   ScenarioResult result;
   result.fault_injected = truth.has_value();

@@ -18,9 +18,30 @@
 #include "mars/mars.hpp"
 #include "metrics/ranking.hpp"
 #include "net/fat_tree.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "obs/tracer.hpp"
 #include "workload/traffic_gen.hpp"
 
 namespace mars {
+
+/// Caller-owned observability bundle for one trial. When attached to a
+/// ScenarioConfig, run_scenario scrapes the network and every deployed
+/// system onto `registry`, runs a periodic Sampler into `series`, routes
+/// the MARS pipeline/controller/RCA spans into `tracer`, and leaves a
+/// final `snapshot` taken just before the scenario-scoped gauges are
+/// removed (so the bundle stays safe to read after the trial).
+///
+/// Attaching observability schedules sampler events, so the trial's event
+/// fingerprint differs from an unobserved run; the determinism contract
+/// (same seed => same result) still holds for a fixed configuration.
+struct Observability {
+  obs::MetricsRegistry registry;
+  obs::SpanTracer tracer;
+  obs::SeriesStore series;
+  /// Registry state at end-of-run (gauges still attached when taken).
+  obs::MetricsSnapshot snapshot;
+};
 
 struct ScenarioConfig {
   int fat_tree_k = 4;
@@ -50,6 +71,11 @@ struct ScenarioConfig {
   /// Deploy the baselines alongside MARS (disable to speed up
   /// MARS-only experiments).
   bool with_baselines = true;
+  /// Optional observability bundle (nullptr = zero instrumentation
+  /// overhead). Must outlive run_scenario.
+  Observability* observability = nullptr;
+  /// Sampler tick period when observability is attached.
+  sim::Time sample_period = 100 * sim::kMillisecond;
 };
 
 struct SystemOutcome {

@@ -1,0 +1,155 @@
+#include "obs/json_writer.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace mars::obs {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 continuation bytes pass through
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  raw("\n");
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i) {
+    raw(" ");
+  }
+}
+
+void JsonWriter::prepare_value() {
+  if (stack_.empty()) {
+    assert(!root_written_ && "JSON document already complete");
+    root_written_ = true;
+    return;
+  }
+  Frame& top = stack_.back();
+  if (top.expecting_value) {
+    // key() already positioned us; the value follows the ": ".
+    top.expecting_value = false;
+    return;
+  }
+  assert(top.is_array && "object members need key() first");
+  if (top.has_items) raw(",");
+  top.has_items = true;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && !stack_.back().is_array &&
+         "key() is only valid inside an object");
+  Frame& top = stack_.back();
+  assert(!top.expecting_value && "key() twice without a value");
+  if (top.has_items) raw(",");
+  top.has_items = true;
+  newline_indent();
+  raw("\"");
+  raw(escape(k));
+  raw(indent_ > 0 ? "\": " : "\":");
+  top.expecting_value = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_value();
+  raw("{");
+  stack_.push_back(Frame{.is_array = false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && !stack_.back().is_array);
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  raw("}");
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_value();
+  raw("[");
+  stack_.push_back(Frame{.is_array = true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().is_array);
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  raw("]");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  prepare_value();
+  raw("\"");
+  raw(escape(v));
+  raw("\"");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  prepare_value();
+  char buf[32];
+  // %.17g round-trips every double but litters output with noise digits;
+  // try the shorter form first and fall back only when it loses precision.
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
+  raw(buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  prepare_value();
+  raw(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prepare_value();
+  raw(std::to_string(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prepare_value();
+  raw(v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prepare_value();
+  raw("null");
+  return *this;
+}
+
+}  // namespace mars::obs

@@ -1,0 +1,84 @@
+#pragma once
+// Streaming JSON writer shared by every observability exporter and by
+// mars_cli's --json output. Handles escaping, nesting, and comma/indent
+// bookkeeping so call sites never hand-format JSON (the old mars_cli
+// printf approach leaked trailing-comma logic into every caller).
+//
+// Output is deterministic: keys are written in call order, doubles use a
+// shortest-round-trip format, and non-finite doubles become null (JSON has
+// no NaN/Inf).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mars::obs {
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 writes compact single-line JSON.
+  explicit JsonWriter(std::ostream& out, int indent = 2)
+      : out_(&out), indent_(indent) {}
+
+  // ---- containers ----
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member key inside an object; must be followed by a value/container.
+  JsonWriter& key(std::string_view k);
+
+  // ---- values ----
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint32_t v) {
+    return value(static_cast<std::uint64_t>(v));
+  }
+  JsonWriter& value(std::int32_t v) {
+    return value(static_cast<std::int64_t>(v));
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // ---- key/value conveniences ----
+  template <typename T>
+  JsonWriter& member(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+  JsonWriter& member_null(std::string_view k) {
+    key(k);
+    return null();
+  }
+
+  /// Nesting depth (0 when complete). A finished document has depth() == 0.
+  [[nodiscard]] std::size_t depth() const { return stack_.size(); }
+
+  /// JSON-escape `s` (quotes, backslash, control characters). UTF-8 bytes
+  /// pass through untouched.
+  [[nodiscard]] static std::string escape(std::string_view s);
+
+ private:
+  struct Frame {
+    bool is_array = false;
+    bool has_items = false;
+    bool expecting_value = false;  ///< object frame: key() was just written
+  };
+
+  void prepare_value();  ///< comma/newline/indent before a value or key
+  void newline_indent();
+  void raw(std::string_view s) { *out_ << s; }
+
+  std::ostream* out_;
+  int indent_;
+  std::vector<Frame> stack_;
+  bool root_written_ = false;
+};
+
+}  // namespace mars::obs

@@ -1,0 +1,108 @@
+#include "obs/net_scrape.hpp"
+
+#include <algorithm>
+
+namespace mars::obs {
+
+namespace {
+
+/// Utilization of one egress port since t=0: busy_time / elapsed.
+double port_utilization(net::Network& network, net::SwitchId sw,
+                        net::PortId port) {
+  const sim::Time now = network.simulator().now();
+  if (now <= 0) return 0.0;
+  return static_cast<double>(network.node(sw).counters(port).busy_time) /
+         static_cast<double>(now);
+}
+
+}  // namespace
+
+void scrape_network(net::Network& network, MetricsRegistry& registry,
+                    const ScrapeOptions& options) {
+  const std::string& p = options.prefix;
+
+  if (options.totals) {
+    registry.gauge("sim.events_executed", [&network] {
+      return static_cast<double>(network.simulator().events_executed());
+    });
+    registry.gauge("sim.time_s", [&network] {
+      return sim::to_seconds(network.simulator().now());
+    });
+    registry.gauge(p + "injected", [&network] {
+      return static_cast<double>(network.stats().injected);
+    });
+    registry.gauge(p + "delivered", [&network] {
+      return static_cast<double>(network.stats().delivered);
+    });
+    registry.gauge(p + "dropped", [&network] {
+      return static_cast<double>(network.stats().dropped);
+    });
+    registry.gauge(p + "unroutable", [&network] {
+      return static_cast<double>(network.stats().unroutable);
+    });
+    registry.gauge(p + "queue_depth_total", [&network] {
+      std::uint64_t total = 0;
+      for (net::SwitchId sw = 0; sw < network.switch_count(); ++sw) {
+        total += network.node(sw).total_queue_depth();
+      }
+      return static_cast<double>(total);
+    });
+  }
+
+  if (options.per_port) {
+    for (net::SwitchId sw = 0; sw < network.switch_count(); ++sw) {
+      const std::string sw_prefix = p + "sw" + std::to_string(sw) + ".";
+      registry.gauge(sw_prefix + "queue_depth", [&network, sw] {
+        return static_cast<double>(network.node(sw).total_queue_depth());
+      });
+      const std::size_t ports = network.node(sw).port_count();
+      for (net::PortId port = 0; port < ports; ++port) {
+        const std::string pp =
+            sw_prefix + "p" + std::to_string(port) + ".";
+        registry.gauge(pp + "tx_packets", [&network, sw, port] {
+          return static_cast<double>(
+              network.node(sw).counters(port).tx_packets);
+        });
+        registry.gauge(pp + "tx_bytes", [&network, sw, port] {
+          return static_cast<double>(
+              network.node(sw).counters(port).tx_bytes);
+        });
+        registry.gauge(pp + "drops", [&network, sw, port] {
+          return static_cast<double>(network.node(sw).counters(port).drops);
+        });
+        registry.gauge(pp + "busy_s", [&network, sw, port] {
+          return sim::to_seconds(network.node(sw).counters(port).busy_time);
+        });
+        registry.gauge(pp + "queue_depth", [&network, sw, port] {
+          return static_cast<double>(network.node(sw).queue_depth(port));
+        });
+      }
+    }
+  }
+
+  if (options.link_utilization) {
+    const auto& topo = network.topology();
+    for (std::size_t i = 0; i < topo.links().size(); ++i) {
+      const net::Link& link = topo.links()[i];
+      // Fig. 2's classification: a link with an edge-switch endpoint is an
+      // edge link; everything else belongs to the core.
+      const bool touches_edge =
+          topo.layer(link.a.sw) == net::Layer::kEdge ||
+          topo.layer(link.b.sw) == net::Layer::kEdge;
+      const char* klass = touches_edge ? "edge" : "core";
+      for (const net::LinkEnd& end : {link.a, link.b}) {
+        const net::LinkEnd& other = end.sw == link.a.sw ? link.b : link.a;
+        const std::string name = p + "link." + klass + "." +
+                                 std::to_string(end.sw) + "-" +
+                                 std::to_string(other.sw) + ".util";
+        const net::SwitchId sw = end.sw;
+        const net::PortId port = end.port;
+        registry.gauge(name, [&network, sw, port] {
+          return port_utilization(network, sw, port);
+        });
+      }
+    }
+  }
+}
+
+}  // namespace mars::obs

@@ -1,0 +1,139 @@
+#include "obs/tracer.hpp"
+
+#include "obs/json_writer.hpp"
+
+namespace mars::obs {
+
+namespace {
+
+constexpr double ns_to_us(sim::Time t) {
+  return static_cast<double>(t) / 1000.0;
+}
+
+}  // namespace
+
+SpanTracer::SpanTracer() : wall_epoch_(std::chrono::steady_clock::now()) {}
+
+void SpanTracer::complete(std::string name, std::string cat, sim::Time start,
+                          sim::Time end, SpanArgs args) {
+  events_.push_back(Event{.ph = 'X',
+                          .pid = kVirtualPid,
+                          .name = std::move(name),
+                          .cat = std::move(cat),
+                          .ts_us = ns_to_us(start),
+                          .dur_us = ns_to_us(end - start),
+                          .args = std::move(args)});
+}
+
+void SpanTracer::instant(std::string name, std::string cat, sim::Time at,
+                         SpanArgs args) {
+  events_.push_back(Event{.ph = 'i',
+                          .pid = kVirtualPid,
+                          .name = std::move(name),
+                          .cat = std::move(cat),
+                          .ts_us = ns_to_us(at),
+                          .dur_us = 0.0,
+                          .args = std::move(args)});
+}
+
+void SpanTracer::counter(std::string name, sim::Time at, double value) {
+  events_.push_back(Event{.ph = 'C',
+                          .pid = kVirtualPid,
+                          .name = std::move(name),
+                          .cat = "metric",
+                          .ts_us = ns_to_us(at),
+                          .dur_us = 0.0,
+                          .counter_value = value,
+                          .args = {}});
+}
+
+SpanTracer::WallSpan::WallSpan(SpanTracer* tracer, std::string name,
+                               std::string cat, SpanArgs args)
+    : tracer_(tracer), name_(std::move(name)), cat_(std::move(cat)),
+      args_(std::move(args)), start_(std::chrono::steady_clock::now()) {}
+
+SpanTracer::WallSpan::~WallSpan() {
+  if (tracer_ != nullptr) {
+    tracer_->record_wall(std::move(name_), std::move(cat_), start_,
+                         std::move(args_));
+  }
+}
+
+SpanTracer::WallSpan SpanTracer::wall_span(std::string name, std::string cat,
+                                           SpanArgs args) {
+  return WallSpan(this, std::move(name), std::move(cat), std::move(args));
+}
+
+void SpanTracer::record_wall(std::string name, std::string cat,
+                             std::chrono::steady_clock::time_point start,
+                             SpanArgs args) {
+  const auto us = [this](std::chrono::steady_clock::time_point t) {
+    return std::chrono::duration<double, std::micro>(t - wall_epoch_).count();
+  };
+  const auto now = std::chrono::steady_clock::now();
+  events_.push_back(Event{.ph = 'X',
+                          .pid = kWallPid,
+                          .name = std::move(name),
+                          .cat = std::move(cat),
+                          .ts_us = us(start),
+                          .dur_us = us(now) - us(start),
+                          .args = std::move(args)});
+}
+
+void SpanTracer::write_chrome_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.member("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+
+  // Process-name metadata so the two clock domains are labelled in the UI.
+  const auto process_meta = [&w](int pid, const char* label) {
+    w.begin_object();
+    w.member("ph", "M").member("pid", std::int64_t{pid})
+        .member("tid", std::int64_t{0})
+        .member("name", "process_name");
+    w.key("args").begin_object().member("name", label).end_object();
+    w.end_object();
+  };
+  process_meta(kVirtualPid, "virtual time (simulated)");
+  process_meta(kWallPid, "wall clock (host)");
+
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.member("ph", std::string_view(&e.ph, 1));
+    w.member("pid", std::int64_t{e.pid});
+    w.member("tid", std::int64_t{0});
+    w.member("name", e.name);
+    w.member("ts", e.ts_us);
+    if (e.ph == 'X') {
+      w.member("dur", e.dur_us);
+    }
+    if (e.ph == 'i') {
+      w.member("s", "p");  // process-scoped instant marker
+    }
+    if (e.ph != 'C') {
+      w.member("cat", e.cat.empty() ? "mars" : e.cat);
+    }
+    if (e.ph == 'C') {
+      w.key("args").begin_object().member("value", e.counter_value)
+          .end_object();
+    } else if (!e.args.empty()) {
+      w.key("args").begin_object();
+      for (const SpanArg& a : e.args) {
+        if (a.is_number) {
+          w.member(a.key, a.number);
+        } else {
+          w.member(a.key, a.text);
+        }
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace mars::obs

@@ -31,6 +31,15 @@ RootCauseAnalyzer::RootCauseAnalyzer(const control::PathRegistry& registry,
                                      const net::Topology* topology)
     : registry_(&registry), config_(config), topology_(topology) {}
 
+std::optional<obs::SpanTracer::WallSpan> RootCauseAnalyzer::phase_span(
+    std::string name) const {
+  std::optional<obs::SpanTracer::WallSpan> span;
+  if (tracer_ != nullptr) {
+    span.emplace(tracer_->wall_span(std::move(name), "rca"));
+  }
+  return span;
+}
+
 void RootCauseAnalyzer::assign_location(Culprit& culprit,
                                         const fsm::Sequence& pattern) const {
   // A link pattern <a,b> with a port-scoped cause names a's egress port
@@ -49,6 +58,11 @@ void RootCauseAnalyzer::assign_location(Culprit& culprit,
 
 CulpritList RootCauseAnalyzer::analyze(
     const control::DiagnosisData& data) const {
+  auto span = phase_span("rca.analyze");
+  if (span) {
+    span->arg({"trigger", dataplane::kind_name(data.trigger.kind)});
+    span->arg({"records", std::uint64_t{data.records.size()}});
+  }
   // A count deficit also appears when packets stall behind a congested or
   // delaying port: they arrive, just late, and also raise HighLatency
   // notifications. The notification mix collected with the session decides
@@ -133,7 +147,12 @@ CulpritList RootCauseAnalyzer::analyze_latency(
 
   // (1) Restore an approximate packet-level view from the samples.
   EstimatorConfig est_cfg = config_.estimator;
+  auto estimate_span = phase_span("rca.estimate");
   const auto estimated = estimate_traffic(recent, est_cfg);
+  if (estimate_span) {
+    estimate_span->arg({"packets", std::uint64_t{estimated.size()}});
+    estimate_span.reset();
+  }
   if (estimated.empty()) return {};
 
   // (2) Classify each estimated packet by its flow's dynamic threshold and
@@ -164,12 +183,20 @@ CulpritList RootCauseAnalyzer::analyze_latency(
 
   // (3) Mine culprit locations from the abnormal set.
   const auto miner = fsm::make_miner(config_.miner);
+  auto mine_span = phase_span(
+      "rca.mine:" + std::string(fsm::miner_name(config_.miner)));
   auto patterns = miner->mine(abnormal, config_.mining);
+  if (mine_span) {
+    mine_span->arg({"patterns", std::uint64_t{patterns.size()}});
+    mine_span.reset();
+  }
   if (patterns.empty()) return {};
 
   // (4) Relative-risk SBFL scores.
+  auto sbfl_span = phase_span("rca.sbfl");
   auto scored = score_patterns(patterns, abnormal, normal,
                                config_.mining.contiguous, config_.formula);
+  sbfl_span.reset();
   if (scored.size() > config_.max_patterns) {
     scored.resize(config_.max_patterns);
   }
@@ -178,6 +205,7 @@ CulpritList RootCauseAnalyzer::analyze_latency(
       data.trigger.when - config_.signatures.problem_window;
 
   // (5) Alg. 3: assign a cause per (pattern, flow) and score it.
+  auto localize_span = phase_span("rca.localize");
   std::vector<Culprit> raw;
   for (const auto& sp : scored) {
     if (sp.score <= 0.0) continue;
@@ -279,6 +307,10 @@ CulpritList RootCauseAnalyzer::analyze_latency(
       raw.push_back(std::move(culprit));
     }
   }
+  if (localize_span) {
+    localize_span->arg({"culprits", std::uint64_t{raw.size()}});
+    localize_span.reset();
+  }
   return merge_and_rank(std::move(raw));
 }
 
@@ -379,9 +411,17 @@ CulpritList RootCauseAnalyzer::analyze_drop(
   if (abnormal.empty()) return {};
 
   const auto miner = fsm::make_miner(config_.miner);
+  auto mine_span = phase_span(
+      "rca.mine:" + std::string(fsm::miner_name(config_.miner)));
   const auto patterns = miner->mine(abnormal, config_.mining);
+  if (mine_span) {
+    mine_span->arg({"patterns", std::uint64_t{patterns.size()}});
+    mine_span.reset();
+  }
+  auto sbfl_span = phase_span("rca.sbfl");
   auto scored = score_patterns(patterns, abnormal, normal,
                                config_.mining.contiguous, config_.formula);
+  sbfl_span.reset();
   if (scored.size() > config_.max_patterns) {
     scored.resize(config_.max_patterns);
   }

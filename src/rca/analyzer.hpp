@@ -7,11 +7,14 @@
 //   (5) signature matching + culprit localization and merging (Alg. 3),
 // and the separate second SBFL pass for drop events (§4.4.4 "Drop").
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "control/controller.hpp"
 #include "control/path_registry.hpp"
 #include "fsm/miner.hpp"
+#include "obs/tracer.hpp"
 #include "rca/sbfl.hpp"
 #include "rca/signatures.hpp"
 #include "rca/traffic_estimator.hpp"
@@ -58,6 +61,11 @@ class RootCauseAnalyzer {
 
   [[nodiscard]] const RcaConfig& config() const { return config_; }
 
+  /// Attach a span tracer (nullptr detaches): wall-clock spans around each
+  /// analysis phase — traffic estimation, FSM mining (named per miner),
+  /// SBFL scoring, localization — the paper's "diagnosis cost" profile.
+  void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
+
  private:
   [[nodiscard]] CulpritList analyze_latency(
       const control::DiagnosisData& data) const;
@@ -71,9 +79,14 @@ class RootCauseAnalyzer {
   /// Refine a link-pattern culprit to port level when topology is known.
   void assign_location(Culprit& culprit, const fsm::Sequence& pattern) const;
 
+  /// RAII wall span helper: inactive (and free) when no tracer is attached.
+  [[nodiscard]] std::optional<obs::SpanTracer::WallSpan> phase_span(
+      std::string name) const;
+
   const control::PathRegistry* registry_;
   RcaConfig config_;
   const net::Topology* topology_;
+  obs::SpanTracer* tracer_ = nullptr;
 };
 
 }  // namespace mars::rca

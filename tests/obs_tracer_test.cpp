@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "obs/tracer.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace mars;
+using namespace mars::sim::literals;
+
+TEST(SpanTracer, StartsEmpty) {
+  obs::SpanTracer tracer;
+  EXPECT_TRUE(tracer.empty());
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(SpanTracer, VirtualEventsRenderInMicroseconds) {
+  obs::SpanTracer tracer;
+  tracer.complete("window", "control", 2_ms, 5_ms, {{"records", 7}});
+  tracer.instant("notify", "dataplane", 1_ms);
+  tracer.counter("queue_depth", 3_ms, 42.0);
+  EXPECT_EQ(tracer.size(), 3u);
+
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+
+  // 2 ms -> ts 2000 us, dur 3000 us on the virtual-time track.
+  EXPECT_NE(json.find("\"name\": \"window\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": 2000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 3000"), std::string::npos);
+  EXPECT_NE(json.find("\"records\": 7"), std::string::npos);
+  // Instants are process-scoped so Perfetto draws them full-height.
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\": \"p\""), std::string::npos);
+  // Counters carry their value in args.value.
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\": 42"), std::string::npos);
+}
+
+TEST(SpanTracer, ChromeJsonHasMetadataForBothClockDomains) {
+  obs::SpanTracer tracer;
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("virtual time (simulated)"), std::string::npos);
+  EXPECT_NE(json.find("wall clock (host)"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+TEST(SpanTracer, WallSpanRecordsOnDestruction) {
+  obs::SpanTracer tracer;
+  {
+    auto span = tracer.wall_span("drain", "control");
+    span.arg({"records", std::uint64_t{12}});
+    EXPECT_TRUE(tracer.empty());  // nothing until the scope closes
+  }
+  EXPECT_EQ(tracer.size(), 1u);
+
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"name\": \"drain\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 2"), std::string::npos);  // wall track
+  EXPECT_NE(json.find("\"records\": 12"), std::string::npos);
+}
+
+TEST(SpanTracer, MovedFromWallSpanDoesNotDoubleRecord) {
+  obs::SpanTracer tracer;
+  {
+    auto a = tracer.wall_span("once", "control");
+    auto b = std::move(a);
+    // `a` is dead here; only `b`'s destruction may record.
+  }
+  EXPECT_EQ(tracer.size(), 1u);
+}
+
+TEST(SpanTracer, StringAndNumberArgsRenderDistinctly) {
+  obs::SpanTracer tracer;
+  tracer.instant("fault", "scenario", 0,
+                 {{"kind", "micro-burst"}, {"severity", 3.5}});
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"kind\": \"micro-burst\""), std::string::npos);
+  EXPECT_NE(json.find("\"severity\": 3.5"), std::string::npos);
+}
+
+}  // namespace

@@ -10,11 +10,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "mars/scenario.hpp"
+#include "mars/sweep.hpp"
 #include "metrics/ranking.hpp"
-#include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace {
@@ -31,7 +33,7 @@ int trials_per_cell() {
 void BM_SingleMarsOnlyTrial(benchmark::State& state) {
   for (auto _ : state) {
     auto cfg = default_scenario(faults::FaultKind::kDrop, 77);
-    cfg.with_baselines = false;
+    cfg.systems = {"mars"};
     auto result = run_scenario(cfg);
     benchmark::DoNotOptimize(result);
   }
@@ -56,22 +58,27 @@ int main(int argc, char** argv) {
               trials, std::size(causes));
   std::printf("  formula       |  R@1 |  R@3 | Exam\n");
   for (const auto formula : formulas) {
-    struct Cell {
-      std::optional<std::size_t> rank;
-    };
-    std::vector<Cell> cells(
-        static_cast<std::size_t>(trials) * std::size(causes));
-    parallel::parallel_for(pool, 0, cells.size(), [&](std::size_t i) {
+    std::vector<SweepPoint> points;
+    points.reserve(static_cast<std::size_t>(trials) * std::size(causes));
+    for (std::size_t i = 0; i < points.capacity(); ++i) {
       const auto cause = causes[i % std::size(causes)];
       const std::uint64_t seed = 2000 + 53 * (i / std::size(causes));
-      auto cfg = default_scenario(cause, seed);
-      cfg.with_baselines = false;
-      cfg.mars.rca.formula = formula;
-      const auto result = run_scenario(cfg);
-      if (result.fault_injected) cells[i].rank = result.mars.rank;
-    });
+      SweepPoint point;
+      point.config = default_scenario(cause, seed);
+      point.config.systems = {"mars"};
+      point.config.mars.rca.formula = formula;
+      point.label = std::string(rca::to_string(formula)) + "/" +
+                    faults::short_name(cause) + "/seed=" +
+                    std::to_string(seed);
+      points.push_back(std::move(point));
+    }
+    const auto sweep = run_sweep(pool, points);
     metrics::LocalizationStats stats;
-    for (const auto& cell : cells) stats.add(cell.rank);
+    for (const auto& trial : sweep.trials) {
+      stats.add(trial.result.fault_injected
+                    ? trial.result.outcome("mars").rank
+                    : std::nullopt);
+    }
     std::printf("  %-13s | %4.0f | %4.0f | %4.1f\n",
                 rca::to_string(formula), 100 * stats.recall_at(1),
                 100 * stats.recall_at(3), stats.exam_score());

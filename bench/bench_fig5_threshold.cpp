@@ -16,6 +16,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <numbers>
@@ -24,6 +25,8 @@
 #include "detect/reservoir.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -158,6 +161,45 @@ int main(int argc, char** argv) {
               high.false_negatives);
   std::printf("  dynamic      | %2d | %3d | %2d\n\n", dyn.true_positives,
               dyn.false_positives, dyn.false_negatives);
+
+  // One day can flatter a detector: replay the trio over independently
+  // seeded days in parallel and pool the confusion counts. The dynamic
+  // threshold here is read straight off the online reservoir (the value
+  // in force when each point arrives), no sampler needed.
+  constexpr std::size_t kDays = 8;
+  parallel::ThreadPool pool;
+  const auto day_outcomes = parallel::parallel_map(
+      pool, kDays, [&](std::size_t d) -> std::array<Outcome, 3> {
+        const auto one_day = make_day(3 + d);
+        detect::Reservoir day_reservoir(rcfg);
+        Outcome dyn_day;
+        for (const auto& p : one_day) {
+          const bool flagged = day_reservoir.input(p.latency_us);
+          if (flagged && p.anomaly) ++dyn_day.true_positives;
+          if (flagged && !p.anomaly) ++dyn_day.false_positives;
+          if (!flagged && p.anomaly) ++dyn_day.false_negatives;
+        }
+        return {evaluate(one_day, [&](const Point&) { return static_low; }),
+                evaluate(one_day, [&](const Point&) { return static_high; }),
+                dyn_day};
+      });
+  std::array<Outcome, 3> pooled{};
+  for (const auto& outcomes : day_outcomes) {
+    for (std::size_t i = 0; i < pooled.size(); ++i) {
+      pooled[i].true_positives += outcomes[i].true_positives;
+      pooled[i].false_positives += outcomes[i].false_positives;
+      pooled[i].false_negatives += outcomes[i].false_negatives;
+    }
+  }
+  std::printf("  pooled over %zu seeded days:\n", kDays);
+  std::printf("  detector     |  TP |  FP  |  FN\n");
+  const char* labels[3] = {"static-low", "static-high", "dynamic"};
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    std::printf("  %-12s | %3d | %4d | %3d\n", labels[i],
+                pooled[i].true_positives, pooled[i].false_positives,
+                pooled[i].false_negatives);
+  }
+  std::printf("\n");
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

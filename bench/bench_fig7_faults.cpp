@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "faults/injector.hpp"
+#include "faults/schedule.hpp"
 #include "net/fat_tree.hpp"
 #include "net/network.hpp"
 #include "obs/net_scrape.hpp"
@@ -92,20 +93,21 @@ void fig7b() {
                        {.period = 100_ms, .until = 4_s});
   sampler.start();
 
-  // Apply and lift the skew directly (deterministic chooser).
-  s.simulator.schedule_at(2_s, [&] {
-    for (net::SwitchId dst = 0; dst < s.network.switch_count(); ++dst) {
-      auto& group = s.network.routing().mutable_group(chooser, dst);
-      if (group.members.size() == 2) group.members[1].weight = 9;
-    }
-  });
-  s.simulator.schedule_at(3_s, [&] {
-    for (net::SwitchId dst = 0; dst < s.network.switch_count(); ++dst) {
-      for (auto& m : s.network.routing().mutable_group(chooser, dst).members) {
-        m.weight = 1;
-      }
-    }
-  });
+  // Apply and lift the skew through the injector's fault schedule: a
+  // pinned-target ECMP event with a 1:9 ratio (imbalance range collapsed
+  // to 9) reproduces the hand-rolled weight rewrite deterministically.
+  faults::InjectorConfig icfg;
+  icfg.imbalance_min = 9;
+  icfg.imbalance_max = 9;
+  faults::FaultInjector injector(s.network, s.traffic, 0xFA17, icfg);
+  faults::FaultEvent skew;
+  skew.kind = faults::FaultKind::kEcmpImbalance;
+  skew.at = 2_s;
+  skew.duration = 1_s;
+  skew.target_switch = chooser;
+  faults::FaultSchedule schedule;
+  schedule.add(skew);
+  injector.apply(schedule);
 
   s.traffic.start();
   s.simulator.run(4_s);

@@ -23,6 +23,8 @@
 #include "detect/reservoir.hpp"
 #include "metrics/classification.hpp"
 #include "obs/registry.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -185,6 +187,50 @@ int main(int argc, char** argv) {
   print_row(snap, "Alg.1-as-printed, sigma", "asprinted_sigma");
   print_row(snap, "no penalty, MAD", "nopen_mad");
   print_row(snap, "MARS here (penalty + MAD)", "pen_mad");
+  std::printf("\n");
+
+  // Pool the confusion matrices over independently seeded streams (run in
+  // parallel) so the ranking is not an artifact of one burst pattern.
+  constexpr std::size_t kStreams = 6;
+  parallel::ThreadPool pool;
+  const auto snapshots = parallel::parallel_map(
+      pool, kStreams, [](std::size_t i) -> obs::MetricsSnapshot {
+        const auto s = make_stream(5 + 11 * i);
+        obs::MetricsRegistry reg;
+        run_static(s, 1600, reg, "static_low");
+        run_static(s, 3500, reg, "static_high");
+        run_reservoir(s, detect::PenaltyMode::kNone,
+                      detect::ScaleEstimator::kStdDev, reg, "nopen_sigma");
+        run_reservoir(s, detect::PenaltyMode::kConsecutiveOutliers,
+                      detect::ScaleEstimator::kStdDev, reg, "pen_sigma");
+        run_reservoir(s, detect::PenaltyMode::kNone,
+                      detect::ScaleEstimator::kMad, reg, "nopen_mad");
+        run_reservoir(s, detect::PenaltyMode::kConsecutiveOutliers,
+                      detect::ScaleEstimator::kMad, reg, "pen_mad");
+        return reg.snapshot();
+      });
+  std::printf("  pooled over %zu seeded streams:\n", kStreams);
+  std::printf("  detector                   | precision | recall | F1\n");
+  const struct {
+    const char* label;
+    const char* name;
+  } rows[] = {{"static low (1.6ms)", "static_low"},
+              {"static high (3.5ms)", "static_high"},
+              {"no penalty, sigma", "nopen_sigma"},
+              {"penalty, sigma (paper MARS)", "pen_sigma"},
+              {"no penalty, MAD", "nopen_mad"},
+              {"MARS here (penalty + MAD)", "pen_mad"}};
+  for (const auto& row : rows) {
+    metrics::BinaryCounts c;
+    for (const auto& stream_snap : snapshots) {
+      c.tp += stream_snap.counter_or(std::string(row.name) + ".tp", 0);
+      c.fp += stream_snap.counter_or(std::string(row.name) + ".fp", 0);
+      c.tn += stream_snap.counter_or(std::string(row.name) + ".tn", 0);
+      c.fn += stream_snap.counter_or(std::string(row.name) + ".fn", 0);
+    }
+    std::printf("  %-26s | %9.3f | %6.3f | %6.3f\n", row.label,
+                c.precision(), c.recall(), c.f1());
+  }
   std::printf("\n");
 
   benchmark::Initialize(&argc, argv);

@@ -15,8 +15,10 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "mars/scenario.hpp"
+#include "mars/sweep.hpp"
 
 namespace {
 
@@ -63,15 +65,23 @@ BENCHMARK(BM_ScenarioWithAllSystems)->Unit(benchmark::kSecond)->Iterations(1);
 
 int main(int argc, char** argv) {
   std::printf("== Fig. 9: bandwidth overhead per system ==\n");
+  std::vector<SweepPoint> points;
   for (const auto fault : {faults::FaultKind::kProcessRateDecrease,
                            faults::FaultKind::kMicroBurst}) {
-    auto cfg = default_scenario(fault, 7);
-    Observability obs;
-    cfg.observability = &obs;
-    const auto result = run_scenario(cfg);
+    SweepPoint point;
+    point.config = default_scenario(fault, 7);
+    point.label = faults::to_string(fault);
+    points.push_back(std::move(point));
+  }
+  SweepOptions options;
+  options.collect_observability = true;
+  const auto sweep = run_sweep(points, options);
+  for (const auto& trial : sweep.trials) {
     // Approximate application bytes: delivered packets x mean wire size.
-    const std::uint64_t app_bytes = result.net_stats.delivered * 590ull;
-    print_rows(faults::to_string(fault), obs.snapshot, app_bytes);
+    const std::uint64_t app_bytes =
+        trial.result.net_stats.delivered * 590ull;
+    print_rows(trial.label.c_str(), trial.observability->snapshot,
+               app_bytes);
     std::printf("\n");
   }
 

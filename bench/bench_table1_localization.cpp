@@ -1,10 +1,11 @@
 // Table 1 — the headline result: Recall@k and Exam Score for MARS,
 // SpiderMon, IntSight and SyNDB across the five fault causes.
 //
-// Each cell aggregates independent fault-injection trials (seeded, run in
-// parallel). SyNDB is expert-aided exactly as in the paper (it is told
-// the fault class to query for — the gray cells). SpiderMon and IntSight
-// print "-" for causes they never trigger on (delay/drop).
+// Each cell aggregates independent fault-injection trials dispatched
+// through the sweep driver (seeded, run in parallel). SyNDB is
+// expert-aided exactly as in the paper (it is told the fault class to
+// query for — the gray cells). SpiderMon and IntSight print "-" for
+// causes they never trigger on (delay/drop).
 //
 // Expected shape: MARS leads or ties everywhere without expert help;
 // SpiderMon/IntSight blank on delay+drop; SyNDB near-perfect but paid for
@@ -15,16 +16,20 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "mars/scenario.hpp"
+#include "mars/sweep.hpp"
 #include "metrics/ranking.hpp"
-#include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace {
 
 using namespace mars;
+
+constexpr const char* kSystems[] = {"mars", "spidermon", "intsight",
+                                    "syndb"};
 
 int trials_per_cause() {
   if (const char* env = std::getenv("MARS_TRIALS")) {
@@ -33,13 +38,19 @@ int trials_per_cause() {
   return 12;
 }
 
-std::vector<ScenarioResult> run_trials(faults::FaultKind fault, int trials,
-                                       parallel::ThreadPool& pool) {
-  std::vector<ScenarioResult> results(static_cast<std::size_t>(trials));
-  parallel::parallel_for(pool, 0, results.size(), [&](std::size_t i) {
-    results[i] = run_scenario(default_scenario(fault, 1000 + 37 * i));
-  });
-  return results;
+SweepResult run_trials(faults::FaultKind fault, int trials,
+                       parallel::ThreadPool& pool) {
+  std::vector<SweepPoint> points;
+  points.reserve(static_cast<std::size_t>(trials));
+  for (int i = 0; i < trials; ++i) {
+    SweepPoint point;
+    point.config =
+        default_scenario(fault, 1000 + 37 * static_cast<std::uint64_t>(i));
+    point.label = std::string(faults::short_name(fault)) +
+                  "/seed=" + std::to_string(point.config.seed);
+    points.push_back(std::move(point));
+  }
+  return run_sweep(pool, points);
 }
 
 struct SystemStats {
@@ -48,20 +59,17 @@ struct SystemStats {
 };
 
 struct CauseRow {
-  SystemStats mars, spidermon, intsight, syndb;
+  SystemStats systems[std::size(kSystems)];
   int trials = 0;
 
   void add(const ScenarioResult& r) {
     if (!r.fault_injected) return;
     ++trials;
-    mars.stats.add(r.mars.rank);
-    mars.triggered += r.mars.triggered;
-    spidermon.stats.add(r.spidermon.rank);
-    spidermon.triggered += r.spidermon.triggered;
-    intsight.stats.add(r.intsight.rank);
-    intsight.triggered += r.intsight.triggered;
-    syndb.stats.add(r.syndb.rank);
-    syndb.triggered += r.syndb.triggered;
+    for (std::size_t s = 0; s < std::size(kSystems); ++s) {
+      const SystemOutcome& outcome = r.outcome(kSystems[s]);
+      systems[s].stats.add(outcome.rank);
+      systems[s].triggered += outcome.triggered;
+    }
   }
 };
 
@@ -78,10 +86,10 @@ void print_cell(const SystemStats& s, bool can_blank) {
 
 void print_row(const char* label, const CauseRow& row) {
   std::printf("  %-13s |", label);
-  print_cell(row.mars, false);
-  print_cell(row.spidermon, true);
-  print_cell(row.intsight, true);
-  print_cell(row.syndb, false);
+  print_cell(row.systems[0], false);
+  print_cell(row.systems[1], true);
+  print_cell(row.systems[2], true);
+  print_cell(row.systems[3], false);
   std::printf("\n");
 }
 
@@ -114,11 +122,11 @@ int main(int argc, char** argv) {
       faults::FaultKind::kDrop};
   CauseRow overall;
   for (const auto cause : causes) {
-    const auto results = run_trials(cause, trials, pool);
+    const auto sweep = run_trials(cause, trials, pool);
     CauseRow row;
-    for (const auto& r : results) {
-      row.add(r);
-      overall.add(r);
+    for (const auto& trial : sweep.trials) {
+      row.add(trial.result);
+      overall.add(trial.result);
     }
     print_row(faults::to_string(cause), row);
   }

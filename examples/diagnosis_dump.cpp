@@ -5,21 +5,24 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
 
+#include "faults/schedule.hpp"
 #include "mars/scenario.hpp"
+#include "net/topology_registry.hpp"
 #include "rca/signatures.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
 
 mars::faults::FaultKind parse_fault(const char* arg) {
-  using mars::faults::FaultKind;
-  if (std::strcmp(arg, "microburst") == 0) return FaultKind::kMicroBurst;
-  if (std::strcmp(arg, "ecmp") == 0) return FaultKind::kEcmpImbalance;
-  if (std::strcmp(arg, "rate") == 0) return FaultKind::kProcessRateDecrease;
-  if (std::strcmp(arg, "delay") == 0) return FaultKind::kDelay;
-  if (std::strcmp(arg, "drop") == 0) return FaultKind::kDrop;
-  std::exit(2);
+  const auto kind = mars::faults::kind_from_name(arg);
+  if (!kind) {
+    std::fprintf(stderr, "unknown fault '%s' (known: %s)\n", arg,
+                 mars::faults::known_kind_names());
+    std::exit(2);
+  }
+  return *kind;
 }
 
 }  // namespace
@@ -32,24 +35,23 @@ int main(int argc, char** argv) {
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 23;
 
   auto cfg = default_scenario(fault, seed);
-  cfg.with_baselines = false;
+  const sim::Time fault_at = cfg.first_fault_at();
 
   sim::Simulator simulator;
-  auto ft = net::build_fat_tree({.k = cfg.fat_tree_k,
-                                 .edge_agg_gbps = cfg.edge_link_gbps,
-                                 .agg_core_gbps = cfg.core_link_gbps});
-  net::Network network(simulator, ft.topology);
+  auto fabric = net::TopologyRegistry::instance().build(cfg.topology);
+  net::Network network(simulator, fabric.topology);
   for (net::SwitchId sw = 0; sw < network.switch_count(); ++sw) {
     network.node(sw).set_queue_capacity(cfg.queue_capacity);
   }
   MarsSystem mars_system(network, cfg.mars);
   workload::TrafficGenerator traffic(network, cfg.seed);
-  traffic.add_background(cfg.background, ft.edge, cfg.fat_tree_k);
+  traffic.add_background(cfg.background, fabric.edge, fabric.pods);
   faults::FaultInjector injector(network, traffic, cfg.seed ^ 0xFA17,
                                  cfg.injector);
   mars_system.start();
   traffic.start();
-  const auto truth = injector.inject(cfg.fault, cfg.fault_at);
+  const auto truths = injector.apply(cfg.faults);
+  const auto truth = truths.empty() ? std::nullopt : truths.front();
   simulator.run(cfg.duration);
 
   if (!truth || mars_system.diagnoses().empty()) {
@@ -67,7 +69,7 @@ int main(int argc, char** argv) {
   // Pick the same session culprits_for() grades: first trigger >= fault.
   const Diagnosis* chosen = nullptr;
   for (const auto& d : mars_system.diagnoses()) {
-    if (d.session.trigger.when >= cfg.fault_at) {
+    if (d.session.trigger.when >= fault_at) {
       chosen = &d;
       break;
     }
@@ -138,7 +140,7 @@ int main(int argc, char** argv) {
     std::printf("  %zu. %s\n", i + 1, diag.culprits[i].describe().c_str());
   }
   std::printf("\nculprits (merged across sessions, as graded):\n");
-  const auto merged = mars_system.culprits_for(cfg.fault_at);
+  const auto merged = mars_system.culprits_for(fault_at);
   for (std::size_t i = 0; i < merged.size() && i < 10; ++i) {
     std::printf("  %zu. %s\n", i + 1, merged[i].describe().c_str());
   }

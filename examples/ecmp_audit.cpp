@@ -25,25 +25,26 @@ int main(int argc, char** argv) {
     auto cfg = default_scenario(faults::FaultKind::kEcmpImbalance, seed);
     cfg.injector.imbalance_min = ratio;
     cfg.injector.imbalance_max = ratio;
-    cfg.with_baselines = false;
+    cfg.systems = {"mars"};
     const auto result = run_scenario(cfg);
     if (!result.fault_injected) {
       std::printf("  1:%-3d | (injection found no target)\n", ratio);
       continue;
     }
-    const char* top = result.mars.culprits.empty()
+    const auto& mars_outcome = result.outcome("mars");
+    const char* top = mars_outcome.culprits.empty()
                           ? "(no diagnosis)"
                           : nullptr;
     std::string top_str;
     if (!top) {
-      top_str = result.mars.culprits.front().describe();
+      top_str = mars_outcome.culprits.front().describe();
       if (top_str.size() > 52) top_str.resize(52);
       top = top_str.c_str();
     }
     std::printf("  1:%-3d | s%-10u | %-52s | %s\n", ratio,
-                result.truth.switch_id, top,
-                result.mars.rank ? std::to_string(*result.mars.rank).c_str()
-                                 : "-");
+                result.truth().switch_id, top,
+                mars_outcome.rank ? std::to_string(*mars_outcome.rank).c_str()
+                                  : "-");
   }
   std::printf(
       "\n(an audit, not a victory lap: low ratios leave the loaded branch "

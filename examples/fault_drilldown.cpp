@@ -15,18 +15,17 @@
 namespace {
 
 mars::faults::FaultKind parse_fault(const char* arg) {
-  using mars::faults::FaultKind;
-  if (std::strcmp(arg, "microburst") == 0) return FaultKind::kMicroBurst;
-  if (std::strcmp(arg, "ecmp") == 0) return FaultKind::kEcmpImbalance;
-  if (std::strcmp(arg, "rate") == 0) return FaultKind::kProcessRateDecrease;
-  if (std::strcmp(arg, "delay") == 0) return FaultKind::kDelay;
-  if (std::strcmp(arg, "drop") == 0) return FaultKind::kDrop;
-  std::fprintf(stderr, "unknown fault '%s'\n", arg);
-  std::exit(2);
+  const auto kind = mars::faults::kind_from_name(arg);
+  if (!kind) {
+    std::fprintf(stderr, "unknown fault '%s' (known: %s)\n", arg,
+                 mars::faults::known_kind_names());
+    std::exit(2);
+  }
+  return *kind;
 }
 
-void print_outcome(const char* name, const mars::SystemOutcome& outcome) {
-  std::printf("\n=== %s ===\n", name);
+void print_outcome(const mars::SystemOutcome& outcome) {
+  std::printf("\n=== %s ===\n", outcome.system.c_str());
   std::printf("  triggered: %s\n", outcome.triggered ? "yes" : "no");
   std::printf("  telemetry bytes: %llu, diagnosis bytes: %llu\n",
               static_cast<unsigned long long>(outcome.telemetry_bytes),
@@ -61,18 +60,16 @@ int main(int argc, char** argv) {
     std::printf("  fault injection FAILED (no viable target)\n");
     return 1;
   }
-  std::printf("  injected: %s at t=%.2fs for %.2fs\n",
-              result.truth.describe().c_str(),
-              mars::sim::to_seconds(result.truth.start),
-              mars::sim::to_seconds(result.truth.duration));
+  for (const auto& truth : result.truths) {
+    std::printf("  injected: %s at t=%.2fs for %.2fs\n",
+                truth.describe().c_str(), mars::sim::to_seconds(truth.start),
+                mars::sim::to_seconds(truth.duration));
+  }
   std::printf("  packets injected: %llu, delivered: %llu, dropped: %llu\n",
               static_cast<unsigned long long>(result.net_stats.injected),
               static_cast<unsigned long long>(result.net_stats.delivered),
               static_cast<unsigned long long>(result.net_stats.dropped));
 
-  print_outcome("MARS", result.mars);
-  print_outcome("SpiderMon", result.spidermon);
-  print_outcome("IntSight", result.intsight);
-  print_outcome("SyNDB (expert-aided)", result.syndb);
+  for (const auto& outcome : result.systems) print_outcome(outcome);
   return 0;
 }

@@ -2,18 +2,29 @@
 // entry point for one-off experiments without writing C++.
 //
 //   mars_cli [options]
+//     --scenario <file.json>  run a declarative ScenarioSpec (other
+//                             flags below override the spec)
 //     --fault <microburst|ecmp|rate|delay|drop>   (default rate)
 //     --seed <n>                                  (default 1)
+//     --topology <name>       fabric from the registry (default fat-tree)
 //     --k <even n>            fat-tree arity      (default 4)
+//     --leaves <n> --spines <n>  leaf-spine shape
+//     --systems <a,b,...>     telemetry systems to deploy (default all)
 //     --flows <n>             background flows    (scenario default)
 //     --pps <x>               per-flow rate       (scenario default)
 //     --duration <seconds>    simulated time      (default 5)
 //     --fault-at <seconds>    injection time      (default 3)
 //     --no-baselines          deploy MARS only
+//     --list-topologies       print registered topologies and exit
+//     --list-systems          print registered telemetry systems and exit
 //     --trace-out <file>      dump the workload as CSV
 //     --metrics-out <file>    metrics snapshot + sampled series (JSON)
 //     --spans-out <file>      Chrome/Perfetto trace-event JSON
 //     --json                  machine-readable result summary
+//
+// Unknown fault / topology / system names exit nonzero with the list of
+// known names; so does an invalid scenario (every validation error is
+// printed).
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,9 +32,13 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "mars/scenario.hpp"
+#include "mars/scenario_spec.hpp"
+#include "mars/system_registry.hpp"
 #include "obs/json_writer.hpp"
 #include "workload/trace.hpp"
 
@@ -33,28 +48,42 @@ using namespace mars;
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--fault F] [--seed N] [--k K] [--flows N] "
-               "[--pps X] [--duration S] [--fault-at S] [--no-baselines] "
-               "[--trace-out FILE] [--metrics-out FILE] [--spans-out FILE] "
-               "[--json]\n",
+               "usage: %s [--scenario FILE] [--fault F] [--seed N] "
+               "[--topology NAME] [--k K] [--leaves N] [--spines N] "
+               "[--systems A,B,...] [--flows N] [--pps X] [--duration S] "
+               "[--fault-at S] [--no-baselines] [--list-topologies] "
+               "[--list-systems] [--trace-out FILE] [--metrics-out FILE] "
+               "[--spans-out FILE] [--json]\n",
                argv0);
   std::exit(2);
 }
 
-faults::FaultKind parse_fault(const std::string& arg, const char* argv0) {
-  using faults::FaultKind;
-  if (arg == "microburst") return FaultKind::kMicroBurst;
-  if (arg == "ecmp") return FaultKind::kEcmpImbalance;
-  if (arg == "rate") return FaultKind::kProcessRateDecrease;
-  if (arg == "delay") return FaultKind::kDelay;
-  if (arg == "drop") return FaultKind::kDrop;
-  std::fprintf(stderr, "unknown fault '%s'\n", arg.c_str());
-  usage(argv0);
+faults::FaultKind parse_fault(const std::string& arg) {
+  const auto kind = faults::kind_from_name(arg);
+  if (!kind) {
+    std::fprintf(stderr, "unknown fault '%s' (known: %s)\n", arg.c_str(),
+                 faults::known_kind_names());
+    std::exit(2);
+  }
+  return *kind;
 }
 
-void print_outcome_text(const char* name, const SystemOutcome& outcome) {
+std::vector<std::string> split_csv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::size_t end = comma == std::string::npos ? arg.size() : comma;
+    if (end > start) out.push_back(arg.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+void print_outcome_text(const SystemOutcome& outcome) {
   std::printf("%-10s rank=%-4s telemetry=%-9llu diagnosis=%-9llu top=[",
-              name,
+              outcome.system.c_str(),
               outcome.rank ? std::to_string(*outcome.rank).c_str() : "-",
               static_cast<unsigned long long>(outcome.telemetry_bytes),
               static_cast<unsigned long long>(outcome.diagnosis_bytes));
@@ -65,9 +94,8 @@ void print_outcome_text(const char* name, const SystemOutcome& outcome) {
   std::printf("]\n");
 }
 
-void write_outcome_json(obs::JsonWriter& w, const char* name,
-                        const SystemOutcome& outcome) {
-  w.key(name).begin_object();
+void write_outcome_json(obs::JsonWriter& w, const SystemOutcome& outcome) {
+  w.key(outcome.system).begin_object();
   if (outcome.rank) {
     w.member("rank", std::uint64_t{*outcome.rank});
   } else {
@@ -91,10 +119,13 @@ bool open_out(std::ofstream& out, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  faults::FaultKind fault = faults::FaultKind::kProcessRateDecrease;
-  std::uint64_t seed = 1;
-  std::optional<int> k, flows;
+  std::optional<faults::FaultKind> fault;
+  std::optional<std::uint64_t> seed;
+  std::optional<int> k, flows, leaves, spines;
   std::optional<double> pps, duration_s, fault_at_s;
+  std::optional<std::string> topology;
+  std::optional<std::vector<std::string>> systems;
+  std::string scenario_file;
   bool baselines = true, json = false;
   std::string trace_out, metrics_out, spans_out;
 
@@ -104,12 +135,22 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (arg == "--fault") {
-      fault = parse_fault(next(), argv[0]);
+    if (arg == "--scenario") {
+      scenario_file = next();
+    } else if (arg == "--fault") {
+      fault = parse_fault(next());
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--topology") {
+      topology = next();
     } else if (arg == "--k") {
       k = std::atoi(next());
+    } else if (arg == "--leaves") {
+      leaves = std::atoi(next());
+    } else if (arg == "--spines") {
+      spines = std::atoi(next());
+    } else if (arg == "--systems") {
+      systems = split_csv(next());
     } else if (arg == "--flows") {
       flows = std::atoi(next());
     } else if (arg == "--pps") {
@@ -120,6 +161,16 @@ int main(int argc, char** argv) {
       fault_at_s = std::atof(next());
     } else if (arg == "--no-baselines") {
       baselines = false;
+    } else if (arg == "--list-topologies") {
+      for (const auto& name : net::TopologyRegistry::instance().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "--list-systems") {
+      for (const auto& name : SystemRegistry::instance().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
     } else if (arg == "--trace-out") {
       trace_out = next();
     } else if (arg == "--metrics-out") {
@@ -133,17 +184,55 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto cfg = default_scenario(fault, seed);
-  if (k) cfg.fat_tree_k = *k;
+  ScenarioConfig cfg;
+  try {
+    if (!scenario_file.empty()) {
+      cfg = load_scenario_spec(scenario_file).to_config();
+    } else {
+      cfg = default_scenario(
+          fault.value_or(faults::FaultKind::kProcessRateDecrease),
+          seed.value_or(1));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  // Flags override the spec (or the defaults).
+  if (scenario_file.empty()) {
+    // defaults already applied via default_scenario
+  } else if (fault || fault_at_s) {
+    // Flag-specified fault replaces the spec's whole schedule.
+    cfg.faults = faults::FaultSchedule::single(
+        fault.value_or(faults::FaultKind::kProcessRateDecrease),
+        cfg.first_fault_at());
+  }
+  if (seed) cfg.seed = *seed;
+  if (topology) cfg.topology.name = *topology;
+  if (k) cfg.topology.k = *k;
+  if (leaves) cfg.topology.leaves = *leaves;
+  if (spines) cfg.topology.spines = *spines;
   if (flows) cfg.background.flows = *flows;
   if (pps) cfg.background.pps = *pps;
   if (duration_s) {
     cfg.duration = static_cast<sim::Time>(*duration_s * sim::kSecond);
   }
   if (fault_at_s) {
-    cfg.fault_at = static_cast<sim::Time>(*fault_at_s * sim::kSecond);
+    for (auto& event : cfg.faults.events) {
+      event.at = static_cast<sim::Time>(*fault_at_s * sim::kSecond);
+    }
   }
-  cfg.with_baselines = baselines;
+  if (systems) {
+    cfg.systems = *systems;
+  } else if (!baselines) {
+    cfg.systems = {"mars"};
+  }
+
+  if (const auto errors = validate_scenario(cfg); !errors.empty()) {
+    for (const auto& error : errors) {
+      std::fprintf(stderr, "invalid scenario: %s\n", error.c_str());
+    }
+    return 2;
+  }
 
   Observability obs;
   const bool want_obs = !metrics_out.empty() || !spans_out.empty();
@@ -153,14 +242,12 @@ int main(int argc, char** argv) {
   // matches what the scenario injected (same seed, same generator).
   if (!trace_out.empty()) {
     sim::Simulator simulator;
-    auto ft = net::build_fat_tree({.k = cfg.fat_tree_k,
-                                   .edge_agg_gbps = cfg.edge_link_gbps,
-                                   .agg_core_gbps = cfg.core_link_gbps});
-    net::Network network(simulator, ft.topology);
+    auto fabric = net::TopologyRegistry::instance().build(cfg.topology);
+    net::Network network(simulator, fabric.topology);
     workload::TraceRecorder recorder;
     network.add_observer(recorder);
     workload::TrafficGenerator traffic(network, cfg.seed);
-    traffic.add_background(cfg.background, ft.edge, cfg.fat_tree_k);
+    traffic.add_background(cfg.background, fabric.edge, fabric.pods);
     traffic.start();
     simulator.run(cfg.duration);
     std::ofstream out;
@@ -170,7 +257,13 @@ int main(int argc, char** argv) {
                  recorder.trace().size(), trace_out.c_str());
   }
 
-  const auto result = run_scenario(cfg);
+  ScenarioResult result;
+  try {
+    result = run_scenario(cfg);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
 
   if (!metrics_out.empty()) {
     std::ofstream out;
@@ -197,7 +290,7 @@ int main(int argc, char** argv) {
                  obs.tracer.size(), spans_out.c_str());
   }
 
-  if (!result.fault_injected) {
+  if (!cfg.faults.empty() && !result.fault_injected) {
     std::fprintf(stderr, "fault injection found no viable target\n");
     return 1;
   }
@@ -205,16 +298,16 @@ int main(int argc, char** argv) {
   if (json) {
     obs::JsonWriter w(std::cout);
     w.begin_object();
-    w.member("truth", result.truth.describe());
+    w.key("truths").begin_array();
+    for (const auto& truth : result.truths) w.value(truth.describe());
+    w.end_array();
     w.member("injected", result.net_stats.injected);
     w.member("delivered", result.net_stats.delivered);
     w.member("dropped", result.net_stats.dropped);
+    w.member("events_executed", result.events_executed);
     w.key("systems").begin_object();
-    write_outcome_json(w, "mars", result.mars);
-    if (baselines) {
-      write_outcome_json(w, "spidermon", result.spidermon);
-      write_outcome_json(w, "intsight", result.intsight);
-      write_outcome_json(w, "syndb", result.syndb);
+    for (const auto& outcome : result.systems) {
+      write_outcome_json(w, outcome);
     }
     w.end_object();
     w.end_object();
@@ -222,12 +315,11 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("truth: %s\n", result.truth.describe().c_str());
-  print_outcome_text("MARS", result.mars);
-  if (baselines) {
-    print_outcome_text("SpiderMon", result.spidermon);
-    print_outcome_text("IntSight", result.intsight);
-    print_outcome_text("SyNDB*", result.syndb);
+  for (const auto& truth : result.truths) {
+    std::printf("truth: %s\n", truth.describe().c_str());
+  }
+  for (const auto& outcome : result.systems) {
+    print_outcome_text(outcome);
   }
   return 0;
 }

@@ -1,59 +1,30 @@
 #pragma once
-// Common interface for the comparison systems of §5.4–5.5: SpiderMon,
-// IntSight, and SyNDB. Each is implemented as a PacketObserver (its data
-// plane) plus a diagnose() step producing the same ranked CulpritList as
-// MARS, so Table 1 and Fig. 9 grade all four systems identically.
-
-#include <cctype>
-#include <string>
-#include <string_view>
+// The comparison systems of §5.4–5.5: SpiderMon, IntSight, and SyNDB.
+// Each is a systems::TelemetrySystem (the interface MARS also implements,
+// so Table 1 and Fig. 9 grade all four identically) whose data plane is a
+// PacketObserver attached to every switch.
 
 #include "net/observer.hpp"
-#include "obs/registry.hpp"
 #include "rca/types.hpp"
-#include "sim/time.hpp"
+#include "systems/telemetry_system.hpp"
 
 namespace mars::baselines {
 
-/// Byte accounting for Fig. 9.
-struct OverheadReport {
-  std::uint64_t telemetry_bytes = 0;  ///< in-band header bytes over links
-  std::uint64_t diagnosis_bytes = 0;  ///< data-plane -> control-plane bytes
-};
+using OverheadReport = systems::OverheadReport;
 
-class BaselineSystem : public net::PacketObserver {
+class BaselineSystem : public systems::TelemetrySystem,
+                       public net::PacketObserver {
  public:
-  [[nodiscard]] virtual std::string_view name() const = 0;
-
-  /// Produce the ranked culprit list. Systems that never triggered return
-  /// an empty list (the paper's "-" cells).
-  [[nodiscard]] virtual rca::CulpritList diagnose() = 0;
-
-  [[nodiscard]] virtual OverheadReport overheads() const = 0;
-
-  /// True once the system's own detection logic fired.
-  [[nodiscard]] virtual bool triggered() const = 0;
-
-  /// Export this system's overhead accounting as lazy gauges:
-  ///   {lowercased name()}.telemetry_bytes / .diagnosis_bytes / .triggered
-  /// so Fig. 9 reads every system from one registry. Gauges capture `this`;
-  /// remove them (or snapshot) before the system is destroyed.
-  virtual void register_metrics(obs::MetricsRegistry& registry) {
-    std::string prefix;
-    for (const char c : name()) {
-      prefix.push_back(
-          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
-    }
-    prefix.push_back('.');
-    registry.gauge(prefix + "telemetry_bytes", [this] {
-      return static_cast<double>(overheads().telemetry_bytes);
-    });
-    registry.gauge(prefix + "diagnosis_bytes", [this] {
-      return static_cast<double>(overheads().diagnosis_bytes);
-    });
-    registry.gauge(prefix + "triggered",
-                   [this] { return triggered() ? 1.0 : 0.0; });
+  /// Most baselines self-trigger and ignore the query; they implement the
+  /// legacy no-argument diagnose(). SyNDB overrides the query form to use
+  /// the expert hint.
+  [[nodiscard]] rca::CulpritList diagnose(
+      const systems::DiagnosisQuery& /*query*/) override {
+    return diagnose();
   }
+
+  /// Produce the ranked culprit list from the system's own state alone.
+  [[nodiscard]] virtual rca::CulpritList diagnose() = 0;
 };
 
 }  // namespace mars::baselines

@@ -40,6 +40,13 @@ class SynDb final : public BaselineSystem {
   /// Un-aided diagnosis: SyNDB has no trigger of its own; without the
   /// expert hint it cannot pick a query, so this returns nothing useful.
   [[nodiscard]] rca::CulpritList diagnose() override { return {}; }
+  /// Query-based diagnosis: uses the expert hint when the query carries
+  /// one (the gray cells of Table 1), otherwise falls back to un-aided.
+  [[nodiscard]] rca::CulpritList diagnose(
+      const systems::DiagnosisQuery& query) override {
+    if (!query.hint) return diagnose();
+    return diagnose_with_hint(*query.hint, query.incident_end);
+  }
   /// Expert-aided diagnosis (the gray cells of Table 1).
   [[nodiscard]] rca::CulpritList diagnose_with_hint(faults::FaultKind hint,
                                                     sim::Time now);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "faults/schedule.hpp"
+
 namespace mars::faults {
 
 const char* to_string(FaultKind kind) {
@@ -35,22 +37,42 @@ FaultInjector::FaultInjector(net::Network& network,
 
 std::optional<GroundTruth> FaultInjector::inject(FaultKind kind,
                                                  sim::Time at) {
+  FaultEvent event;
+  event.kind = kind;
+  event.at = at;
+  return inject(event);
+}
+
+std::optional<GroundTruth> FaultInjector::inject(const FaultEvent& event) {
+  const sim::Time duration =
+      event.duration > 0 ? event.duration : config_.duration;
   std::optional<GroundTruth> truth;
-  switch (kind) {
+  switch (event.kind) {
     case FaultKind::kMicroBurst:
-      truth = inject_micro_burst(at);
+      truth = inject_micro_burst(event.at, duration);
       break;
     case FaultKind::kEcmpImbalance:
-      truth = inject_ecmp(at);
+      truth = inject_ecmp(event.at, duration, event.target_switch);
       break;
     case FaultKind::kProcessRateDecrease:
     case FaultKind::kDelay:
     case FaultKind::kDrop:
-      truth = inject_port_fault(kind, at);
+      truth = inject_port_fault(event.kind, event.at, duration,
+                                event.target_switch, event.target_port);
       break;
   }
   if (truth) history_.push_back(*truth);
   return truth;
+}
+
+std::vector<std::optional<GroundTruth>> FaultInjector::apply(
+    const FaultSchedule& schedule) {
+  std::vector<std::optional<GroundTruth>> truths;
+  truths.reserve(schedule.events.size());
+  for (const FaultEvent& event : schedule.events) {
+    truths.push_back(inject(event));
+  }
+  return truths;
 }
 
 std::optional<FaultInjector::LoadedPath>
@@ -75,7 +97,8 @@ FaultInjector::random_loaded_path() {
   return path;
 }
 
-std::optional<GroundTruth> FaultInjector::inject_micro_burst(sim::Time at) {
+std::optional<GroundTruth> FaultInjector::inject_micro_burst(
+    sim::Time at, sim::Time duration) {
   const auto& flows = traffic_->flows();
   if (flows.empty()) return std::nullopt;
   // Burst between a random pair already present in the traffic matrix so
@@ -85,12 +108,47 @@ std::optional<GroundTruth> FaultInjector::inject_micro_burst(sim::Time at) {
   truth.kind = FaultKind::kMicroBurst;
   truth.flow = victim.flow;
   truth.start = at;
-  truth.duration = config_.duration;
-  traffic_->add_burst(victim.flow, config_.burst_pps, at, config_.duration);
+  truth.duration = duration;
+  traffic_->add_burst(victim.flow, config_.burst_pps, at, duration);
   return truth;
 }
 
-std::optional<GroundTruth> FaultInjector::inject_ecmp(sim::Time at) {
+void FaultInjector::schedule_ecmp_skew(net::SwitchId chooser,
+                                       std::uint32_t ratio, sim::Time at,
+                                       sim::Time duration) {
+  auto& sim = network_->simulator();
+  sim.schedule_at(at, [this, chooser, ratio] {
+    for (net::SwitchId dst = 0; dst < network_->switch_count(); ++dst) {
+      auto& group = network_->routing().mutable_group(chooser, dst);
+      if (group.members.size() < 2) continue;
+      for (std::size_t m = 0; m < group.members.size(); ++m) {
+        group.members[m].weight = (m == 0) ? 1 : ratio;
+      }
+    }
+  });
+  sim.schedule_at(at + duration, [this, chooser] {
+    for (net::SwitchId dst = 0; dst < network_->switch_count(); ++dst) {
+      auto& group = network_->routing().mutable_group(chooser, dst);
+      for (auto& member : group.members) member.weight = 1;
+    }
+  });
+}
+
+std::optional<GroundTruth> FaultInjector::inject_ecmp(
+    sim::Time at, sim::Time duration, std::optional<net::SwitchId> target) {
+  if (target) {
+    // Pinned chooser: skew it whether or not a live flow routes through
+    // it — the operator asked for this exact switch.
+    const auto ratio = static_cast<std::uint32_t>(
+        rng_.range(config_.imbalance_min, config_.imbalance_max));
+    GroundTruth truth;
+    truth.kind = FaultKind::kEcmpImbalance;
+    truth.switch_id = *target;
+    truth.start = at;
+    truth.duration = duration;
+    schedule_ecmp_skew(*target, ratio, at, duration);
+    return truth;
+  }
   // Pick a switch on a loaded path that has a real choice (group >= 2)
   // towards that flow's destination, then skew every group on the switch —
   // the paper rewrites the switch's ECMP strategy wholesale.
@@ -117,69 +175,70 @@ std::optional<GroundTruth> FaultInjector::inject_ecmp(sim::Time at) {
     truth.kind = FaultKind::kEcmpImbalance;
     truth.switch_id = chooser;
     truth.start = at;
-    truth.duration = config_.duration;
-
-    auto& sim = network_->simulator();
-    sim.schedule_at(at, [this, chooser, ratio] {
-      for (net::SwitchId dst = 0; dst < network_->switch_count(); ++dst) {
-        auto& group = network_->routing().mutable_group(chooser, dst);
-        if (group.members.size() < 2) continue;
-        for (std::size_t m = 0; m < group.members.size(); ++m) {
-          group.members[m].weight = (m == 0) ? 1 : ratio;
-        }
-      }
-    });
-    sim.schedule_at(at + config_.duration, [this, chooser] {
-      for (net::SwitchId dst = 0; dst < network_->switch_count(); ++dst) {
-        auto& group = network_->routing().mutable_group(chooser, dst);
-        for (auto& member : group.members) member.weight = 1;
-      }
-    });
+    truth.duration = duration;
+    schedule_ecmp_skew(chooser, ratio, at, duration);
     return truth;
   }
   return std::nullopt;
 }
 
-std::optional<GroundTruth> FaultInjector::inject_port_fault(FaultKind kind,
-                                                            sim::Time at) {
-  const auto path = random_loaded_path();
-  if (!path) return std::nullopt;
-  const auto& hop = path->hops[rng_.below(path->hops.size())];
-
+std::optional<GroundTruth> FaultInjector::inject_port_fault(
+    FaultKind kind, sim::Time at, sim::Time duration,
+    std::optional<net::SwitchId> target_switch,
+    std::optional<net::PortId> target_port) {
   GroundTruth truth;
   truth.kind = kind;
-  truth.switch_id = hop.sw;
-  truth.port = hop.out;
   truth.start = at;
-  truth.duration = config_.duration;
+  truth.duration = duration;
+  if (target_switch) {
+    if (*target_switch >= network_->switch_count()) return std::nullopt;
+    const auto ports = network_->topology().port_count(*target_switch);
+    truth.switch_id = *target_switch;
+    truth.port = target_port ? *target_port : 0;
+    if (truth.port >= ports) return std::nullopt;
+  } else {
+    const auto path = random_loaded_path();
+    if (!path) return std::nullopt;
+    const auto& hop = path->hops[rng_.below(path->hops.size())];
+    truth.switch_id = hop.sw;
+    truth.port = hop.out;
+  }
 
   auto& sim = network_->simulator();
-  net::Switch& sw = network_->node(hop.sw);
+  net::Switch& sw = network_->node(truth.switch_id);
+  const net::PortId port = truth.port;
   switch (kind) {
     case FaultKind::kProcessRateDecrease: {
       const double pps =
           rng_.uniform(config_.process_rate_min, config_.process_rate_max);
-      sim.schedule_at(at, [&sw, hop, pps] { sw.set_max_pps(hop.out, pps); });
+      sim.schedule_at(at, [&sw, port, pps] { sw.set_max_pps(port, pps); });
+      // Targeted recovery (not clear_faults): with overlapping faults on
+      // one switch, recovering this fault must not erase the others.
+      sim.schedule_at(at + duration,
+                      [&sw, port] { sw.set_max_pps(port, 0.0); });
       break;
     }
     case FaultKind::kDelay: {
-      const auto delay = static_cast<sim::Time>(rng_.range(
-          config_.delay_min, config_.delay_max));
+      const auto delay = static_cast<sim::Time>(
+          rng_.range(config_.delay_min, config_.delay_max));
       sim.schedule_at(at,
-                      [&sw, hop, delay] { sw.set_extra_delay(hop.out, delay); });
+                      [&sw, port, delay] { sw.set_extra_delay(port, delay); });
+      sim.schedule_at(at + duration,
+                      [&sw, port] { sw.set_extra_delay(port, 0); });
       break;
     }
     case FaultKind::kDrop: {
       const double p =
           rng_.uniform(config_.drop_prob_min, config_.drop_prob_max);
       sim.schedule_at(at,
-                      [&sw, hop, p] { sw.set_drop_probability(hop.out, p); });
+                      [&sw, port, p] { sw.set_drop_probability(port, p); });
+      sim.schedule_at(at + duration,
+                      [&sw, port] { sw.set_drop_probability(port, 0.0); });
       break;
     }
     default:
       return std::nullopt;
   }
-  sim.schedule_at(at + config_.duration, [&sw] { sw.clear_faults(); });
   return truth;
 }
 

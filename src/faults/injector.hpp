@@ -58,6 +58,9 @@ struct InjectorConfig {
   double drop_prob_min = 0.3, drop_prob_max = 0.8;
 };
 
+struct FaultEvent;  // faults/schedule.hpp
+struct FaultSchedule;
+
 class FaultInjector {
  public:
   FaultInjector(net::Network& network, workload::TrafficGenerator& traffic,
@@ -67,6 +70,15 @@ class FaultInjector {
   /// automatically. Returns the ground truth, or nullopt if no viable
   /// target exists (e.g. no active flows yet).
   std::optional<GroundTruth> inject(FaultKind kind, sim::Time at);
+
+  /// Scheduled-event form: honours the event's duration override and
+  /// pinned target. An event with neither is identical to
+  /// inject(kind, at) — same RNG draws, same schedule.
+  std::optional<GroundTruth> inject(const FaultEvent& event);
+
+  /// Inject every event of a schedule, in order. Element i is the ground
+  /// truth of event i (nullopt where no viable target existed).
+  std::vector<std::optional<GroundTruth>> apply(const FaultSchedule& schedule);
 
   [[nodiscard]] const std::vector<GroundTruth>& injected() const {
     return history_;
@@ -85,9 +97,16 @@ class FaultInjector {
   };
   [[nodiscard]] std::optional<LoadedPath> random_loaded_path();
 
-  std::optional<GroundTruth> inject_micro_burst(sim::Time at);
-  std::optional<GroundTruth> inject_ecmp(sim::Time at);
-  std::optional<GroundTruth> inject_port_fault(FaultKind kind, sim::Time at);
+  std::optional<GroundTruth> inject_micro_burst(sim::Time at,
+                                                sim::Time duration);
+  std::optional<GroundTruth> inject_ecmp(sim::Time at, sim::Time duration,
+                                         std::optional<net::SwitchId> target);
+  std::optional<GroundTruth> inject_port_fault(
+      FaultKind kind, sim::Time at, sim::Time duration,
+      std::optional<net::SwitchId> target_switch,
+      std::optional<net::PortId> target_port);
+  void schedule_ecmp_skew(net::SwitchId chooser, std::uint32_t ratio,
+                          sim::Time at, sim::Time duration);
 
   net::Network* network_;
   workload::TrafficGenerator* traffic_;

@@ -1,0 +1,66 @@
+#include "faults/schedule.hpp"
+
+namespace mars::faults {
+
+std::vector<std::string> FaultSchedule::validate(sim::Time horizon) const {
+  std::vector<std::string> errors;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    const std::string where = "fault[" + std::to_string(i) + "] (" +
+                              std::string(short_name(e.kind)) + ")";
+    if (e.at < 0) {
+      errors.push_back(where + ": injection time must be non-negative");
+    }
+    if (e.at >= horizon) {
+      errors.push_back(where + ": injection time " +
+                       std::to_string(sim::to_seconds(e.at)) +
+                       "s is at or past the scenario duration " +
+                       std::to_string(sim::to_seconds(horizon)) + "s");
+    }
+    if (e.duration < 0) {
+      errors.push_back(where + ": duration must be non-negative");
+    }
+    if (e.target_port && !e.target_switch) {
+      errors.push_back(where +
+                       ": a pinned port needs a pinned switch as well");
+    }
+    if (e.target_switch && e.kind == FaultKind::kMicroBurst) {
+      errors.push_back(where +
+                       ": micro-bursts target flows, not switches; drop "
+                       "the pinned switch");
+    }
+  }
+  return errors;
+}
+
+const char* short_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMicroBurst: return "microburst";
+    case FaultKind::kEcmpImbalance: return "ecmp";
+    case FaultKind::kProcessRateDecrease: return "rate";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDrop: return "drop";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> kind_from_name(std::string_view name) {
+  if (name == "microburst" || name == "micro-burst") {
+    return FaultKind::kMicroBurst;
+  }
+  if (name == "ecmp" || name == "ecmp-imbalance") {
+    return FaultKind::kEcmpImbalance;
+  }
+  if (name == "rate" || name == "process-rate-decrease") {
+    return FaultKind::kProcessRateDecrease;
+  }
+  if (name == "delay") return FaultKind::kDelay;
+  if (name == "drop") return FaultKind::kDrop;
+  return std::nullopt;
+}
+
+const char* known_kind_names() {
+  return "microburst, ecmp, rate, delay, drop";
+}
+
+}  // namespace mars::faults

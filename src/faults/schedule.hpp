@@ -1,0 +1,77 @@
+#pragma once
+// FaultSchedule: an ordered list of fault events replacing the single
+// (fault, fault_at) pair. A schedule expresses multi-fault, concurrent-
+// fault, and fault-then-recover scenarios declaratively; a single-entry
+// schedule with default target/duration is bit-identical to the legacy
+// one-fault path under a fixed seed (the injector draws the same RNG
+// sequence for it).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "faults/injector.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace mars::faults {
+
+/// One scheduled injection. Targets are optional: unset means the
+/// injector picks a random loaded location (the paper's methodology,
+/// deterministic in the trial seed); set pins the fault to a specific
+/// switch/port like a targeted chaos experiment.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kProcessRateDecrease;
+  sim::Time at = 0;
+  /// 0 = use the injector's default duration; otherwise recovery is
+  /// scheduled at `at + duration`.
+  sim::Time duration = 0;
+  /// Pin the culprit switch (ECMP + port faults). Micro-bursts ignore it.
+  std::optional<net::SwitchId> target_switch;
+  /// Pin the culprit egress port (port faults only; requires
+  /// target_switch).
+  std::optional<net::PortId> target_port;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] static FaultSchedule single(FaultKind kind, sim::Time at,
+                                            sim::Time duration = 0) {
+    FaultSchedule schedule;
+    FaultEvent event;
+    event.kind = kind;
+    event.at = at;
+    event.duration = duration;
+    schedule.events.push_back(event);
+    return schedule;
+  }
+
+  FaultSchedule& add(FaultEvent event) {
+    events.push_back(std::move(event));
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+  [[nodiscard]] std::size_t size() const { return events.size(); }
+
+  /// Schedule problems for a trial of length `horizon` (descriptive
+  /// sentences; empty means valid). Every event must start inside the
+  /// trial, after t=0, with a non-negative duration, and a pinned port
+  /// needs a pinned switch.
+  [[nodiscard]] std::vector<std::string> validate(sim::Time horizon) const;
+
+  friend bool operator==(const FaultSchedule&,
+                         const FaultSchedule&) = default;
+};
+
+/// Short spec/CLI names: microburst | ecmp | rate | delay | drop.
+[[nodiscard]] const char* short_name(FaultKind kind);
+[[nodiscard]] std::optional<FaultKind> kind_from_name(std::string_view name);
+/// "microburst, ecmp, rate, delay, drop" — for error messages.
+[[nodiscard]] const char* known_kind_names();
+
+}  // namespace mars::faults

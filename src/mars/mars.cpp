@@ -57,6 +57,8 @@ void MarsSystem::register_metrics(obs::MetricsRegistry& registry) {
   registry.gauge("mars.diagnosis_bytes", [this] {
     return static_cast<double>(overheads().diagnosis_bytes);
   });
+  registry.gauge("mars.triggered",
+                 [this] { return triggered() ? 1.0 : 0.0; });
   registry.gauge("mars.notifications", [this] {
     return static_cast<double>(pipeline_->overheads().notifications);
   });

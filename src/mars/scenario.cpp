@@ -1,8 +1,10 @@
 #include "mars/scenario.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
+#include "mars/system_registry.hpp"
 #include "obs/net_scrape.hpp"
 #include "sim/simulator.hpp"
 
@@ -10,7 +12,7 @@ namespace mars {
 
 ScenarioConfig default_scenario(faults::FaultKind fault, std::uint64_t seed) {
   ScenarioConfig cfg;
-  cfg.fault = fault;
+  cfg.faults = faults::FaultSchedule::single(fault, 3 * sim::kSecond);
   cfg.seed = seed;
   cfg.background.flows = 40;
   cfg.background.pps = 250.0;
@@ -41,47 +43,79 @@ ScenarioConfig default_scenario(faults::FaultKind fault, std::uint64_t seed) {
   return cfg;
 }
 
+std::vector<std::string> validate_scenario(const ScenarioConfig& config) {
+  std::vector<std::string> errors =
+      net::TopologyRegistry::instance().validate(config.topology);
+  if (config.duration <= 0) {
+    errors.push_back("scenario duration must be positive");
+  }
+  if (config.queue_capacity == 0) {
+    errors.push_back("queue capacity must be nonzero (packets would be "
+                     "dropped on arrival everywhere)");
+  }
+  if (config.background.flows < 0) {
+    errors.push_back("background flow count must be non-negative (got " +
+                     std::to_string(config.background.flows) + ")");
+  }
+  if (config.background.flows > 0 && config.background.pps <= 0.0) {
+    errors.push_back("background flow rate must be positive (got " +
+                     std::to_string(config.background.pps) + " pps)");
+  }
+  if (config.observability != nullptr && config.sample_period <= 0) {
+    errors.push_back("sample period must be positive when observability "
+                     "is attached");
+  }
+  const auto fault_errors = config.faults.validate(config.duration);
+  errors.insert(errors.end(), fault_errors.begin(), fault_errors.end());
+  for (std::size_t i = 0; i < config.systems.size(); ++i) {
+    const std::string& name = config.systems[i];
+    if (!SystemRegistry::instance().contains(name)) {
+      errors.push_back("unknown telemetry system '" + name + "' (known: " +
+                       SystemRegistry::instance().known_names() + ")");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (config.systems[j] == name) {
+        errors.push_back("telemetry system '" + name +
+                         "' is listed more than once");
+        break;
+      }
+    }
+  }
+  return errors;
+}
+
 ScenarioResult run_scenario(const ScenarioConfig& config) {
+  if (const auto errors = validate_scenario(config); !errors.empty()) {
+    std::string joined;
+    for (const auto& e : errors) {
+      if (!joined.empty()) joined += "; ";
+      joined += e;
+    }
+    throw std::invalid_argument("scenario config invalid: " + joined);
+  }
+
   sim::Simulator simulator;
-  auto ft = net::build_fat_tree({.k = config.fat_tree_k,
-                                 .edge_agg_gbps = config.edge_link_gbps,
-                                 .agg_core_gbps = config.core_link_gbps});
-  net::Network network(simulator, ft.topology);
+  net::BuiltFabric fabric =
+      net::TopologyRegistry::instance().build(config.topology);
+  net::Network network(simulator, fabric.topology);
   for (net::SwitchId sw = 0; sw < network.switch_count(); ++sw) {
     network.node(sw).set_queue_capacity(config.queue_capacity);
   }
 
   Observability* obs = config.observability;
 
-  // MARS.
-  MarsConfig mars_config = config.mars;
-  if (obs != nullptr) {
-    mars_config.metrics = &obs->registry;
-    mars_config.tracer = &obs->tracer;
-  }
-  MarsSystem mars_system(network, mars_config);
-
-  // Baselines observe the same packets.
-  std::unique_ptr<baselines::SpiderMon> spidermon;
-  std::unique_ptr<baselines::IntSight> intsight;
-  std::unique_ptr<baselines::SynDb> syndb;
-  if (config.with_baselines) {
-    spidermon = std::make_unique<baselines::SpiderMon>(
-        ft.topology.switch_count(), config.spidermon);
-    intsight = std::make_unique<baselines::IntSight>(config.intsight);
-    syndb = std::make_unique<baselines::SynDb>(config.syndb);
-    network.add_observer(*spidermon);
-    network.add_observer(*intsight);
-    network.add_observer(*syndb);
-    if (obs != nullptr) {
-      spidermon->register_metrics(obs->registry);
-      intsight->register_metrics(obs->registry);
-      syndb->register_metrics(obs->registry);
-    }
+  // Deploy the named systems in config order onto the same packets. Order
+  // matters for observer callbacks (MARS's pipeline first, as the golden
+  // fingerprints were captured) — each factory attaches its observers.
+  std::vector<std::unique_ptr<systems::TelemetrySystem>> deployed;
+  deployed.reserve(config.systems.size());
+  for (const std::string& name : config.systems) {
+    deployed.push_back(
+        SystemRegistry::instance().create(name, network, config, obs));
   }
 
   workload::TrafficGenerator traffic(network, config.seed);
-  traffic.add_background(config.background, ft.edge, config.fat_tree_k);
+  traffic.add_background(config.background, fabric.edge, fabric.pods);
 
   faults::FaultInjector injector(network, traffic, config.seed ^ 0xFA17,
                                  config.injector);
@@ -96,13 +130,20 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     sampler->start();
   }
 
-  mars_system.start();
+  for (auto& system : deployed) system->start();
   traffic.start();
-  const auto truth = injector.inject(config.fault, config.fault_at);
-  if (obs != nullptr && truth) {
-    obs->tracer.instant("fault_injected", "scenario", config.fault_at,
-                        {{"fault", faults::to_string(config.fault)},
-                         {"truth", truth->describe()}});
+
+  const auto injected = injector.apply(config.faults);
+  std::vector<faults::GroundTruth> truths;
+  for (std::size_t i = 0; i < injected.size(); ++i) {
+    if (!injected[i]) continue;
+    truths.push_back(*injected[i]);
+    if (obs != nullptr) {
+      obs->tracer.instant(
+          "fault_injected", "scenario", config.faults.events[i].at,
+          {{"fault", faults::to_string(config.faults.events[i].kind)},
+           {"truth", injected[i]->describe()}});
+    }
   }
 
   {
@@ -127,56 +168,45 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
   }
 
   ScenarioResult result;
-  result.fault_injected = truth.has_value();
-  if (truth) result.truth = *truth;
+  result.truths = std::move(truths);
+  result.fault_injected =
+      !config.faults.empty() && result.truths.size() == config.faults.size();
   result.net_stats = network.stats();
   result.packets_injected = traffic.packets_injected();
   result.events_executed = simulator.events_executed();
 
-  const metrics::MatchOptions mars_match{.require_cause = true};
-  const metrics::MatchOptions location_match{.require_cause = false};
-
-  // MARS outcome.
-  result.mars.culprits = mars_system.culprits_for(config.fault_at);
-  result.mars.triggered = !mars_system.diagnoses().empty();
-  const auto mars_oh = mars_system.overheads();
-  result.mars.telemetry_bytes = mars_oh.telemetry_bytes;
-  result.mars.diagnosis_bytes = mars_oh.diagnosis_bytes;
-  if (truth) {
-    result.mars.rank =
-        metrics::rank_of_truth(result.mars.culprits, *truth, mars_match);
+  // One query for every system. SyNDB reads the expert hint (the Table-1
+  // caveat — "we have to assume SyNDB knows the root cause at first"):
+  // the FIRST scheduled fault's class and incident window.
+  systems::DiagnosisQuery query;
+  query.fault_start = config.first_fault_at();
+  query.now = simulator.now();
+  if (!config.faults.empty()) {
+    const faults::FaultEvent& first = config.faults.events.front();
+    query.hint = first.kind;
+    const sim::Time fault_len =
+        first.duration > 0 ? first.duration : config.injector.duration;
+    query.incident_end = std::min(simulator.now(), first.at + fault_len);
   }
 
-  if (config.with_baselines && truth) {
-    result.spidermon.culprits = spidermon->diagnose();
-    result.spidermon.triggered = spidermon->triggered();
-    const auto sm_oh = spidermon->overheads();
-    result.spidermon.telemetry_bytes = sm_oh.telemetry_bytes;
-    result.spidermon.diagnosis_bytes = sm_oh.diagnosis_bytes;
-    result.spidermon.rank = metrics::rank_of_truth(result.spidermon.culprits,
-                                                   *truth, location_match);
-
-    result.intsight.culprits = intsight->diagnose();
-    result.intsight.triggered = intsight->triggered();
-    const auto is_oh = intsight->overheads();
-    result.intsight.telemetry_bytes = is_oh.telemetry_bytes;
-    result.intsight.diagnosis_bytes = is_oh.diagnosis_bytes;
-    result.intsight.rank = metrics::rank_of_truth(result.intsight.culprits,
-                                                  *truth, location_match);
-
-    // SyNDB is expert-aided: it is told the fault class AND queries the
-    // incident window (Table 1 caveat — "we have to assume SyNDB knows
-    // the root cause at first").
-    const sim::Time incident_end =
-        std::min(simulator.now(), config.fault_at + config.injector.duration);
-    result.syndb.culprits =
-        syndb->diagnose_with_hint(config.fault, incident_end);
-    result.syndb.triggered = syndb->triggered();
-    const auto sy_oh = syndb->overheads();
-    result.syndb.telemetry_bytes = sy_oh.telemetry_bytes;
-    result.syndb.diagnosis_bytes = sy_oh.diagnosis_bytes;
-    result.syndb.rank = metrics::rank_of_truth(result.syndb.culprits, *truth,
-                                               location_match);
+  result.systems.reserve(deployed.size());
+  for (std::size_t i = 0; i < deployed.size(); ++i) {
+    systems::TelemetrySystem& system = *deployed[i];
+    SystemOutcome outcome;
+    outcome.system = config.systems[i];
+    outcome.culprits = system.diagnose(query);
+    outcome.triggered = system.triggered();
+    const auto oh = system.overheads();
+    outcome.telemetry_bytes = oh.telemetry_bytes;
+    outcome.diagnosis_bytes = oh.diagnosis_bytes;
+    const metrics::MatchOptions match = system.match_options();
+    outcome.ranks.reserve(result.truths.size());
+    for (const auto& truth : result.truths) {
+      outcome.ranks.push_back(
+          metrics::rank_of_truth(outcome.culprits, truth, match));
+    }
+    if (!outcome.ranks.empty()) outcome.rank = outcome.ranks.front();
+    result.systems.push_back(std::move(outcome));
   }
   return result;
 }

@@ -1,23 +1,30 @@
 #pragma once
 // ScenarioRunner: one fault-injection trial, end to end (paper §5.2–5.4).
 //
-// Builds a fat-tree, starts background traffic, deploys MARS and the three
-// baselines side by side on the same packets, warms the reservoirs,
-// injects one fault, and returns every system's ranked culprit list plus
-// overhead accounting and the ground truth. Trials are deterministic in
-// their seed, and independent trials can run on separate threads (each
-// owns its simulator and network).
+// A trial is declarative: a topology picked from the TopologyRegistry by
+// name, a set of telemetry systems picked from the SystemRegistry by name
+// (MARS and the baselines deploy behind the same interface), background
+// traffic, and a FaultSchedule of zero or more injections. run_scenario
+// builds the fabric, deploys the named systems side by side on the same
+// packets, warms the reservoirs, applies the schedule, and returns every
+// system's ranked culprit list plus overhead accounting and the ground
+// truths. Trials are deterministic in their seed, and independent trials
+// can run on separate threads (each owns its simulator and network); see
+// mars/sweep.hpp for the batch driver.
 
-#include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "baselines/intsight.hpp"
 #include "baselines/spidermon.hpp"
 #include "baselines/syndb.hpp"
 #include "faults/injector.hpp"
+#include "faults/schedule.hpp"
 #include "mars/mars.hpp"
 #include "metrics/ranking.hpp"
-#include "net/fat_tree.hpp"
+#include "net/topology_registry.hpp"
 #include "obs/registry.hpp"
 #include "obs/sampler.hpp"
 #include "obs/tracer.hpp"
@@ -44,68 +51,112 @@ struct Observability {
 };
 
 struct ScenarioConfig {
-  int fat_tree_k = 4;
-  /// Link rates in Gbps. The paper's Mininet environment runs BMv2
-  /// software switches whose practical forwarding rate is a few thousand
-  /// pps, so scenario links are Mbps-scale. Edge uplinks are 2:1
-  /// oversubscribed (standard datacenter practice): that is the regime
-  /// where a >1000 pps micro-burst exceeds line rate and a 1:9 ECMP skew
-  /// pushes the loaded branch past capacity, as in Fig. 7.
-  double edge_link_gbps = 0.007;
-  double core_link_gbps = 0.010;
+  /// Fabric, resolved through net::TopologyRegistry by name. The default
+  /// link rates model the paper's Mininet/BMv2 environment: software
+  /// switches forward a few thousand pps, so links are Mbps-scale, with
+  /// 2:1 edge-uplink oversubscription — the regime where a >1000 pps
+  /// micro-burst exceeds line rate and a 1:9 ECMP skew pushes the loaded
+  /// branch past capacity, as in Fig. 7.
+  net::TopologySpec topology{.edge_gbps = 0.007, .core_gbps = 0.010};
   /// Per-port buffer in packets (Tofino-class buffers are far deeper than
   /// the BMv2 default; deep enough that process-rate faults queue rather
   /// than drop).
   std::uint32_t queue_capacity = 4096;
   workload::BackgroundConfig background;
-  /// Healthy run-in before the fault (reservoir warm-up).
-  sim::Time fault_at = 3 * sim::kSecond;
+  /// The fault schedule. The default is one process-rate fault after a
+  /// healthy 3 s run-in (reservoir warm-up); an empty schedule is a
+  /// healthy control run.
+  faults::FaultSchedule faults = faults::FaultSchedule::single(
+      faults::FaultKind::kProcessRateDecrease, 3 * sim::kSecond);
   sim::Time duration = 5 * sim::kSecond;  ///< total simulated time
-  faults::FaultKind fault = faults::FaultKind::kProcessRateDecrease;
   faults::InjectorConfig injector;
   std::uint64_t seed = 1;
+  /// Telemetry systems to deploy, resolved through SystemRegistry by name
+  /// and constructed in this order (MARS first keeps its pipeline the
+  /// first packet observer, as the goldens were captured).
+  std::vector<std::string> systems = {"mars", "spidermon", "intsight",
+                                      "syndb"};
   MarsConfig mars;
   baselines::SpiderMonConfig spidermon;
   baselines::IntSightConfig intsight;
   baselines::SynDbConfig syndb;
-  /// Deploy the baselines alongside MARS (disable to speed up
-  /// MARS-only experiments).
-  bool with_baselines = true;
   /// Optional observability bundle (nullptr = zero instrumentation
   /// overhead). Must outlive run_scenario.
   Observability* observability = nullptr;
   /// Sampler tick period when observability is attached.
   sim::Time sample_period = 100 * sim::kMillisecond;
+
+  /// Start of the first scheduled fault — the grading boundary. An empty
+  /// schedule returns `duration` (nothing to grade after the run).
+  [[nodiscard]] sim::Time first_fault_at() const {
+    return faults.empty() ? duration : faults.events.front().at;
+  }
 };
 
+/// Everything wrong with a config, as descriptive sentences; empty means
+/// run_scenario will accept it.
+[[nodiscard]] std::vector<std::string> validate_scenario(
+    const ScenarioConfig& config);
+
+/// One deployed system's graded trial outcome.
 struct SystemOutcome {
+  std::string system;  ///< registry name ("mars", "spidermon", ...)
   rca::CulpritList culprits;
-  std::optional<std::size_t> rank;  ///< of the ground truth, 1-based
+  /// Rank of the FIRST ground truth in `culprits`, 1-based (the Table-1
+  /// number for single-fault trials).
+  std::optional<std::size_t> rank;
+  /// Rank of every ground truth, index-aligned with ScenarioResult::truths.
+  std::vector<std::optional<std::size_t>> ranks;
   std::uint64_t telemetry_bytes = 0;
   std::uint64_t diagnosis_bytes = 0;
   bool triggered = false;
 };
 
 struct ScenarioResult {
-  faults::GroundTruth truth;
+  /// Ground truth per successfully injected fault, schedule order.
+  std::vector<faults::GroundTruth> truths;
+  /// True when the schedule was non-empty and EVERY event found a viable
+  /// target.
   bool fault_injected = false;
-  SystemOutcome mars;
-  SystemOutcome spidermon;
-  SystemOutcome intsight;
-  SystemOutcome syndb;
+  /// One outcome per deployed system, in ScenarioConfig::systems order.
+  std::vector<SystemOutcome> systems;
   net::NetworkStats net_stats;
   std::uint64_t packets_injected = 0;
   /// Total simulator events executed — a fingerprint of the event
   /// schedule. Identical seeds must produce identical values regardless of
   /// event-queue internals (determinism contract, see DESIGN.md).
   std::uint64_t events_executed = 0;
+
+  /// First ground truth (single-fault convenience). Requires
+  /// fault_injected.
+  [[nodiscard]] const faults::GroundTruth& truth() const {
+    return truths.at(0);
+  }
+  /// Outcome of the named system, or nullptr when it was not deployed.
+  [[nodiscard]] const SystemOutcome* find(std::string_view system) const {
+    for (const auto& outcome : systems) {
+      if (outcome.system == system) return &outcome;
+    }
+    return nullptr;
+  }
+  /// Outcome of the named system; throws std::out_of_range if absent.
+  [[nodiscard]] const SystemOutcome& outcome(std::string_view system) const {
+    const SystemOutcome* found = find(system);
+    if (found == nullptr) {
+      throw std::out_of_range("system '" + std::string(system) +
+                              "' was not deployed in this scenario");
+    }
+    return *found;
+  }
 };
 
-/// Run one trial. Deterministic in config.seed.
+/// Run one trial. Deterministic in config.seed. Throws
+/// std::invalid_argument (with every validate_scenario sentence) on an
+/// invalid config.
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& config);
 
 /// Sensible defaults matching the paper's setup (§5.1–5.2): K=4 fat-tree,
-/// ~200 pps background flows, 100 ms epochs.
+/// ~200 pps background flows, 100 ms epochs, one `fault` injection at 3 s.
 [[nodiscard]] ScenarioConfig default_scenario(faults::FaultKind fault,
                                               std::uint64_t seed);
 

@@ -1,0 +1,328 @@
+#include "mars/scenario_spec.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json_reader.hpp"
+#include "obs/json_writer.hpp"
+
+namespace mars {
+
+namespace {
+
+sim::Time seconds_to_time(double s) {
+  return static_cast<sim::Time>(
+      std::llround(s * static_cast<double>(sim::kSecond)));
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& message) {
+  throw std::invalid_argument(path + ": " + message);
+}
+
+double as_number(const obs::JsonValue& v, const std::string& path) {
+  if (!v.is_number()) fail(path, std::string("expected a number, got ") +
+                                     v.kind_name());
+  return v.as_number();
+}
+
+int as_count(const obs::JsonValue& v, const std::string& path) {
+  if (!v.is_number()) fail(path, std::string("expected an integer, got ") +
+                                     v.kind_name());
+  const double d = v.as_number();
+  if (d != std::floor(d)) fail(path, "expected an integer");
+  return static_cast<int>(d);
+}
+
+std::uint64_t as_uint(const obs::JsonValue& v, const std::string& path) {
+  if (!v.is_number()) fail(path, std::string("expected an unsigned integer, "
+                                             "got ") +
+                                     v.kind_name());
+  try {
+    return v.as_uint();
+  } catch (const std::exception&) {
+    fail(path, "expected a non-negative integer");
+  }
+}
+
+const std::string& as_string(const obs::JsonValue& v,
+                             const std::string& path) {
+  if (!v.is_string()) fail(path, std::string("expected a string, got ") +
+                                     v.kind_name());
+  return v.as_string();
+}
+
+void reject_unknown_keys(const obs::JsonValue& object,
+                         std::initializer_list<std::string_view> known,
+                         const std::string& path) {
+  for (const auto& [key, value] : object.members()) {
+    bool ok = false;
+    for (const std::string_view k : known) {
+      if (key == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      std::string names;
+      for (const std::string_view k : known) {
+        if (!names.empty()) names += ", ";
+        names += k;
+      }
+      fail(path, "unknown key '" + key + "' (known: " + names + ")");
+    }
+  }
+}
+
+ScenarioSpec::Fault parse_fault(const obs::JsonValue& v,
+                                const std::string& path) {
+  if (!v.is_object()) fail(path, "expected a fault object");
+  reject_unknown_keys(
+      v, {"kind", "at_s", "duration_s", "target_switch", "target_port"},
+      path);
+  ScenarioSpec::Fault fault;
+  if (const auto* kind = v.find("kind")) {
+    fault.kind = as_string(*kind, path + ".kind");
+  }
+  if (const auto* at = v.find("at_s")) {
+    fault.at_s = as_number(*at, path + ".at_s");
+  }
+  if (const auto* d = v.find("duration_s")) {
+    fault.duration_s = as_number(*d, path + ".duration_s");
+  }
+  if (const auto* sw = v.find("target_switch")) {
+    fault.target_switch =
+        static_cast<net::SwitchId>(as_uint(*sw, path + ".target_switch"));
+  }
+  if (const auto* port = v.find("target_port")) {
+    fault.target_port =
+        static_cast<net::PortId>(as_uint(*port, path + ".target_port"));
+  }
+  return fault;
+}
+
+}  // namespace
+
+ScenarioConfig ScenarioSpec::to_config() const {
+  faults::FaultKind first_kind = faults::FaultKind::kProcessRateDecrease;
+  if (!faults.empty()) {
+    const auto kind = faults::kind_from_name(faults.front().kind);
+    if (!kind) {
+      throw std::invalid_argument(
+          "unknown fault kind '" + faults.front().kind +
+          "' (known: " + faults::known_kind_names() + ")");
+    }
+    first_kind = *kind;
+  }
+  // Start from the tuned paper defaults for this fault class, then apply
+  // only the fields the spec sets — a minimal spec IS default_scenario.
+  ScenarioConfig cfg = default_scenario(first_kind, seed);
+  cfg.topology.name = topology;
+  if (k) cfg.topology.k = *k;
+  if (leaves) cfg.topology.leaves = *leaves;
+  if (spines) cfg.topology.spines = *spines;
+  if (edge_gbps) cfg.topology.edge_gbps = *edge_gbps;
+  if (core_gbps) cfg.topology.core_gbps = *core_gbps;
+  if (queue_capacity) cfg.queue_capacity = *queue_capacity;
+  if (flows) cfg.background.flows = *flows;
+  if (pps) cfg.background.pps = *pps;
+  if (inter_pod_fraction) {
+    cfg.background.inter_pod_fraction = *inter_pod_fraction;
+  }
+  if (duration_s) cfg.duration = seconds_to_time(*duration_s);
+  if (systems) cfg.systems = *systems;
+
+  cfg.faults.events.clear();
+  for (const Fault& fault : faults) {
+    const auto kind = faults::kind_from_name(fault.kind);
+    if (!kind) {
+      throw std::invalid_argument("unknown fault kind '" + fault.kind +
+                                  "' (known: " +
+                                  faults::known_kind_names() + ")");
+    }
+    faults::FaultEvent event;
+    event.kind = *kind;
+    event.at = seconds_to_time(fault.at_s);
+    if (fault.duration_s) event.duration = seconds_to_time(*fault.duration_s);
+    event.target_switch = fault.target_switch;
+    event.target_port = fault.target_port;
+    cfg.faults.add(event);
+  }
+  return cfg;
+}
+
+std::vector<std::string> ScenarioSpec::validate() const {
+  std::vector<std::string> errors;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!faults::kind_from_name(faults[i].kind)) {
+      errors.push_back("faults[" + std::to_string(i) +
+                       "]: unknown fault kind '" + faults[i].kind +
+                       "' (known: " + faults::known_kind_names() + ")");
+    }
+  }
+  if (!errors.empty()) return errors;  // cannot lower the spec yet
+  try {
+    const auto more = validate_scenario(to_config());
+    errors.insert(errors.end(), more.begin(), more.end());
+  } catch (const std::exception& e) {
+    errors.emplace_back(e.what());
+  }
+  return errors;
+}
+
+std::string to_json(const ScenarioSpec& spec, int indent) {
+  std::ostringstream out;
+  obs::JsonWriter w(out, indent);
+  w.begin_object();
+  w.member("name", spec.name);
+
+  w.key("topology").begin_object();
+  w.member("name", spec.topology);
+  if (spec.k) w.member("k", std::int64_t{*spec.k});
+  if (spec.leaves) w.member("leaves", std::int64_t{*spec.leaves});
+  if (spec.spines) w.member("spines", std::int64_t{*spec.spines});
+  if (spec.edge_gbps) w.member("edge_gbps", *spec.edge_gbps);
+  if (spec.core_gbps) w.member("core_gbps", *spec.core_gbps);
+  w.end_object();
+
+  if (spec.queue_capacity) {
+    w.member("queue_capacity", std::uint64_t{*spec.queue_capacity});
+  }
+  if (spec.flows || spec.pps || spec.inter_pod_fraction) {
+    w.key("background").begin_object();
+    if (spec.flows) w.member("flows", std::int64_t{*spec.flows});
+    if (spec.pps) w.member("pps", *spec.pps);
+    if (spec.inter_pod_fraction) {
+      w.member("inter_pod_fraction", *spec.inter_pod_fraction);
+    }
+    w.end_object();
+  }
+  if (spec.duration_s) w.member("duration_s", *spec.duration_s);
+  w.member("seed", std::uint64_t{spec.seed});
+  if (spec.systems) {
+    w.key("systems").begin_array();
+    for (const auto& name : *spec.systems) w.value(name);
+    w.end_array();
+  }
+  w.key("faults").begin_array();
+  for (const auto& fault : spec.faults) {
+    w.begin_object();
+    w.member("kind", fault.kind);
+    w.member("at_s", fault.at_s);
+    if (fault.duration_s) w.member("duration_s", *fault.duration_s);
+    if (fault.target_switch) {
+      w.member("target_switch", std::uint64_t{*fault.target_switch});
+    }
+    if (fault.target_port) {
+      w.member("target_port", std::uint64_t{*fault.target_port});
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return out.str();
+}
+
+ScenarioSpec parse_scenario_spec(std::string_view json) {
+  obs::JsonValue doc;
+  try {
+    doc = obs::JsonValue::parse(json);
+  } catch (const obs::JsonParseError& e) {
+    throw std::invalid_argument(e.what());
+  }
+  if (!doc.is_object()) {
+    throw std::invalid_argument("spec: expected a top-level JSON object");
+  }
+  reject_unknown_keys(doc,
+                      {"name", "topology", "queue_capacity", "background",
+                       "duration_s", "seed", "systems", "faults"},
+                      "spec");
+
+  ScenarioSpec spec;
+  if (const auto* name = doc.find("name")) {
+    spec.name = as_string(*name, "spec.name");
+  }
+  if (const auto* topo = doc.find("topology")) {
+    if (!topo->is_object()) fail("spec.topology", "expected an object");
+    reject_unknown_keys(
+        *topo, {"name", "k", "leaves", "spines", "edge_gbps", "core_gbps"},
+        "spec.topology");
+    if (const auto* n = topo->find("name")) {
+      spec.topology = as_string(*n, "spec.topology.name");
+    }
+    if (const auto* k = topo->find("k")) {
+      spec.k = as_count(*k, "spec.topology.k");
+    }
+    if (const auto* leaves = topo->find("leaves")) {
+      spec.leaves = as_count(*leaves, "spec.topology.leaves");
+    }
+    if (const auto* spines = topo->find("spines")) {
+      spec.spines = as_count(*spines, "spec.topology.spines");
+    }
+    if (const auto* e = topo->find("edge_gbps")) {
+      spec.edge_gbps = as_number(*e, "spec.topology.edge_gbps");
+    }
+    if (const auto* c = topo->find("core_gbps")) {
+      spec.core_gbps = as_number(*c, "spec.topology.core_gbps");
+    }
+  }
+  if (const auto* qc = doc.find("queue_capacity")) {
+    spec.queue_capacity =
+        static_cast<std::uint32_t>(as_uint(*qc, "spec.queue_capacity"));
+  }
+  if (const auto* bg = doc.find("background")) {
+    if (!bg->is_object()) fail("spec.background", "expected an object");
+    reject_unknown_keys(*bg, {"flows", "pps", "inter_pod_fraction"},
+                        "spec.background");
+    if (const auto* flows = bg->find("flows")) {
+      spec.flows = as_count(*flows, "spec.background.flows");
+    }
+    if (const auto* pps = bg->find("pps")) {
+      spec.pps = as_number(*pps, "spec.background.pps");
+    }
+    if (const auto* f = bg->find("inter_pod_fraction")) {
+      spec.inter_pod_fraction =
+          as_number(*f, "spec.background.inter_pod_fraction");
+    }
+  }
+  if (const auto* d = doc.find("duration_s")) {
+    spec.duration_s = as_number(*d, "spec.duration_s");
+  }
+  if (const auto* seed = doc.find("seed")) {
+    spec.seed = as_uint(*seed, "spec.seed");
+  }
+  if (const auto* systems = doc.find("systems")) {
+    if (!systems->is_array()) fail("spec.systems", "expected an array");
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < systems->size(); ++i) {
+      names.push_back(as_string(systems->at(i),
+                                "spec.systems[" + std::to_string(i) + "]"));
+    }
+    spec.systems = std::move(names);
+  }
+  if (const auto* faults = doc.find("faults")) {
+    if (!faults->is_array()) fail("spec.faults", "expected an array");
+    for (std::size_t i = 0; i < faults->size(); ++i) {
+      spec.faults.push_back(parse_fault(
+          faults->at(i), "spec.faults[" + std::to_string(i) + "]"));
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec load_scenario_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot read scenario spec '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_scenario_spec(buffer.str());
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+}  // namespace mars

@@ -1,0 +1,86 @@
+#pragma once
+// ScenarioSpec: the JSON-facing description of one trial.
+//
+// A spec names a topology, a fault schedule, and the systems to deploy,
+// plus optional overrides of the tuned scenario knobs. Everything NOT
+// mentioned keeps the paper-default value from default_scenario(), so a
+// minimal spec like
+//
+//   {"seed": 7, "faults": [{"kind": "rate", "at_s": 3.0}]}
+//
+// produces exactly the same ScenarioConfig — and therefore the same
+// ranked culprit lists and overhead report — as the hard-coded
+// default_scenario(kProcessRateDecrease, 7). serialize/parse are exact
+// inverses on the spec's set fields (round-trip fixed point), which keeps
+// specs diffable and machine-rewritable for sweeps.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mars/scenario.hpp"
+
+namespace mars {
+
+struct ScenarioSpec {
+  /// Human label, carried through to reports.
+  std::string name = "scenario";
+
+  // ---- topology ----
+  std::string topology = "fat-tree";  ///< net::TopologyRegistry key
+  std::optional<int> k;               ///< fat-tree arity
+  std::optional<int> leaves, spines;  ///< leaf-spine shape
+  std::optional<double> edge_gbps, core_gbps;
+  std::optional<std::uint32_t> queue_capacity;
+
+  // ---- workload ----
+  std::optional<int> flows;
+  std::optional<double> pps;
+  std::optional<double> inter_pod_fraction;
+
+  // ---- trial ----
+  std::optional<double> duration_s;
+  std::uint64_t seed = 1;
+  /// Systems to deploy (SystemRegistry names); unset = all four.
+  std::optional<std::vector<std::string>> systems;
+
+  /// One scheduled fault, in spec units (seconds).
+  struct Fault {
+    std::string kind = "rate";  ///< faults::kind_from_name name
+    double at_s = 3.0;
+    std::optional<double> duration_s;  ///< unset = injector default
+    std::optional<net::SwitchId> target_switch;
+    std::optional<net::PortId> target_port;
+
+    friend bool operator==(const Fault&, const Fault&) = default;
+  };
+  /// Empty = healthy control run.
+  std::vector<Fault> faults;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+
+  /// Lower the spec onto a runnable config: start from
+  /// default_scenario(first fault kind, seed) and apply only the fields
+  /// this spec sets. Throws std::invalid_argument on unknown names.
+  [[nodiscard]] ScenarioConfig to_config() const;
+
+  /// Everything wrong with this spec (unknown topology/system/fault names,
+  /// out-of-range values), as descriptive sentences; empty means
+  /// to_config() + run_scenario will accept it.
+  [[nodiscard]] std::vector<std::string> validate() const;
+};
+
+/// Serialize to JSON (only set fields are written). `indent` as in
+/// obs::JsonWriter; 0 = compact.
+[[nodiscard]] std::string to_json(const ScenarioSpec& spec, int indent = 2);
+
+/// Parse a spec document. Unknown keys are errors (they are almost always
+/// typos that would otherwise silently run the default). Throws
+/// std::invalid_argument with a "line L, column C" or field-path message.
+[[nodiscard]] ScenarioSpec parse_scenario_spec(std::string_view json);
+
+/// Load and parse a spec file. Throws std::invalid_argument (unreadable
+/// file or parse/validation failure, message names the file).
+[[nodiscard]] ScenarioSpec load_scenario_spec(const std::string& path);
+
+}  // namespace mars

@@ -1,0 +1,64 @@
+#pragma once
+// SystemRegistry: telemetry systems by name. A trial names the systems it
+// deploys ("mars", "spidermon", "intsight", "syndb"); each factory
+// constructs the system fully wired — observers attached to the network,
+// gauges registered when observability is on — so run_scenario and the
+// grading code treat all of them uniformly through
+// systems::TelemetrySystem. New systems register the same way without
+// touching the scenario engine.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "systems/telemetry_system.hpp"
+
+namespace mars {
+
+namespace net {
+class Network;
+}  // namespace net
+
+struct ScenarioConfig;  // mars/scenario.hpp
+struct Observability;
+
+class SystemRegistry {
+ public:
+  /// Construct a system attached to `network`, configured from the trial
+  /// config, with metrics registered on the observability bundle when one
+  /// is present (may be nullptr).
+  using Factory = std::function<std::unique_ptr<systems::TelemetrySystem>(
+      net::Network& network, const ScenarioConfig& config,
+      Observability* observability)>;
+
+  /// Process-wide registry, pre-populated with the four paper systems.
+  [[nodiscard]] static SystemRegistry& instance();
+
+  /// Register (or replace) a factory under `name`.
+  void add(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  /// Registered names, registration order.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// "mars, spidermon, ..." — for error messages.
+  [[nodiscard]] std::string known_names() const;
+
+  /// Build the named system. Throws std::invalid_argument on an unknown
+  /// name, listing the registered ones.
+  [[nodiscard]] std::unique_ptr<systems::TelemetrySystem> create(
+      std::string_view name, net::Network& network,
+      const ScenarioConfig& config, Observability* observability) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Factory factory;
+  };
+  [[nodiscard]] const Entry* find(std::string_view name) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace mars

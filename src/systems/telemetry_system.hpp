@@ -1,0 +1,96 @@
+#pragma once
+// TelemetrySystem: the one interface every monitored system — MARS itself
+// and the §5.4 comparison systems (SpiderMon, IntSight, SyNDB) — deploys
+// behind. Trials create systems by registry name (mars/system_registry.hpp),
+// run them over the same packets, and grade them identically: Table 1 and
+// Fig. 9 code no longer special-cases MARS.
+//
+// Lifecycle: a factory constructs the system fully attached to the
+// network (observers added, metrics registered); start() begins any
+// control-plane activity before the simulation runs; diagnose() is called
+// once after the run with the trial's DiagnosisQuery.
+
+#include <cctype>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "faults/injector.hpp"
+#include "metrics/ranking.hpp"
+#include "obs/registry.hpp"
+#include "rca/types.hpp"
+#include "sim/time.hpp"
+
+namespace mars::systems {
+
+/// Byte accounting for Fig. 9.
+struct OverheadReport {
+  std::uint64_t telemetry_bytes = 0;  ///< in-band header bytes over links
+  std::uint64_t diagnosis_bytes = 0;  ///< data-plane -> control-plane bytes
+};
+
+/// Everything a system may consult when producing its ranked culprits.
+/// Self-triggering systems (MARS, SpiderMon, IntSight) ignore the hint;
+/// query-based systems (SyNDB) need it — the paper's expert-knowledge
+/// concession, flagged in Table 1.
+struct DiagnosisQuery {
+  /// Grade diagnoses at or after this time (first scheduled fault).
+  sim::Time fault_start = 0;
+  /// Simulation time when the query is made (end of run).
+  sim::Time now = 0;
+  /// Expert hint: the fault class to query for, when known.
+  std::optional<faults::FaultKind> hint;
+  /// End of the incident window the expert would examine.
+  sim::Time incident_end = 0;
+};
+
+class TelemetrySystem {
+ public:
+  virtual ~TelemetrySystem() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Begin control-plane activity (polling). Called once, before the
+  /// simulation runs. Data-plane-only systems need nothing here.
+  virtual void start() {}
+
+  /// Produce the ranked culprit list for this trial. Systems that never
+  /// triggered return an empty list (the paper's "-" cells).
+  [[nodiscard]] virtual rca::CulpritList diagnose(
+      const DiagnosisQuery& query) = 0;
+
+  [[nodiscard]] virtual OverheadReport overheads() const = 0;
+
+  /// True once the system's own detection logic fired.
+  [[nodiscard]] virtual bool triggered() const = 0;
+
+  /// How this system's culprits are graded against ground truth: MARS
+  /// names causes and is held to them; systems that emit bare locations
+  /// are graded on location only.
+  [[nodiscard]] virtual metrics::MatchOptions match_options() const {
+    return {.require_cause = false};
+  }
+
+  /// Export this system's overhead accounting as lazy gauges:
+  ///   {lowercased name()}.telemetry_bytes / .diagnosis_bytes / .triggered
+  /// so Fig. 9 reads every system from one registry. Gauges capture `this`;
+  /// remove them (or snapshot) before the system is destroyed.
+  virtual void register_metrics(obs::MetricsRegistry& registry) {
+    std::string prefix;
+    for (const char c : name()) {
+      prefix.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    prefix.push_back('.');
+    registry.gauge(prefix + "telemetry_bytes", [this] {
+      return static_cast<double>(overheads().telemetry_bytes);
+    });
+    registry.gauge(prefix + "diagnosis_bytes", [this] {
+      return static_cast<double>(overheads().diagnosis_bytes);
+    });
+    registry.gauge(prefix + "triggered",
+                   [this] { return triggered() ? 1.0 : 0.0; });
+  }
+};
+
+}  // namespace mars::systems

@@ -12,6 +12,7 @@
 // sibling note in DESIGN.md ("Simulator hot path").
 
 #include "mars/scenario.hpp"
+#include "mars/scenario_spec.hpp"
 
 #include <gtest/gtest.h>
 
@@ -47,10 +48,10 @@ TEST_P(ScenarioDeterminismTest, MatchesGoldenFingerprint) {
   EXPECT_EQ(r.net_stats.injected, golden.injected);
   EXPECT_EQ(r.net_stats.delivered, golden.delivered);
   EXPECT_EQ(r.net_stats.dropped, golden.dropped);
-  EXPECT_EQ(r.mars.rank, golden.mars_rank);
-  EXPECT_EQ(r.spidermon.rank, golden.spidermon_rank);
-  EXPECT_EQ(r.intsight.rank, golden.intsight_rank);
-  EXPECT_EQ(r.syndb.rank, golden.syndb_rank);
+  EXPECT_EQ(r.outcome("mars").rank, golden.mars_rank);
+  EXPECT_EQ(r.outcome("spidermon").rank, golden.spidermon_rank);
+  EXPECT_EQ(r.outcome("intsight").rank, golden.intsight_rank);
+  EXPECT_EQ(r.outcome("syndb").rank, golden.syndb_rank);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -71,6 +72,28 @@ INSTANTIATE_TEST_SUITE_P(
                              : "Drop") +
              "Seed" + std::to_string(info.param.seed);
     });
+
+// The declarative path must be the same experiment: a minimal JSON spec
+// (fault kind + seed + duration, everything else defaulted) reproduces a
+// golden fingerprint event-for-event and rank-for-rank.
+TEST(ScenarioDeterminismTest, SpecDrivenRunMatchesGoldenFingerprint) {
+  const ScenarioSpec spec = parse_scenario_spec(R"({
+    "name": "golden-rate-7",
+    "topology": {"name": "fat-tree"},
+    "seed": 7,
+    "duration_s": 4.0,
+    "faults": [{"kind": "rate", "at_s": 3.0}]
+  })");
+  const ScenarioResult r = run_scenario(spec.to_config());
+  EXPECT_EQ(r.events_executed, 303897u);
+  EXPECT_EQ(r.net_stats.injected, 40676u);
+  EXPECT_EQ(r.net_stats.delivered, 40012u);
+  EXPECT_EQ(r.net_stats.dropped, 0u);
+  EXPECT_EQ(r.outcome("mars").rank, std::nullopt);
+  EXPECT_EQ(r.outcome("spidermon").rank, std::optional<std::size_t>(1));
+  EXPECT_EQ(r.outcome("intsight").rank, std::optional<std::size_t>(3));
+  EXPECT_EQ(r.outcome("syndb").rank, std::optional<std::size_t>(1));
+}
 
 }  // namespace
 }  // namespace mars

@@ -1,0 +1,149 @@
+// ScenarioSpec: the JSON surface of the experiment engine. Pins the
+// round-trip fixed point (parse(to_json(spec)) == spec), the contract
+// that a minimal spec lowers to exactly default_scenario, and the
+// rejection paths (unknown keys, unknown names, malformed JSON).
+
+#include "mars/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace mars {
+namespace {
+
+ScenarioSpec full_spec() {
+  ScenarioSpec spec;
+  spec.name = "everything-set";
+  spec.topology = "leaf-spine";
+  spec.leaves = 6;
+  spec.spines = 3;
+  spec.edge_gbps = 0.008;
+  spec.core_gbps = 0.012;
+  spec.queue_capacity = 2048;
+  spec.flows = 24;
+  spec.pps = 180.0;
+  spec.inter_pod_fraction = 0.5;
+  spec.duration_s = 6.0;
+  spec.seed = 42;
+  spec.systems = std::vector<std::string>{"mars", "syndb"};
+  ScenarioSpec::Fault drop;
+  drop.kind = "drop";
+  drop.at_s = 2.5;
+  drop.duration_s = 1.5;
+  drop.target_switch = 3;
+  drop.target_port = 1;
+  spec.faults.push_back(drop);
+  ScenarioSpec::Fault delay;
+  delay.kind = "delay";
+  delay.at_s = 3.0;
+  spec.faults.push_back(delay);
+  return spec;
+}
+
+TEST(ScenarioSpecTest, RoundTripIsFixedPoint) {
+  const ScenarioSpec spec = full_spec();
+  const std::string json = to_json(spec);
+  const ScenarioSpec reparsed = parse_scenario_spec(json);
+  EXPECT_EQ(reparsed, spec);
+  EXPECT_EQ(to_json(reparsed), json);
+}
+
+TEST(ScenarioSpecTest, MinimalSpecRoundTrips) {
+  const ScenarioSpec spec;  // all defaults, no faults
+  EXPECT_EQ(parse_scenario_spec(to_json(spec)), spec);
+}
+
+TEST(ScenarioSpecTest, MinimalSpecLowersToDefaultScenario) {
+  ScenarioSpec spec;
+  spec.seed = 7;
+  spec.faults.emplace_back();  // kind "rate" at 3.0s, nothing pinned
+
+  const ScenarioConfig lowered = spec.to_config();
+  const ScenarioConfig reference =
+      default_scenario(faults::FaultKind::kProcessRateDecrease, 7);
+
+  EXPECT_EQ(lowered.topology, reference.topology);
+  EXPECT_EQ(lowered.faults, reference.faults);
+  EXPECT_EQ(lowered.seed, reference.seed);
+  EXPECT_EQ(lowered.duration, reference.duration);
+  EXPECT_EQ(lowered.queue_capacity, reference.queue_capacity);
+  EXPECT_EQ(lowered.background.flows, reference.background.flows);
+  EXPECT_EQ(lowered.background.pps, reference.background.pps);
+  EXPECT_EQ(lowered.systems, reference.systems);
+  EXPECT_EQ(lowered.sample_period, reference.sample_period);
+}
+
+TEST(ScenarioSpecTest, FirstFaultKindSelectsTunedDefaults) {
+  // default_scenario(kEcmpImbalance) raises the background load; a spec
+  // whose first fault is ECMP must inherit that tuning.
+  ScenarioSpec spec;
+  spec.faults.emplace_back();
+  spec.faults.back().kind = "ecmp";
+  const ScenarioConfig lowered = spec.to_config();
+  const ScenarioConfig reference =
+      default_scenario(faults::FaultKind::kEcmpImbalance, 1);
+  EXPECT_EQ(lowered.background.flows, reference.background.flows);
+  EXPECT_EQ(lowered.background.pps, reference.background.pps);
+}
+
+TEST(ScenarioSpecTest, UnknownTopLevelKeyIsRejected) {
+  EXPECT_THROW(parse_scenario_spec(R"({"sede": 7})"), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, UnknownNestedKeyNamesItsPath) {
+  try {
+    (void)parse_scenario_spec(R"({"topology": {"kk": 8}})");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.topology"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("kk"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecTest, MalformedJsonReportsPosition) {
+  try {
+    (void)parse_scenario_spec("{\"seed\": }");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioSpecTest, NegativeSeedIsRejected) {
+  EXPECT_THROW(parse_scenario_spec(R"({"seed": -1})"), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, ValidateFlagsEveryUnknownName) {
+  ScenarioSpec spec;
+  spec.topology = "torus";
+  spec.systems = std::vector<std::string>{"mars", "netsight"};
+  const auto topo_errors = spec.validate();
+  ASSERT_FALSE(topo_errors.empty());
+  bool topo = false, system = false;
+  for (const auto& e : topo_errors) {
+    if (e.find("torus") != std::string::npos) topo = true;
+    if (e.find("netsight") != std::string::npos) system = true;
+  }
+  EXPECT_TRUE(topo);
+  EXPECT_TRUE(system);
+
+  ScenarioSpec bad_fault;
+  bad_fault.faults.emplace_back();
+  bad_fault.faults.back().kind = "gremlins";
+  const auto fault_errors = bad_fault.validate();
+  ASSERT_FALSE(fault_errors.empty());
+  EXPECT_NE(fault_errors.front().find("gremlins"), std::string::npos);
+  EXPECT_THROW((void)bad_fault.to_config(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, LoadRejectsMissingFile) {
+  EXPECT_THROW((void)load_scenario_spec("/nonexistent/spec.json"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mars

@@ -1,0 +1,147 @@
+// run_sweep: the parallel batch driver must be a pure speedup — trial i
+// of a sweep equals run_scenario(points[i].config) result-for-result,
+// regardless of thread count — and its per-system aggregates must match
+// what a sequential merge would produce.
+
+#include "mars/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "mars/scenario.hpp"
+
+namespace mars {
+namespace {
+
+void expect_same_result(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.packets_injected, b.packets_injected);
+  EXPECT_EQ(a.net_stats.delivered, b.net_stats.delivered);
+  EXPECT_EQ(a.net_stats.dropped, b.net_stats.dropped);
+  ASSERT_EQ(a.truths.size(), b.truths.size());
+  for (std::size_t i = 0; i < a.truths.size(); ++i) {
+    EXPECT_EQ(a.truths[i].describe(), b.truths[i].describe());
+  }
+  ASSERT_EQ(a.systems.size(), b.systems.size());
+  for (std::size_t s = 0; s < a.systems.size(); ++s) {
+    EXPECT_EQ(a.systems[s].system, b.systems[s].system);
+    EXPECT_EQ(a.systems[s].rank, b.systems[s].rank);
+    EXPECT_EQ(a.systems[s].triggered, b.systems[s].triggered);
+    EXPECT_EQ(a.systems[s].telemetry_bytes, b.systems[s].telemetry_bytes);
+    EXPECT_EQ(a.systems[s].diagnosis_bytes, b.systems[s].diagnosis_bytes);
+    ASSERT_EQ(a.systems[s].culprits.size(), b.systems[s].culprits.size());
+    for (std::size_t c = 0; c < a.systems[s].culprits.size(); ++c) {
+      EXPECT_EQ(a.systems[s].culprits[c].describe(),
+                b.systems[s].culprits[c].describe());
+    }
+  }
+}
+
+TEST(SweepTest, MatchesSequentialRunScenario) {
+  const auto base = default_scenario(faults::FaultKind::kDrop, 0);
+  const auto points = seed_sweep(base, 7, 3, "drop/");
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].label, "drop/seed=7");
+  EXPECT_EQ(points[2].config.seed, 9u);
+
+  SweepOptions options;
+  options.threads = 3;
+  const SweepResult sweep = run_sweep(points, options);
+  ASSERT_EQ(sweep.trials.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(sweep.trials[i].label, points[i].label);
+    const ScenarioResult sequential = run_scenario(points[i].config);
+    expect_same_result(sweep.trials[i].result, sequential);
+  }
+}
+
+TEST(SweepTest, AggregatesMatchManualMerge) {
+  const auto base =
+      default_scenario(faults::FaultKind::kProcessRateDecrease, 0);
+  const auto points = seed_sweep(base, 21, 2);
+  const SweepResult sweep = run_sweep(points);
+
+  const auto* mars_agg = sweep.find("mars");
+  ASSERT_NE(mars_agg, nullptr);
+  EXPECT_EQ(mars_agg->deployments, 2u);
+
+  metrics::LocalizationStats expected;
+  std::uint64_t telemetry = 0;
+  std::size_t triggered = 0;
+  for (const auto& trial : sweep.trials) {
+    const auto& outcome = trial.result.outcome("mars");
+    if (!trial.result.truths.empty()) expected.add(outcome.rank);
+    telemetry += outcome.telemetry_bytes;
+    triggered += outcome.triggered ? 1 : 0;
+  }
+  EXPECT_EQ(mars_agg->stats.recall_at(5), expected.recall_at(5));
+  EXPECT_EQ(mars_agg->stats.exam_score(), expected.exam_score());
+  EXPECT_EQ(mars_agg->telemetry_bytes, telemetry);
+  EXPECT_EQ(mars_agg->triggered, triggered);
+  EXPECT_EQ(sweep.find("no-such-system"), nullptr);
+}
+
+TEST(SweepTest, SingleThreadEqualsManyThreads) {
+  const auto base = default_scenario(faults::FaultKind::kMicroBurst, 0);
+  const auto points = seed_sweep(base, 11, 3);
+  SweepOptions one;
+  one.threads = 1;
+  SweepOptions many;
+  many.threads = 4;
+  const auto a = run_sweep(points, one);
+  const auto b = run_sweep(points, many);
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    expect_same_result(a.trials[i].result, b.trials[i].result);
+  }
+}
+
+TEST(SweepTest, CollectObservabilityAttachesPerTrialBundles) {
+  const auto base =
+      default_scenario(faults::FaultKind::kProcessRateDecrease, 0);
+  const auto points = seed_sweep(base, 31, 2);
+  SweepOptions options;
+  options.collect_observability = true;
+  const auto sweep = run_sweep(points, options);
+  for (const auto& trial : sweep.trials) {
+    ASSERT_NE(trial.observability, nullptr);
+    EXPECT_GT(trial.observability->snapshot.gauges.size(), 0u);
+    EXPECT_GE(trial.observability->snapshot.gauge_or("mars.telemetry_bytes",
+                                                     -1.0),
+              0.0);
+  }
+  // Without the flag, no bundle is allocated.
+  const auto bare = run_sweep(points);
+  for (const auto& trial : bare.trials) {
+    EXPECT_EQ(trial.observability, nullptr);
+  }
+}
+
+TEST(SweepTest, ValidatesEveryPointUpFront) {
+  const auto base = default_scenario(faults::FaultKind::kDrop, 0);
+  auto points = seed_sweep(base, 1, 2);
+  points[1].config.queue_capacity = 0;
+  points[1].label = "bad-point";
+  try {
+    (void)run_sweep(points);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("bad-point"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SweepTest, FaultGridCoversAllKinds) {
+  const auto points = fault_grid(100, 2);
+  ASSERT_EQ(points.size(), 10u);
+  EXPECT_EQ(points[0].label, "microburst/seed=100");
+  EXPECT_EQ(points.back().label, "drop/seed=101");
+  for (const auto& point : points) {
+    EXPECT_TRUE(validate_scenario(point.config).empty()) << point.label;
+  }
+}
+
+}  // namespace
+}  // namespace mars

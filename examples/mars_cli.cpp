@@ -82,9 +82,17 @@ std::vector<std::string> split_csv(const std::string& arg) {
 }
 
 void print_outcome_text(const SystemOutcome& outcome) {
-  std::printf("%-10s rank=%-4s telemetry=%-9llu diagnosis=%-9llu top=[",
+  char conf[16];
+  if (outcome.confidence) {
+    std::snprintf(conf, sizeof(conf), "%.2f", *outcome.confidence);
+  } else {
+    std::snprintf(conf, sizeof(conf), "-");
+  }
+  std::printf("%-10s rank=%-4s conf=%-4s telemetry=%-9llu diagnosis=%-9llu "
+              "top=[",
               outcome.system.c_str(),
               outcome.rank ? std::to_string(*outcome.rank).c_str() : "-",
+              conf,
               static_cast<unsigned long long>(outcome.telemetry_bytes),
               static_cast<unsigned long long>(outcome.diagnosis_bytes));
   for (std::size_t i = 0; i < outcome.culprits.size() && i < 3; ++i) {
@@ -102,6 +110,11 @@ void write_outcome_json(obs::JsonWriter& w, const SystemOutcome& outcome) {
     w.member_null("rank");
   }
   w.member("triggered", outcome.triggered);
+  if (outcome.confidence) {
+    w.member("confidence", *outcome.confidence);
+  } else {
+    w.member_null("confidence");
+  }
   w.member("telemetry_bytes", outcome.telemetry_bytes);
   w.member("diagnosis_bytes", outcome.diagnosis_bytes);
   w.key("culprits").begin_array();

@@ -59,6 +59,9 @@ rca::CulpritList SynDb::diagnose_with_hint(faults::FaultKind hint,
       return query_latency_per_switch(now, rca::CauseKind::kDelay);
     case faults::FaultKind::kDrop:
       return query_drop(now);
+    case faults::FaultKind::kNotificationLoss:
+    case faults::FaultKind::kReadOutage:
+      return {};  // channel chaos is not a queryable network incident
   }
   return {};
 }

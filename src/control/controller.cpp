@@ -16,6 +16,14 @@ std::vector<net::SwitchId> Controller::edge_switches() const {
   return network_->topology().switches_in_layer(net::Layer::kEdge);
 }
 
+ControlChannel::ReadResult Controller::read_ring(net::SwitchId sw) {
+  if (channel_ != nullptr) return channel_->read_ring(sw);
+  ControlChannel::ReadResult result;
+  result.ok = true;
+  result.records = pipeline_->ring_snapshot(sw);
+  return result;
+}
+
 void Controller::start() {
   network_->simulator().schedule_in(config_.poll_interval, [this] {
     poll_once();
@@ -31,12 +39,25 @@ void Controller::poll_once() {
     span.emplace(tracer_->wall_span("controller.poll", "control"));
   }
   for (const net::SwitchId sw : edge_switches()) {
+    auto read = read_ring(sw);
+    if (!read.ok) {
+      // Stale-threshold fallback: keep the thresholds we have and leave
+      // the watermark untouched, so the records we missed are picked up
+      // by the next successful poll instead of silently skipped.
+      ++overheads_.poll_reads_failed;
+      continue;
+    }
     const sim::Time watermark =
         poll_watermark_.count(sw) ? poll_watermark_[sw] : -1;
-    for (const auto& rec : pipeline_->ring_snapshot(sw)) {
+    for (const auto& rec : read.records) {
       if (rec.sink_timestamp <= watermark) continue;
       overheads_.poll_bytes += config_.poll_sample_bytes;
       ++samples;
+      if (!plausible_record(rec, now)) {
+        // Corrupt latency samples must not steer the dynamic thresholds.
+        ++overheads_.records_quarantined;
+        continue;
+      }
       auto [it, inserted] = reservoirs_.try_emplace(
           rec.flow, config_.reservoir, reservoir_seed_++);
       it->second.input(static_cast<double>(rec.latency));
@@ -75,54 +96,105 @@ void Controller::on_notification(const dataplane::Notification& n) {
   pending_.push_back(n);
   if (config_.collection_delay > 0) {
     collection_pending_ = true;
-    network_->simulator().schedule_in(config_.collection_delay, [this, n] {
-      collection_pending_ = false;
-      collect_and_diagnose(n);
-    });
+    network_->simulator().schedule_in(
+        config_.collection_delay, [this, n] { collect_and_diagnose(n); });
   } else {
+    collection_pending_ = true;
     collect_and_diagnose(n);
   }
 }
 
 void Controller::collect_and_diagnose(const dataplane::Notification& n) {
-  DiagnosisData data;
-  data.trigger = n;
-  data.notifications = pending_;
+  collection_.emplace();
+  Collection& c = *collection_;
+  c.data.trigger = n;
+  c.data.notifications = std::move(pending_);
   pending_.clear();
-  data.collected_at = network_->simulator().now();
-  data.default_threshold = pipeline_->config().default_threshold;
+  c.data.default_threshold = pipeline_->config().default_threshold;
   // MARS only drains edge switches (Motivation #1: offload core switches).
+  c.remaining = edge_switches();
+  c.data.quality.switches_total = c.remaining.size();
+  drain_round();
+}
+
+void Controller::drain_round() {
+  Collection& c = *collection_;
+  const sim::Time now = network_->simulator().now();
   {
     std::optional<obs::SpanTracer::WallSpan> span;
     if (tracer_ != nullptr) {
       span.emplace(tracer_->wall_span("controller.ring_drain", "control"));
     }
-    for (const net::SwitchId sw : edge_switches()) {
-      for (auto& rec : pipeline_->ring_snapshot(sw)) {
+    std::vector<net::SwitchId> failed;
+    for (const net::SwitchId sw : c.remaining) {
+      auto read = read_ring(sw);
+      if (!read.ok) {
+        ++overheads_.drain_read_failures;
+        failed.push_back(sw);
+        continue;
+      }
+      ++c.data.quality.switches_drained;
+      for (auto& rec : read.records) {
+        // Quarantined records still crossed the wire: their bytes count
+        // toward diagnosis overhead even though they never reach the RCA
+        // engine.
         overheads_.diagnosis_bytes += telemetry::RtRecord::kWireBytes;
-        data.records.push_back(rec);
+        if (!plausible_record(rec, now)) {
+          ++c.data.quality.records_quarantined;
+          ++overheads_.records_quarantined;
+          continue;
+        }
+        ++c.data.quality.records_collected;
+        c.data.records.push_back(rec);
       }
     }
+    c.remaining = std::move(failed);
     if (span) {
-      span->arg({"records", std::uint64_t{data.records.size()}});
+      span->arg({"records", std::uint64_t{c.data.records.size()}});
     }
   }
+  if (!c.remaining.empty() && c.round < config_.max_read_retries) {
+    ++c.round;
+    c.data.quality.retry_rounds = c.round;
+    ++overheads_.drain_retry_rounds;
+    // Exponential backoff, all in virtual time: the failed read already
+    // burned its deadline, then wait 2^(round-1) base backoffs.
+    const sim::Time wait =
+        config_.read_deadline + (config_.retry_backoff << (c.round - 1));
+    network_->simulator().schedule_in(wait, [this] { drain_round(); });
+    return;
+  }
+  finalize_collection();
+}
+
+void Controller::finalize_collection() {
+  Collection& c = *collection_;
+  overheads_.drains_abandoned += c.remaining.size();
+  c.data.collected_at = network_->simulator().now();
+  // Notifications that arrived during retry rounds were folded into
+  // pending_; they belong to this session.
+  for (auto& n : pending_) c.data.notifications.push_back(n);
+  pending_.clear();
   for (const auto& [flow, reservoir] : reservoirs_) {
     if (reservoir.warmed_up()) {
-      data.thresholds[flow] = static_cast<sim::Time>(reservoir.threshold());
+      c.data.thresholds[flow] = static_cast<sim::Time>(reservoir.threshold());
     }
   }
   ++overheads_.diagnoses;
+  if (c.data.quality.degraded()) ++overheads_.partial_sessions;
   if (tracer_ != nullptr) {
     // The posterior-collection window in virtual time: notification ->
-    // ring-table drain.
+    // ring-table drain (including any retry rounds).
     tracer_->complete(
-        "collection_window", "control", n.when, data.collected_at,
-        {{"trigger", dataplane::kind_name(n.kind)},
-         {"notifications", std::uint64_t{data.notifications.size()}},
-         {"records", std::uint64_t{data.records.size()}}});
+        "collection_window", "control", c.data.trigger.when,
+        c.data.collected_at,
+        {{"trigger", dataplane::kind_name(c.data.trigger.kind)},
+         {"notifications", std::uint64_t{c.data.notifications.size()}},
+         {"records", std::uint64_t{c.data.records.size()}}});
   }
-  sessions_.push_back(data);
+  sessions_.push_back(std::move(c.data));
+  collection_.reset();
+  collection_pending_ = false;
   if (on_diagnosis_) on_diagnosis_(sessions_.back());
 }
 

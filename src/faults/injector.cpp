@@ -1,8 +1,11 @@
 #include "faults/injector.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "control/channel.hpp"
 #include "faults/schedule.hpp"
+#include "obs/registry.hpp"
 
 namespace mars::faults {
 
@@ -13,13 +16,19 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kProcessRateDecrease: return "process-rate-decrease";
     case FaultKind::kDelay: return "delay";
     case FaultKind::kDrop: return "drop";
+    case FaultKind::kNotificationLoss: return "notification-loss";
+    case FaultKind::kReadOutage: return "read-outage";
   }
   return "?";
 }
 
 std::string GroundTruth::describe() const {
   std::string out = to_string(kind);
-  if (kind == FaultKind::kMicroBurst) {
+  if (is_telemetry_fault(kind)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " severity %.2f", severity);
+    out += buf;
+  } else if (kind == FaultKind::kMicroBurst) {
     out += " flow " + net::to_string(flow);
   } else {
     out += " @ s" + std::to_string(switch_id);
@@ -60,8 +69,50 @@ std::optional<GroundTruth> FaultInjector::inject(const FaultEvent& event) {
       truth = inject_port_fault(event.kind, event.at, duration,
                                 event.target_switch, event.target_port);
       break;
+    case FaultKind::kNotificationLoss:
+    case FaultKind::kReadOutage:
+      truth = inject_telemetry(event.kind, event.at, duration);
+      break;
   }
-  if (truth) history_.push_back(*truth);
+  if (truth) {
+    history_.push_back(*truth);
+  } else {
+    note_skipped(event.kind, event.at);
+  }
+  return truth;
+}
+
+void FaultInjector::set_metrics(obs::MetricsRegistry& registry) {
+  skipped_ = &registry.counter("faults.skipped");
+}
+
+void FaultInjector::note_skipped(FaultKind kind, sim::Time at) {
+  if (skipped_ != nullptr) skipped_->inc();
+  std::fprintf(stderr,
+               "warning: %s injection at %.3fs found no viable target; "
+               "trial runs without this fault\n",
+               to_string(kind), sim::to_seconds(at));
+}
+
+std::optional<GroundTruth> FaultInjector::inject_telemetry(
+    FaultKind kind, sim::Time at, sim::Time duration) {
+  if (channel_ == nullptr) return std::nullopt;
+  GroundTruth truth;
+  truth.kind = kind;
+  truth.start = at;
+  truth.duration = duration;
+  if (kind == FaultKind::kNotificationLoss) {
+    truth.severity = rng_.uniform(config_.telemetry_loss_min,
+                                  config_.telemetry_loss_max);
+    channel_->schedule_degradation(
+        control::ControlChannel::Dial::kNotificationLoss, truth.severity, at,
+        duration);
+  } else {
+    truth.severity =
+        rng_.uniform(config_.read_outage_min, config_.read_outage_max);
+    channel_->schedule_degradation(control::ControlChannel::Dial::kReadFailure,
+                                   truth.severity, at, duration);
+  }
   return truth;
 }
 

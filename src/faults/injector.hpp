@@ -1,7 +1,7 @@
 #pragma once
 // Fault injection (paper §5.2) with ground-truth labels for evaluation.
 //
-// Five scenarios:
+// Five network scenarios:
 //   micro-burst:            transient >1000 pps flow for ~1 s;
 //   ECMP load imbalance:    a random switch's ECMP weights move from 1:1
 //                           to 1:r, r ∈ [4, 10];
@@ -10,9 +10,19 @@
 //                           the queue (Chaosblade-style interface fault);
 //   drop:                   a port drops packets with fixed probability.
 //
-// Each injection targets a location that actually carries traffic (picked
-// from the active background flows) so every trial is non-vacuous, and
-// schedules its own removal.
+// plus two telemetry (chaos) scenarios that degrade the monitoring system
+// itself rather than the network — they raise a dial on the attached
+// control::ControlChannel for the fault window:
+//   notification-loss:      notification packets drop with a drawn
+//                           severity;
+//   read-outage:            per-switch Ring-Table reads fail with a drawn
+//                           severity.
+//
+// Each network injection targets a location that actually carries traffic
+// (picked from the active background flows) so every trial is
+// non-vacuous, and schedules its own removal. Telemetry injections need a
+// channel attached (attach_channel) and are skipped — visibly — without
+// one.
 
 #include <optional>
 #include <string>
@@ -23,6 +33,15 @@
 #include "util/rng.hpp"
 #include "workload/traffic_gen.hpp"
 
+namespace mars::control {
+class ControlChannel;
+}  // namespace mars::control
+
+namespace mars::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace mars::obs
+
 namespace mars::faults {
 
 enum class FaultKind : std::uint8_t {
@@ -31,9 +50,19 @@ enum class FaultKind : std::uint8_t {
   kProcessRateDecrease,
   kDelay,
   kDrop,
+  kNotificationLoss,  ///< telemetry: drop controller notifications
+  kReadOutage,        ///< telemetry: fail Ring-Table reads
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
+
+/// True for the chaos kinds that degrade the telemetry channel instead of
+/// the network. Telemetry faults are not localizable culprits: grading
+/// never matches them (metrics::culprit_matches returns false).
+[[nodiscard]] constexpr bool is_telemetry_fault(FaultKind kind) {
+  return kind == FaultKind::kNotificationLoss ||
+         kind == FaultKind::kReadOutage;
+}
 
 /// What was actually injected — the label the localization metrics grade
 /// culprit lists against.
@@ -44,6 +73,9 @@ struct GroundTruth {
   net::FlowId flow{net::kInvalidSwitch, net::kInvalidSwitch};  ///< burst flow
   sim::Time start = 0;
   sim::Time duration = 0;
+  /// Telemetry faults only: the dial level applied (loss / failure
+  /// probability in (0, 1]).
+  double severity = 0.0;
 
   [[nodiscard]] std::string describe() const;
 };
@@ -56,6 +88,9 @@ struct InjectorConfig {
   sim::Time delay_min = 50 * sim::kMillisecond;
   sim::Time delay_max = 200 * sim::kMillisecond;
   double drop_prob_min = 0.3, drop_prob_max = 0.8;
+  /// Telemetry-fault severity draws (dial levels on the control channel).
+  double telemetry_loss_min = 0.5, telemetry_loss_max = 0.9;
+  double read_outage_min = 0.5, read_outage_max = 0.9;
 };
 
 struct FaultEvent;  // faults/schedule.hpp
@@ -65,6 +100,18 @@ class FaultInjector {
  public:
   FaultInjector(net::Network& network, workload::TrafficGenerator& traffic,
                 std::uint64_t seed, InjectorConfig config = {});
+
+  /// Route telemetry faults (notification-loss, read-outage) onto this
+  /// control channel. Without one, telemetry injections are skipped (a
+  /// visible nullopt: counted and warned about, see set_metrics).
+  void attach_channel(control::ControlChannel* channel) {
+    channel_ = channel;
+  }
+
+  /// Count injections that found no viable target in the registry's
+  /// "faults.skipped" counter (a silent nullopt makes a vacuous trial look
+  /// like a graded one in sweep aggregates).
+  void set_metrics(obs::MetricsRegistry& registry);
 
   /// Inject `kind` at absolute time `at`; removal is scheduled
   /// automatically. Returns the ground truth, or nullopt if no viable
@@ -105,13 +152,18 @@ class FaultInjector {
       FaultKind kind, sim::Time at, sim::Time duration,
       std::optional<net::SwitchId> target_switch,
       std::optional<net::PortId> target_port);
+  std::optional<GroundTruth> inject_telemetry(FaultKind kind, sim::Time at,
+                                              sim::Time duration);
   void schedule_ecmp_skew(net::SwitchId chooser, std::uint32_t ratio,
                           sim::Time at, sim::Time duration);
+  void note_skipped(FaultKind kind, sim::Time at);
 
   net::Network* network_;
   workload::TrafficGenerator* traffic_;
   util::Rng rng_;
   InjectorConfig config_;
+  control::ControlChannel* channel_ = nullptr;
+  obs::Counter* skipped_ = nullptr;
   std::vector<GroundTruth> history_;
 };
 

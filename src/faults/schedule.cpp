@@ -29,6 +29,11 @@ std::vector<std::string> FaultSchedule::validate(sim::Time horizon) const {
                        ": micro-bursts target flows, not switches; drop "
                        "the pinned switch");
     }
+    if ((e.target_switch || e.target_port) && is_telemetry_fault(e.kind)) {
+      errors.push_back(where +
+                       ": telemetry faults degrade the control channel, "
+                       "not a switch; drop the pinned target");
+    }
   }
   return errors;
 }
@@ -40,6 +45,8 @@ const char* short_name(FaultKind kind) {
     case FaultKind::kProcessRateDecrease: return "rate";
     case FaultKind::kDelay: return "delay";
     case FaultKind::kDrop: return "drop";
+    case FaultKind::kNotificationLoss: return "notifloss";
+    case FaultKind::kReadOutage: return "readoutage";
   }
   return "?";
 }
@@ -56,11 +63,17 @@ std::optional<FaultKind> kind_from_name(std::string_view name) {
   }
   if (name == "delay") return FaultKind::kDelay;
   if (name == "drop") return FaultKind::kDrop;
+  if (name == "notifloss" || name == "notification-loss") {
+    return FaultKind::kNotificationLoss;
+  }
+  if (name == "readoutage" || name == "read-outage") {
+    return FaultKind::kReadOutage;
+  }
   return std::nullopt;
 }
 
 const char* known_kind_names() {
-  return "microburst, ecmp, rate, delay, drop";
+  return "microburst, ecmp, rate, delay, drop, notifloss, readoutage";
 }
 
 }  // namespace mars::faults

@@ -12,13 +12,18 @@ MarsSystem::MarsSystem(net::Network& network, MarsConfig config)
 
   pipeline_ = std::make_unique<dataplane::MarsPipeline>(
       network.topology().switch_count(), config_.pipeline,
-      [this](const dataplane::Notification& n) {
-        controller_->on_notification(n);
-      });
+      [this](const dataplane::Notification& n) { channel_->offer(n); });
   pipeline_->set_control_mat(registry_->mat());
+
+  channel_ = std::make_unique<control::ControlChannel>(
+      network.simulator(), *pipeline_, config_.channel);
+  channel_->set_deliver([this](const dataplane::Notification& n) {
+    controller_->on_notification(n);
+  });
 
   controller_ = std::make_unique<control::Controller>(network, *pipeline_,
                                                       config_.controller);
+  controller_->set_channel(channel_.get());
   analyzer_ = std::make_unique<rca::RootCauseAnalyzer>(
       *registry_, config_.rca, &network.topology());
   controller_->set_diagnosis_callback([this](const control::DiagnosisData& d) {
@@ -78,6 +83,38 @@ void MarsSystem::register_metrics(obs::MetricsRegistry& registry) {
   registry.gauge("mars.reservoir_fill", [this] {
     return controller_->mean_reservoir_fill();
   });
+  registry.gauge("mars.confidence",
+                 [this] { return confidence().value_or(1.0); });
+  registry.gauge("mars.channel.notifications_dropped", [this] {
+    return static_cast<double>(channel_->stats().notifications_dropped);
+  });
+  registry.gauge("mars.channel.notifications_delayed", [this] {
+    return static_cast<double>(channel_->stats().notifications_delayed);
+  });
+  registry.gauge("mars.channel.reads_failed", [this] {
+    return static_cast<double>(channel_->stats().reads_failed);
+  });
+  registry.gauge("mars.channel.records_lost", [this] {
+    return static_cast<double>(channel_->stats().records_lost);
+  });
+  registry.gauge("mars.channel.records_corrupted", [this] {
+    return static_cast<double>(channel_->stats().records_corrupted);
+  });
+  registry.gauge("mars.controller.poll_fallbacks", [this] {
+    return static_cast<double>(controller_->overheads().poll_reads_failed);
+  });
+  registry.gauge("mars.controller.drain_retry_rounds", [this] {
+    return static_cast<double>(controller_->overheads().drain_retry_rounds);
+  });
+  registry.gauge("mars.controller.drains_abandoned", [this] {
+    return static_cast<double>(controller_->overheads().drains_abandoned);
+  });
+  registry.gauge("mars.controller.records_quarantined", [this] {
+    return static_cast<double>(controller_->overheads().records_quarantined);
+  });
+  registry.gauge("mars.controller.partial_sessions", [this] {
+    return static_cast<double>(controller_->overheads().partial_sessions);
+  });
   registry.gauge("mars.ring_occupancy", [this] {
     // Mean edge-switch Ring Table fill fraction (the paper's Fig. 10
     // memory argument made observable).
@@ -93,6 +130,15 @@ void MarsSystem::register_metrics(obs::MetricsRegistry& registry) {
     }
     return sum / static_cast<double>(edges.size());
   });
+}
+
+std::optional<double> MarsSystem::confidence() const {
+  if (diagnoses_.empty()) return std::nullopt;
+  double worst = 1.0;
+  for (const auto& d : diagnoses_) {
+    worst = std::min(worst, d.session.quality.confidence());
+  }
+  return worst;
 }
 
 rca::CulpritList MarsSystem::culprits_for(sim::Time fault_start) const {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "control/channel.hpp"
 #include "control/controller.hpp"
 #include "control/path_registry.hpp"
 #include "dataplane/mars_pipeline.hpp"
@@ -21,6 +22,10 @@ namespace mars {
 struct MarsConfig {
   dataplane::PipelineConfig pipeline;
   control::ControllerConfig controller;
+  /// Control-channel degradation model. The default is perfect — no
+  /// drops, no delays, no read failures — and a perfect channel is
+  /// bit-identical to having no channel at all.
+  control::ChannelConfig channel;
   rca::RcaConfig rca;
   /// Optional observability hooks (zero overhead when null). The registry
   /// gains "mars."-prefixed gauges reading the pipeline/controller
@@ -63,6 +68,17 @@ class MarsSystem final : public systems::TelemetrySystem {
     return {.require_cause = true};
   }
 
+  /// Worst-case evidence completeness over the graded diagnoses: the
+  /// minimum session confidence, or nullopt before any diagnosis. 1.0
+  /// exactly when no observable degradation touched any session.
+  [[nodiscard]] std::optional<double> confidence() const override;
+
+  /// The channel every notification and Ring-Table read crosses;
+  /// telemetry FaultKinds schedule their degradation windows here.
+  [[nodiscard]] control::ControlChannel* control_channel() override {
+    return channel_.get();
+  }
+
   [[nodiscard]] dataplane::MarsPipeline& pipeline() { return *pipeline_; }
   [[nodiscard]] control::Controller& controller() { return *controller_; }
   [[nodiscard]] const control::PathRegistry& registry() const {
@@ -94,6 +110,7 @@ class MarsSystem final : public systems::TelemetrySystem {
   MarsConfig config_;
   std::unique_ptr<control::PathRegistry> registry_;
   std::unique_ptr<dataplane::MarsPipeline> pipeline_;
+  std::unique_ptr<control::ControlChannel> channel_;
   std::unique_ptr<control::Controller> controller_;
   std::unique_ptr<rca::RootCauseAnalyzer> analyzer_;
   std::vector<Diagnosis> diagnoses_;

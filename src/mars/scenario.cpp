@@ -67,6 +67,39 @@ std::vector<std::string> validate_scenario(const ScenarioConfig& config) {
   }
   const auto fault_errors = config.faults.validate(config.duration);
   errors.insert(errors.end(), fault_errors.begin(), fault_errors.end());
+  const control::ChannelConfig& ch = config.mars.channel;
+  const auto check_prob = [&errors](double value, const char* path) {
+    if (value < 0.0 || value > 1.0) {
+      errors.push_back(std::string(path) + " must be a probability in " +
+                       "[0, 1] (got " + std::to_string(value) + ")");
+    }
+  };
+  check_prob(ch.notification_loss, "mars.channel.notification_loss");
+  check_prob(ch.notification_delay_prob,
+             "mars.channel.notification_delay_prob");
+  check_prob(ch.read_failure, "mars.channel.read_failure");
+  check_prob(ch.record_loss, "mars.channel.record_loss");
+  check_prob(ch.record_corruption, "mars.channel.record_corruption");
+  if (ch.notification_delay_min < 0) {
+    errors.push_back(
+        "mars.channel.notification_delay_min must be non-negative");
+  }
+  if (ch.notification_delay_max < ch.notification_delay_min) {
+    errors.push_back(
+        "mars.channel.notification_delay_max must be >= "
+        "notification_delay_min");
+  }
+  if (config.mars.controller.read_deadline < 0) {
+    errors.push_back("mars.controller.read_deadline must be non-negative");
+  }
+  if (config.mars.controller.retry_backoff < 0) {
+    errors.push_back("mars.controller.retry_backoff must be non-negative");
+  }
+  if (config.mars.controller.max_read_retries > 16) {
+    errors.push_back(
+        "mars.controller.max_read_retries must be at most 16 (got " +
+        std::to_string(config.mars.controller.max_read_retries) + ")");
+  }
   for (std::size_t i = 0; i < config.systems.size(); ++i) {
     const std::string& name = config.systems[i];
     if (!SystemRegistry::instance().contains(name)) {
@@ -119,6 +152,15 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
 
   faults::FaultInjector injector(network, traffic, config.seed ^ 0xFA17,
                                  config.injector);
+  // Telemetry faults land on the first deployed system that models a
+  // degradable channel (MARS); without one they are skipped visibly.
+  for (auto& system : deployed) {
+    if (auto* channel = system->control_channel(); channel != nullptr) {
+      injector.attach_channel(channel);
+      break;
+    }
+  }
+  if (obs != nullptr) injector.set_metrics(obs->registry);
 
   std::optional<obs::Sampler> sampler;
   if (obs != nullptr) {
@@ -196,6 +238,7 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     outcome.system = config.systems[i];
     outcome.culprits = system.diagnose(query);
     outcome.triggered = system.triggered();
+    outcome.confidence = system.confidence();
     const auto oh = system.overheads();
     outcome.telemetry_bytes = oh.telemetry_bytes;
     outcome.diagnosis_bytes = oh.diagnosis_bytes;

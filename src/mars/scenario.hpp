@@ -110,6 +110,10 @@ struct SystemOutcome {
   std::uint64_t telemetry_bytes = 0;
   std::uint64_t diagnosis_bytes = 0;
   bool triggered = false;
+  /// Evidence completeness behind the culprit list, in [0, 1]: 1 means no
+  /// observed telemetry degradation; nullopt when the system never
+  /// diagnosed (or does not model a degradable channel).
+  std::optional<double> confidence;
 };
 
 struct ScenarioResult {

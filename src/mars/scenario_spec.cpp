@@ -133,6 +133,36 @@ ScenarioConfig ScenarioSpec::to_config() const {
   if (duration_s) cfg.duration = seconds_to_time(*duration_s);
   if (systems) cfg.systems = *systems;
 
+  control::ChannelConfig& ch = cfg.mars.channel;
+  if (channel.notification_loss) {
+    ch.notification_loss = *channel.notification_loss;
+  }
+  if (channel.notification_delay_prob) {
+    ch.notification_delay_prob = *channel.notification_delay_prob;
+  }
+  if (channel.notification_delay_min_s) {
+    ch.notification_delay_min = seconds_to_time(*channel.notification_delay_min_s);
+  }
+  if (channel.notification_delay_max_s) {
+    ch.notification_delay_max = seconds_to_time(*channel.notification_delay_max_s);
+  }
+  if (channel.read_failure) ch.read_failure = *channel.read_failure;
+  if (channel.record_loss) ch.record_loss = *channel.record_loss;
+  if (channel.record_corruption) {
+    ch.record_corruption = *channel.record_corruption;
+  }
+  if (channel.read_deadline_s) {
+    cfg.mars.controller.read_deadline =
+        seconds_to_time(*channel.read_deadline_s);
+  }
+  if (channel.retry_backoff_s) {
+    cfg.mars.controller.retry_backoff =
+        seconds_to_time(*channel.retry_backoff_s);
+  }
+  if (channel.max_read_retries) {
+    cfg.mars.controller.max_read_retries = *channel.max_read_retries;
+  }
+
   cfg.faults.events.clear();
   for (const Fault& fault : faults) {
     const auto kind = faults::kind_from_name(fault.kind);
@@ -199,6 +229,33 @@ std::string to_json(const ScenarioSpec& spec, int indent) {
     w.end_object();
   }
   if (spec.duration_s) w.member("duration_s", *spec.duration_s);
+  if (spec.channel.any_set()) {
+    const auto& ch = spec.channel;
+    w.key("channel").begin_object();
+    if (ch.notification_loss) {
+      w.member("notification_loss", *ch.notification_loss);
+    }
+    if (ch.notification_delay_prob) {
+      w.member("notification_delay_prob", *ch.notification_delay_prob);
+    }
+    if (ch.notification_delay_min_s) {
+      w.member("notification_delay_min_s", *ch.notification_delay_min_s);
+    }
+    if (ch.notification_delay_max_s) {
+      w.member("notification_delay_max_s", *ch.notification_delay_max_s);
+    }
+    if (ch.read_failure) w.member("read_failure", *ch.read_failure);
+    if (ch.record_loss) w.member("record_loss", *ch.record_loss);
+    if (ch.record_corruption) {
+      w.member("record_corruption", *ch.record_corruption);
+    }
+    if (ch.read_deadline_s) w.member("read_deadline_s", *ch.read_deadline_s);
+    if (ch.retry_backoff_s) w.member("retry_backoff_s", *ch.retry_backoff_s);
+    if (ch.max_read_retries) {
+      w.member("max_read_retries", std::uint64_t{*ch.max_read_retries});
+    }
+    w.end_object();
+  }
   w.member("seed", std::uint64_t{spec.seed});
   if (spec.systems) {
     w.key("systems").begin_array();
@@ -236,7 +293,7 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
   }
   reject_unknown_keys(doc,
                       {"name", "topology", "queue_capacity", "background",
-                       "duration_s", "seed", "systems", "faults"},
+                       "duration_s", "seed", "systems", "faults", "channel"},
                       "spec");
 
   ScenarioSpec spec;
@@ -288,6 +345,54 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
   }
   if (const auto* d = doc.find("duration_s")) {
     spec.duration_s = as_number(*d, "spec.duration_s");
+  }
+  if (const auto* ch = doc.find("channel")) {
+    if (!ch->is_object()) fail("spec.channel", "expected an object");
+    reject_unknown_keys(
+        *ch,
+        {"notification_loss", "notification_delay_prob",
+         "notification_delay_min_s", "notification_delay_max_s",
+         "read_failure", "record_loss", "record_corruption",
+         "read_deadline_s", "retry_backoff_s", "max_read_retries"},
+        "spec.channel");
+    if (const auto* v = ch->find("notification_loss")) {
+      spec.channel.notification_loss =
+          as_number(*v, "spec.channel.notification_loss");
+    }
+    if (const auto* v = ch->find("notification_delay_prob")) {
+      spec.channel.notification_delay_prob =
+          as_number(*v, "spec.channel.notification_delay_prob");
+    }
+    if (const auto* v = ch->find("notification_delay_min_s")) {
+      spec.channel.notification_delay_min_s =
+          as_number(*v, "spec.channel.notification_delay_min_s");
+    }
+    if (const auto* v = ch->find("notification_delay_max_s")) {
+      spec.channel.notification_delay_max_s =
+          as_number(*v, "spec.channel.notification_delay_max_s");
+    }
+    if (const auto* v = ch->find("read_failure")) {
+      spec.channel.read_failure = as_number(*v, "spec.channel.read_failure");
+    }
+    if (const auto* v = ch->find("record_loss")) {
+      spec.channel.record_loss = as_number(*v, "spec.channel.record_loss");
+    }
+    if (const auto* v = ch->find("record_corruption")) {
+      spec.channel.record_corruption =
+          as_number(*v, "spec.channel.record_corruption");
+    }
+    if (const auto* v = ch->find("read_deadline_s")) {
+      spec.channel.read_deadline_s =
+          as_number(*v, "spec.channel.read_deadline_s");
+    }
+    if (const auto* v = ch->find("retry_backoff_s")) {
+      spec.channel.retry_backoff_s =
+          as_number(*v, "spec.channel.retry_backoff_s");
+    }
+    if (const auto* v = ch->find("max_read_retries")) {
+      spec.channel.max_read_retries = static_cast<std::uint32_t>(
+          as_uint(*v, "spec.channel.max_read_retries"));
+    }
   }
   if (const auto* seed = doc.find("seed")) {
     spec.seed = as_uint(*seed, "spec.seed");

@@ -57,6 +57,31 @@ struct ScenarioSpec {
   /// Empty = healthy control run.
   std::vector<Fault> faults;
 
+  /// Degraded control-channel model + controller hardening knobs, in spec
+  /// units (probabilities and seconds). Unset fields keep the defaults —
+  /// a spec without a channel block runs a perfect channel.
+  struct Channel {
+    std::optional<double> notification_loss;
+    std::optional<double> notification_delay_prob;
+    std::optional<double> notification_delay_min_s;
+    std::optional<double> notification_delay_max_s;
+    std::optional<double> read_failure;
+    std::optional<double> record_loss;
+    std::optional<double> record_corruption;
+    std::optional<double> read_deadline_s;
+    std::optional<double> retry_backoff_s;
+    std::optional<std::uint32_t> max_read_retries;
+
+    [[nodiscard]] bool any_set() const {
+      return notification_loss || notification_delay_prob ||
+             notification_delay_min_s || notification_delay_max_s ||
+             read_failure || record_loss || record_corruption ||
+             read_deadline_s || retry_backoff_s || max_read_retries;
+    }
+    friend bool operator==(const Channel&, const Channel&) = default;
+  };
+  Channel channel;
+
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 
   /// Lower the spec onto a runnable config: start from

@@ -9,6 +9,7 @@
 #include "mars/mars.hpp"
 #include "mars/scenario.hpp"
 #include "net/network.hpp"
+#include "util/rng.hpp"
 
 namespace mars {
 
@@ -17,6 +18,10 @@ namespace {
 std::unique_ptr<systems::TelemetrySystem> make_mars(
     net::Network& network, const ScenarioConfig& config, Observability* obs) {
   MarsConfig mars_config = config.mars;
+  // Mix the trial seed into the chaos stream so sweep trials decorrelate:
+  // two trials that differ only in seed must see different drops.
+  std::uint64_t trial_seed = config.seed;
+  mars_config.channel.seed ^= util::splitmix64(trial_seed);
   if (obs != nullptr) {
     mars_config.metrics = &obs->registry;
     mars_config.tracer = &obs->tracer;

@@ -14,6 +14,9 @@ rca::CauseKind cause_of(faults::FaultKind kind) {
       return rca::CauseKind::kProcessRateDecrease;
     case faults::FaultKind::kDelay: return rca::CauseKind::kDelay;
     case faults::FaultKind::kDrop: return rca::CauseKind::kDrop;
+    case faults::FaultKind::kNotificationLoss:
+    case faults::FaultKind::kReadOutage:
+      break;  // unreachable: culprit_matches rejects telemetry faults first
   }
   return rca::CauseKind::kDelay;
 }
@@ -23,6 +26,9 @@ rca::CauseKind cause_of(faults::FaultKind kind) {
 bool culprit_matches(const rca::Culprit& culprit,
                      const faults::GroundTruth& truth,
                      const MatchOptions& options) {
+  // Telemetry faults degrade the monitoring channel, not the network —
+  // there is no culprit location to rank, so nothing ever matches them.
+  if (faults::is_telemetry_fault(truth.kind)) return false;
   if (options.require_cause && culprit.cause != cause_of(truth.kind)) {
     return false;
   }

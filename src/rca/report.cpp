@@ -54,6 +54,18 @@ std::string render_report(const control::DiagnosisData& session,
          std::to_string(session.records.size()) +
          " telemetry records from edge switches, " +
          std::to_string(session.notifications.size()) + " notifications)\n";
+  if (session.quality.degraded()) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "evidence  : DEGRADED — confidence %.2f (%zu/%zu switches "
+                  "drained, %llu records quarantined)\n",
+                  session.quality.confidence(),
+                  session.quality.switches_drained,
+                  session.quality.switches_total,
+                  static_cast<unsigned long long>(
+                      session.quality.records_quarantined));
+    out += buf;
+  }
   if (culprits.empty()) {
     out += "verdict   : no culprit isolated; likely transient\n";
     return out;
@@ -85,6 +97,11 @@ std::string render_json(const control::DiagnosisData& session,
          ",\"at_seconds\":" +
          std::to_string(sim::to_seconds(session.trigger.when)) + "},";
   out += "\"records\":" + std::to_string(session.records.size()) + ",";
+  out += "\"confidence\":" + std::to_string(session.quality.confidence()) +
+         ",";
+  out += "\"coverage\":" + std::to_string(session.quality.coverage()) + ",";
+  out += "\"quarantined\":" +
+         std::to_string(session.quality.records_quarantined) + ",";
   out += "\"culprits\":[";
   const std::size_t n = std::min(culprits.size(), options.max_culprits);
   for (std::size_t i = 0; i < n; ++i) {

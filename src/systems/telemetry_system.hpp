@@ -21,6 +21,10 @@
 #include "rca/types.hpp"
 #include "sim/time.hpp"
 
+namespace mars::control {
+class ControlChannel;
+}  // namespace mars::control
+
 namespace mars::systems {
 
 /// Byte accounting for Fig. 9.
@@ -63,6 +67,21 @@ class TelemetrySystem {
 
   /// True once the system's own detection logic fired.
   [[nodiscard]] virtual bool triggered() const = 0;
+
+  /// How much of the telemetry evidence behind this system's diagnoses
+  /// actually arrived, in [0, 1]; 1 means no observed degradation.
+  /// nullopt when the system never diagnosed anything (or does not model
+  /// a degradable channel).
+  [[nodiscard]] virtual std::optional<double> confidence() const {
+    return std::nullopt;
+  }
+
+  /// The degradable control channel this system reads telemetry through,
+  /// if it models one (scheduled telemetry faults attach here). Default:
+  /// none.
+  [[nodiscard]] virtual control::ControlChannel* control_channel() {
+    return nullptr;
+  }
 
   /// How this system's culprits are graded against ground truth: MARS
   /// names causes and is held to them; systems that emit bare locations

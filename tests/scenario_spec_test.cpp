@@ -145,5 +145,121 @@ TEST(ScenarioSpecTest, LoadRejectsMissingFile) {
                std::invalid_argument);
 }
 
+TEST(ScenarioSpecTest, ChannelBlockRoundTripsAndLowers) {
+  ScenarioSpec spec;
+  spec.channel.notification_loss = 0.2;
+  spec.channel.read_failure = 0.1;
+  spec.channel.notification_delay_prob = 0.05;
+  spec.channel.notification_delay_max_s = 0.08;
+  spec.channel.max_read_retries = 5;
+  const ScenarioSpec reparsed = parse_scenario_spec(to_json(spec));
+  EXPECT_EQ(reparsed, spec);
+
+  const ScenarioConfig cfg = spec.to_config();
+  EXPECT_DOUBLE_EQ(cfg.mars.channel.notification_loss, 0.2);
+  EXPECT_DOUBLE_EQ(cfg.mars.channel.read_failure, 0.1);
+  EXPECT_EQ(cfg.mars.channel.notification_delay_max,
+            80 * sim::kMillisecond);
+  EXPECT_EQ(cfg.mars.controller.max_read_retries, 5u);
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(ScenarioSpecTest, SpecWithoutChannelBlockRunsPerfectChannel) {
+  const ScenarioConfig cfg = parse_scenario_spec("{}").to_config();
+  EXPECT_TRUE(cfg.mars.channel.perfect());
+}
+
+TEST(ScenarioSpecTest, ChannelUnknownKeyNamesItsPath) {
+  try {
+    (void)parse_scenario_spec(R"({"channel": {"notif_loss": 0.5}})");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.channel"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("notif_loss"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecTest, ChannelProbabilityOutOfRangeIsPathNamed) {
+  ScenarioSpec spec;
+  spec.channel.notification_loss = 1.5;
+  spec.channel.record_corruption = -0.1;
+  const auto errors = spec.validate();
+  ASSERT_FALSE(errors.empty());
+  bool loss = false, corruption = false;
+  for (const auto& e : errors) {
+    if (e.find("mars.channel.notification_loss") != std::string::npos) {
+      loss = true;
+    }
+    if (e.find("mars.channel.record_corruption") != std::string::npos) {
+      corruption = true;
+    }
+  }
+  EXPECT_TRUE(loss);
+  EXPECT_TRUE(corruption);
+}
+
+TEST(ScenarioSpecTest, ChannelNegativeDelaysAndDeadlinesAreRejected) {
+  ScenarioSpec spec;
+  spec.channel.notification_delay_min_s = -0.01;
+  spec.channel.read_deadline_s = -1.0;
+  spec.channel.retry_backoff_s = -0.5;
+  const auto errors = spec.validate();
+  bool delay = false, deadline = false, backoff = false;
+  for (const auto& e : errors) {
+    if (e.find("notification_delay_min") != std::string::npos) delay = true;
+    if (e.find("read_deadline") != std::string::npos) deadline = true;
+    if (e.find("retry_backoff") != std::string::npos) backoff = true;
+  }
+  EXPECT_TRUE(delay);
+  EXPECT_TRUE(deadline);
+  EXPECT_TRUE(backoff);
+}
+
+TEST(ScenarioSpecTest, ChannelRetryCountBoundIsEnforced) {
+  ScenarioSpec spec;
+  spec.channel.max_read_retries = 99;
+  const auto errors = spec.validate();
+  ASSERT_FALSE(errors.empty());
+  bool found = false;
+  for (const auto& e : errors) {
+    if (e.find("max_read_retries") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ScenarioSpecTest, DelayMaxBelowMinIsRejected) {
+  ScenarioSpec spec;
+  spec.channel.notification_delay_min_s = 0.05;
+  spec.channel.notification_delay_max_s = 0.01;
+  const auto errors = spec.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("notification_delay_max"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpecTest, TelemetryFaultKindsParseAndValidate) {
+  const ScenarioSpec spec = parse_scenario_spec(R"({
+    "faults": [
+      {"kind": "rate", "at_s": 3.0},
+      {"kind": "notifloss", "at_s": 3.0, "duration_s": 1.0},
+      {"kind": "read-outage", "at_s": 3.5, "duration_s": 0.5}
+    ]
+  })");
+  EXPECT_TRUE(spec.validate().empty());
+  const ScenarioConfig cfg = spec.to_config();
+  ASSERT_EQ(cfg.faults.size(), 3u);
+  EXPECT_EQ(cfg.faults.events[1].kind, faults::FaultKind::kNotificationLoss);
+  EXPECT_EQ(cfg.faults.events[2].kind, faults::FaultKind::kReadOutage);
+
+  // A pinned switch on a telemetry fault is a schedule error.
+  ScenarioSpec pinned;
+  pinned.faults.emplace_back();
+  pinned.faults.back().kind = "notifloss";
+  pinned.faults.back().target_switch = 3;
+  const auto errors = pinned.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("control channel"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mars

@@ -5,12 +5,18 @@
 // pattern length 2 (MARS's switches + links) and unrestricted, reporting
 // runtime and memory. PrefixSpan wins there; the shape to check here is
 // the same ordering and the benefit of the max-length cap.
+//
+// A second section, Fig11Scaling/*, mines one large abnormal set (fat-tree
+// paths plus long random walks, up to ~96 hops to exercise the multi-word
+// bitmaps) under 1/2/4/8 engine threads — the parallel-speedup numbers
+// recorded in BENCH_fsm_mining.json come from these benchmarks.
 
 #include <benchmark/benchmark.h>
 
 #include "fsm/miner.hpp"
 #include "net/fat_tree.hpp"
 #include "net/routing.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -40,6 +46,24 @@ fsm::SequenceDatabase make_path_database(int k, std::size_t weight_scale,
   return db;
 }
 
+/// The scaling workload: the k=8 database above plus long random walks
+/// over the switch id space (up to ~96 hops), so root-level DFS tasks are
+/// fat enough to amortise fan-out and the SPAM family runs multi-word.
+fsm::SequenceDatabase make_scaling_database(std::uint64_t seed) {
+  fsm::SequenceDatabase db = make_path_database(8, 4, seed);
+  util::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  for (int w = 0; w < 400; ++w) {
+    const std::size_t len = 24 + rng.below(73);  // 24..96 hops
+    fsm::Sequence walk;
+    walk.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      walk.push_back(static_cast<fsm::Item>(rng.below(80)));
+    }
+    db.add(std::move(walk), 1 + rng.below(4));
+  }
+  return db;
+}
+
 void run_miner(benchmark::State& state, fsm::MinerKind kind,
                std::size_t max_length) {
   const auto db = make_path_database(8, 4, 42);
@@ -49,17 +73,41 @@ void run_miner(benchmark::State& state, fsm::MinerKind kind,
   params.max_length = max_length;
   params.contiguous = true;
 
-  std::size_t patterns = 0;
-  std::size_t memory = 0;
+  fsm::MiningStats stats;
   for (auto _ : state) {
-    auto result = miner->mine(db, params);
-    patterns = result.size();
-    memory = miner->last_memory_bytes();
+    auto result = miner->mine_with_stats(db, params);
+    stats = result.stats;
     benchmark::DoNotOptimize(result);
   }
-  state.counters["patterns"] = static_cast<double>(patterns);
-  state.counters["mem_bytes"] = static_cast<double>(memory);
+  state.counters["patterns"] = static_cast<double>(stats.patterns);
+  state.counters["mem_bytes"] = static_cast<double>(stats.peak_bytes);
+  state.counters["nodes"] = static_cast<double>(stats.nodes_expanded);
   state.counters["sequences"] = static_cast<double>(db.sequence_kinds());
+}
+
+void run_scaling(benchmark::State& state, fsm::MinerKind kind,
+                 std::uint32_t threads) {
+  const auto db = make_scaling_database(42);
+  const auto miner = fsm::make_miner(kind);
+  fsm::MiningParams params;
+  params.min_support_rel = 0.05;
+  params.max_length = 4;
+  params.contiguous = true;
+  params.threads = threads;
+
+  // One pool for the whole benchmark, as the analyzer would hold one; a
+  // per-iteration pool would bill thread start-up to the miner.
+  parallel::ThreadPool pool(threads);
+  fsm::MiningStats stats;
+  for (auto _ : state) {
+    auto result = miner->mine_with_stats(db, params, &pool);
+    stats = result.stats;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["patterns"] = static_cast<double>(stats.patterns);
+  state.counters["mem_bytes"] = static_cast<double>(stats.peak_bytes);
+  state.counters["nodes"] = static_cast<double>(stats.nodes_expanded);
+  state.counters["threads"] = static_cast<double>(stats.threads_used);
 }
 
 void register_all() {
@@ -71,6 +119,19 @@ void register_all() {
       benchmark::RegisterBenchmark(
           name.c_str(), [kind, max_len](benchmark::State& state) {
             run_miner(state, kind, max_len);
+          });
+    }
+  }
+  for (const auto kind :
+       {fsm::MinerKind::kPrefixSpan, fsm::MinerKind::kSpam,
+        fsm::MinerKind::kCmSpade}) {
+    for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+      const std::string name = std::string("Fig11Scaling/") +
+                               std::string(fsm::miner_name(kind)) +
+                               "/threads" + std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [kind, threads](benchmark::State& state) {
+            run_scaling(state, kind, threads);
           });
     }
   }

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Re-measure the Fig. 11 FSM miners and refresh the `current` section of
+# BENCH_fsm_mining.json. The `baseline` section is the recorded seed-engine
+# measurement (see the file's `method` note) and the `reference_scaling_8core`
+# section is the recorded multi-core scaling run; both are preserved across
+# refreshes so the speedups stay anchored. Parallel wall-clock speedup only
+# shows on a multi-core host — on a single-core container the Fig11Scaling
+# rows stay flat by construction.
+#
+# Usage: bench/run_fsm_mining.sh [output.json]
+#   BUILD_DIR overrides the build directory (default: <repo>/build).
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${BUILD_DIR:-$repo_root/build}
+out=${1:-$repo_root/BENCH_fsm_mining.json}
+bench_bin=$build_dir/bench/bench_fig11_fsm
+
+if [[ ! -x $bench_bin ]]; then
+  echo "error: $bench_bin not built (cmake --build $build_dir --target bench_fig11_fsm)" >&2
+  exit 1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+"$bench_bin" --benchmark_min_time=0.3 \
+  --benchmark_out="$raw" --benchmark_out_format=json
+
+python3 - "$raw" "$out" "$repo_root/BENCH_fsm_mining.json" <<'EOF'
+import json
+import sys
+
+raw_path, out_path, committed_path = sys.argv[1], sys.argv[2], sys.argv[3]
+raw = json.load(open(raw_path))
+
+fig11, scaling = {}, {}
+for b in raw['benchmarks']:
+    entry = {'wall_ms': round(b['real_time'] / 1e6, 3)}
+    for key in ('patterns', 'mem_bytes', 'nodes', 'threads'):
+        if key in b:
+            entry[key] = int(b[key])
+    (scaling if b['name'].startswith('Fig11Scaling/') else fig11)[b['name']] = entry
+
+# Merge into the output file if it exists; otherwise seed a new file from
+# the committed record so baseline + reference sections carry over.
+try:
+    doc = json.load(open(out_path))
+except FileNotFoundError:
+    try:
+        doc = json.load(open(committed_path))
+    except FileNotFoundError:
+        doc = {'benchmark': 'bench_fig11_fsm'}
+doc.pop('current', None)
+doc.pop('speedups_vs_baseline_wall', None)
+
+doc['current'] = {'fig11': fig11, 'scaling': scaling}
+base = doc.get('baseline', {}).get('results', {})
+speedups = {}
+for name, entry in fig11.items():
+    if name in base and entry['wall_ms'] > 0:
+        speedups[name] = round(base[name]['wall_ms'] / entry['wall_ms'], 2)
+if speedups:
+    doc['speedups_vs_baseline_wall'] = speedups
+
+json.dump(doc, open(out_path, 'w'), indent=2)
+print(f"wrote {out_path}")
+EOF

@@ -4,7 +4,6 @@
 //
 //   $ fsm_explorer            # paper example + a fat-tree database sweep
 
-#include <chrono>
 #include <cstdio>
 
 #include "fsm/brute_force.hpp"
@@ -54,17 +53,16 @@ void compare_miners() {
   params.max_length = 2;
   params.contiguous = true;
 
-  std::printf("  %-11s | patterns | time (ms) | memory (KB)\n", "miner");
+  std::printf("  %-11s | patterns | time (ms) | memory (KB) | nodes\n",
+              "miner");
   for (const auto kind : fsm::all_miner_kinds()) {
     const auto miner = fsm::make_miner(kind);
-    const auto start = std::chrono::steady_clock::now();
-    const auto patterns = miner->mine(db, params);
-    const auto elapsed = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-    std::printf("  %-11s | %8zu | %9.2f | %10.1f\n",
-                std::string(miner->name()).c_str(), patterns.size(), elapsed,
-                static_cast<double>(miner->last_memory_bytes()) / 1024.0);
+    const auto result = miner->mine_with_stats(db, params);
+    std::printf("  %-11s | %8zu | %9.2f | %11.1f | %zu\n",
+                std::string(miner->name()).c_str(), result.stats.patterns,
+                result.stats.wall_seconds * 1e3,
+                static_cast<double>(result.stats.peak_bytes) / 1024.0,
+                result.stats.nodes_expanded);
   }
   std::printf("\n");
 }

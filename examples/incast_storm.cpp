@@ -77,8 +77,9 @@ int main(int argc, char** argv) {
     std::printf("MARS never triggered (storm too mild for this fabric)\n");
     return 0;
   }
-  std::printf("\n%s", rca::render_report(
-                          mars.diagnoses().back().session, culprits)
+  std::printf("\n%s", rca::render_report(mars.diagnoses().back().session,
+                                         culprits, {},
+                                         &mars.diagnoses().back().mining)
                           .c_str());
 
   // How much of the list names the storm? Count flow-level bursts into

@@ -86,7 +86,8 @@ int main() {
   if (!mars_system.diagnoses().empty()) {
     const auto& last = mars_system.diagnoses().back();
     std::printf("\n%s",
-                rca::render_report(last.session, culprits).c_str());
+                rca::render_report(last.session, culprits, {}, &last.mining)
+                    .c_str());
   }
   return 0;
 }

@@ -34,26 +34,36 @@ void collect_candidates(const Sequence& seq, std::size_t max_len,
 
 }  // namespace
 
-std::vector<Pattern> BruteForce::mine(const SequenceDatabase& db,
-                                      const MiningParams& params) const {
-  std::vector<Pattern> out;
-  if (db.empty() || params.max_length == 0) return out;
+MineResult BruteForce::mine_with_stats(const SequenceDatabase& db,
+                                       const MiningParams& params,
+                                       parallel::ThreadPool* /*pool*/) const {
+  const MineTimer timer;
+  MineResult res;
+  if (db.empty() || params.max_length == 0) {
+    res.stats.wall_seconds = timer.seconds();
+    return res;
+  }
   const std::uint64_t min_sup = params.effective_min_support(db.total());
 
   std::set<Sequence> candidates;
+  std::size_t candidate_bytes = 0;
   for (const auto& e : db.entries()) {
     collect_candidates(e.items, params.max_length, params.contiguous,
                        candidates);
   }
   for (const auto& cand : candidates) {
+    candidate_bytes += sizeof(Sequence) + cand.size() * sizeof(Item);
     std::uint64_t sup = 0;
     for (const auto& e : db.entries()) {
       if (contains_pattern(e.items, cand, params.contiguous)) sup += e.count;
     }
-    if (sup >= min_sup) out.push_back(Pattern{cand, sup});
+    if (sup >= min_sup) res.patterns.push_back(Pattern{cand, sup});
   }
-  last_memory_bytes_ = candidates.size() * sizeof(Sequence);
-  return out;
+  res.stats.patterns = res.patterns.size();
+  res.stats.nodes_expanded = candidates.size();
+  res.stats.peak_bytes = candidate_bytes;
+  res.stats.wall_seconds = timer.seconds();
+  return res;
 }
 
 }  // namespace mars::fsm

@@ -2,7 +2,8 @@
 // Reference miner: enumerate every candidate pattern occurring in the
 // database and count supports by scanning. Exponentially slower than the
 // real miners but obviously correct — the property tests cross-validate
-// all seven algorithms against it.
+// all seven algorithms against it. Always sequential; `params.threads`
+// is ignored.
 
 #include "fsm/miner.hpp"
 
@@ -10,8 +11,9 @@ namespace mars::fsm {
 
 class BruteForce final : public Miner {
  public:
-  [[nodiscard]] std::vector<Pattern> mine(
-      const SequenceDatabase& db, const MiningParams& params) const override;
+  [[nodiscard]] MineResult mine_with_stats(
+      const SequenceDatabase& db, const MiningParams& params,
+      parallel::ThreadPool* pool = nullptr) const override;
   [[nodiscard]] std::string_view name() const override {
     return "BruteForce";
   }

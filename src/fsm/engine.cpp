@@ -1,0 +1,74 @@
+#include "fsm/engine.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "parallel/parallel_for.hpp"
+
+namespace mars::fsm {
+
+PoolGuard::PoolGuard(std::size_t threads, std::size_t work_items,
+                     parallel::ThreadPool* external) {
+  if (threads <= 1 || work_items <= 1) return;  // sequential
+  threads_used_ = std::min(threads, work_items);
+  if (external != nullptr) {
+    pool_ = external;
+    threads_used_ = std::min(threads_used_, external->size());
+    if (threads_used_ <= 1) pool_ = nullptr;
+    return;
+  }
+  owned_ = std::make_unique<parallel::ThreadPool>(threads_used_);
+  pool_ = owned_.get();
+}
+
+PoolGuard::~PoolGuard() = default;
+
+MiningStats run_roots(std::size_t roots, std::size_t base_bytes,
+                      const RootExpander& expand, std::vector<Pattern>& out,
+                      parallel::ThreadPool* pool) {
+  MiningStats stats;
+  stats.peak_bytes = base_bytes;
+  if (roots == 0) {
+    stats.patterns = out.size();
+    return stats;
+  }
+
+  if (pool == nullptr) {
+    // Sequential: one reusable sink, emitted straight into `out`.
+    TaskSink sink;
+    for (std::size_t root = 0; root < roots; ++root) {
+      expand(root, sink);
+      std::move(sink.patterns().begin(), sink.patterns().end(),
+                std::back_inserter(out));
+      sink.patterns().clear();
+    }
+    stats.nodes_expanded = sink.nodes();
+    stats.peak_bytes = base_bytes + sink.peak_bytes();
+    stats.patterns = out.size();
+    return stats;
+  }
+
+  // Parallel: one private sink per root, concatenated in root order below,
+  // so the output sequence matches the sequential run exactly.
+  std::vector<TaskSink> sinks(roots);
+  parallel::parallel_for(*pool, 0, roots,
+                         [&](std::size_t root) { expand(root, sinks[root]); });
+
+  std::size_t total = 0;
+  std::size_t widest = 0;
+  for (TaskSink& sink : sinks) {
+    total += sink.patterns().size();
+    stats.nodes_expanded += sink.nodes();
+    widest = std::max(widest, sink.peak_bytes());
+  }
+  out.reserve(out.size() + total);
+  for (TaskSink& sink : sinks) {
+    std::move(sink.patterns().begin(), sink.patterns().end(),
+              std::back_inserter(out));
+  }
+  stats.peak_bytes = base_bytes + widest;
+  stats.patterns = out.size();
+  return stats;
+}
+
+}  // namespace mars::fsm

@@ -1,0 +1,124 @@
+#pragma once
+// Shared parallel mining engine for the seven Fig. 11 miners.
+//
+// Every miner in src/fsm/ reduces to the same shape: one cheap sequential
+// scan builds the frequent 1-item frontier, then each frontier root is
+// expanded by an independent DFS (or, for GSP, a level-wise candidate
+// scan). The engine runs those independent units either inline
+// (threads == 1 — no pool, no synchronization, bit-identical to the
+// historical sequential code) or split across a parallel::ThreadPool.
+//
+// Determinism: each root owns a private TaskSink; the per-root pattern
+// buffers are concatenated in root order after all tasks finish, so the
+// emitted pattern sequence is IDENTICAL for every thread count — even
+// before sort_patterns() canonicalization. Stats are likewise
+// thread-count-independent (peak_bytes counts the shared base plus the
+// single widest root task, not a racy sum over concurrent tasks).
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fsm/sequence.hpp"
+
+namespace mars::parallel {
+class ThreadPool;
+}  // namespace mars::parallel
+
+namespace mars::fsm {
+
+/// Per-call mining cost report (Fig. 11's runtime and memory axes).
+/// Returned by value from mine_with_stats(); safe under concurrent
+/// mine() calls on one Miner object.
+struct MiningStats {
+  std::size_t patterns = 0;        ///< frequent patterns emitted
+  std::size_t nodes_expanded = 0;  ///< candidates whose support was evaluated
+  /// Peak auxiliary bytes: shared base structures plus the widest single
+  /// root task. Independent of thread count by construction.
+  std::size_t peak_bytes = 0;
+  double wall_seconds = 0.0;  ///< wall-clock duration of the mine() call
+  std::size_t threads_used = 1;
+};
+
+struct MineResult {
+  std::vector<Pattern> patterns;
+  MiningStats stats;
+};
+
+/// Pattern buffer + cost accounting for one root expansion. Owned by
+/// exactly one task at a time; no synchronization inside expanders.
+class TaskSink {
+ public:
+  void emit(const Sequence& items, std::uint64_t support) {
+    patterns_.push_back(Pattern{items, support});
+  }
+  /// Count one support evaluation (a DFS node or scanned candidate).
+  void count_node(std::size_t n = 1) { nodes_ += n; }
+  /// Charge/release live auxiliary bytes; peak is tracked automatically.
+  void charge(std::size_t bytes) {
+    live_ += bytes;
+    if (live_ > peak_) peak_ = live_;
+  }
+  void release(std::size_t bytes) { live_ -= bytes; }
+
+  [[nodiscard]] std::vector<Pattern>& patterns() { return patterns_; }
+  [[nodiscard]] std::size_t nodes() const { return nodes_; }
+  [[nodiscard]] std::size_t peak_bytes() const { return peak_; }
+
+ private:
+  std::vector<Pattern> patterns_;
+  std::size_t nodes_ = 0;
+  std::size_t live_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// Expand everything under frontier root `root` into `sink`.
+using RootExpander = std::function<void(std::size_t root, TaskSink& sink)>;
+
+/// Resolves the pool a mine() call should use: the caller-provided one,
+/// a private pool created for this call (threads > 1 and work to split),
+/// or none (sequential). Keeping pool creation here means a sequential
+/// run never spawns a thread — important for the goldens and for TSan.
+class PoolGuard {
+ public:
+  PoolGuard(std::size_t threads, std::size_t work_items,
+            parallel::ThreadPool* external);
+  ~PoolGuard();
+
+  /// nullptr when the call should run inline.
+  [[nodiscard]] parallel::ThreadPool* pool() const { return pool_; }
+  [[nodiscard]] std::size_t threads_used() const { return threads_used_; }
+
+ private:
+  std::unique_ptr<parallel::ThreadPool> owned_;
+  parallel::ThreadPool* pool_ = nullptr;
+  std::size_t threads_used_ = 1;
+};
+
+/// Run `expand` for every root in [0, roots) — inline when `pool` is
+/// null, else fanned out root-per-task — and append the per-root buffers
+/// to `out` in root order. `base_bytes` charges the shared structures
+/// (vertical representations, co-occurrence maps) that exist for the
+/// whole call. Returns aggregate stats (wall_seconds/threads_used are
+/// filled by the caller, which owns the full-call timer and PoolGuard).
+MiningStats run_roots(std::size_t roots, std::size_t base_bytes,
+                      const RootExpander& expand, std::vector<Pattern>& out,
+                      parallel::ThreadPool* pool);
+
+/// Monotonic wall-clock timer for MiningStats::wall_seconds.
+class MineTimer {
+ public:
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace mars::fsm

@@ -1,7 +1,9 @@
 #include "fsm/gsp.hpp"
 
-#include <unordered_map>
+#include <algorithm>
 #include <unordered_set>
+
+#include "parallel/parallel_for.hpp"
 
 namespace mars::fsm {
 namespace {
@@ -14,35 +16,56 @@ struct SeqHash {
   }
 };
 
+// Approximate heap bytes of one hash-set node holding a k-item sequence:
+// the Sequence header, its key storage, and the node/bucket overhead. The
+// support-count structures dominated GSP's real footprint but the old
+// accounting ignored everything except the candidate vector.
+std::size_t set_node_bytes(std::size_t k) {
+  return sizeof(Sequence) + k * sizeof(Item) + 2 * sizeof(void*);
+}
+
 }  // namespace
 
-std::vector<Pattern> Gsp::mine(const SequenceDatabase& db,
-                               const MiningParams& params) const {
-  std::vector<Pattern> out;
-  last_memory_bytes_ = 0;
-  if (db.empty() || params.max_length == 0) return out;
+MineResult Gsp::mine_with_stats(const SequenceDatabase& db,
+                                const MiningParams& params,
+                                parallel::ThreadPool* pool) const {
+  const MineTimer timer;
+  MineResult res;
+  if (db.empty() || params.max_length == 0) {
+    res.stats.wall_seconds = timer.seconds();
+    return res;
+  }
   const std::uint64_t min_sup = params.effective_min_support(db.total());
   const auto entries = db.entries();
+  const Item bound = db.item_bound();
 
-  // L1: scan once for item supports.
-  std::unordered_map<Item, std::uint64_t> item_support;
-  for (const auto& e : entries) {
-    std::unordered_set<Item> distinct(e.items.begin(), e.items.end());
-    for (const Item item : distinct) item_support[item] += e.count;
+  // L1: one scan for weighted item supports (dense, entry-deduplicated).
+  std::vector<std::uint64_t> item_support(bound, 0);
+  std::vector<std::uint32_t> mark(bound, 0);
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    for (const Item item : entries[e].items) {
+      if (mark[item] != e + 1) {
+        mark[item] = e + 1;
+        item_support[item] += entries[e].count;
+      }
+    }
   }
   std::vector<Sequence> frequent_k;  // frequent patterns of current length
   std::vector<Item> frequent_items;
-  for (const auto& [item, sup] : item_support) {
-    if (sup >= min_sup) {
-      out.push_back(Pattern{{item}, sup});
-      frequent_k.push_back({item});
-      frequent_items.push_back(item);
-    }
+  for (Item item = 0; item < bound; ++item) {
+    if (item_support[item] == 0) continue;
+    ++res.stats.nodes_expanded;
+    if (item_support[item] < min_sup) continue;
+    res.patterns.push_back(Pattern{{item}, item_support[item]});
+    frequent_k.push_back({item});
+    frequent_items.push_back(item);
   }
 
-  std::size_t peak = frequent_k.size() * sizeof(Sequence);
-  for (std::size_t k = 2;
-       k <= params.max_length && !frequent_k.empty(); ++k) {
+  PoolGuard guard(params.threads, entries.size(), pool);
+  std::size_t peak = frequent_k.size() * (sizeof(Sequence) + sizeof(Item)) +
+                     bound * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
+  for (std::size_t k = 2; k <= params.max_length && !frequent_k.empty();
+       ++k) {
     // Candidate generation: join patterns whose (k-2)-suffix equals
     // another's (k-2)-prefix. For k == 2 this is the cross product.
     std::unordered_set<Sequence, SeqHash> frequent_set(frequent_k.begin(),
@@ -60,28 +83,50 @@ std::vector<Pattern> Gsp::mine(const SequenceDatabase& db,
         candidates.push_back(std::move(cand));
       }
     }
-    peak = std::max(peak, candidates.size() * (sizeof(Sequence) +
-                                               k * sizeof(Item)));
 
-    // Support-count scan.
-    std::unordered_map<Sequence, std::uint64_t, SeqHash> counts;
-    for (const auto& e : entries) {
-      for (const auto& cand : candidates) {
-        if (contains_pattern(e.items, cand, params.contiguous)) {
-          counts[cand] += e.count;
+    // Support-count scan: each candidate's count is independent, so the
+    // level fans out across the pool; `counts` is indexed by candidate
+    // and every cell is written by exactly one task.
+    std::vector<std::uint64_t> counts(candidates.size(), 0);
+    const auto count_candidate = [&](std::size_t c) {
+      std::uint64_t sup = 0;
+      for (const auto& e : entries) {
+        if (contains_pattern(e.items, candidates[c], params.contiguous)) {
+          sup += e.count;
         }
       }
+      counts[c] = sup;
+    };
+    if (guard.pool() != nullptr) {
+      parallel::parallel_for(*guard.pool(), 0, candidates.size(),
+                             count_candidate);
+    } else {
+      for (std::size_t c = 0; c < candidates.size(); ++c) count_candidate(c);
     }
+    res.stats.nodes_expanded += candidates.size();
+
+    // This level's working set: candidate sequences + their key storage,
+    // the per-candidate counts, and the apriori hash set (old accounting
+    // counted only the candidate vector, understating Fig. 11's memory
+    // axis by the whole support-count side).
+    peak = std::max(
+        peak, candidates.size() * (sizeof(Sequence) + k * sizeof(Item) +
+                                   sizeof(std::uint64_t)) +
+                  frequent_set.size() * set_node_bytes(k - 1));
+
     frequent_k.clear();
-    for (auto& [cand, sup] : counts) {
-      if (sup >= min_sup) {
-        out.push_back(Pattern{cand, sup});
-        frequent_k.push_back(cand);
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] >= min_sup) {
+        res.patterns.push_back(Pattern{candidates[c], counts[c]});
+        frequent_k.push_back(std::move(candidates[c]));
       }
     }
   }
-  last_memory_bytes_ = peak;
-  return out;
+  res.stats.patterns = res.patterns.size();
+  res.stats.peak_bytes = peak;
+  res.stats.threads_used = guard.threads_used();
+  res.stats.wall_seconds = timer.seconds();
+  return res;
 }
 
 }  // namespace mars::fsm

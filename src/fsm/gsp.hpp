@@ -1,7 +1,8 @@
 #pragma once
 // GSP (Srikant & Agrawal, EDBT'96): level-wise candidate generation with a
 // full database scan per level — the classic apriori-style baseline among
-// the Fig. 11 miners.
+// the Fig. 11 miners. The per-level support-count scan is embarrassingly
+// parallel over candidates and fans out across the engine's pool.
 
 #include "fsm/miner.hpp"
 
@@ -9,8 +10,9 @@ namespace mars::fsm {
 
 class Gsp final : public Miner {
  public:
-  [[nodiscard]] std::vector<Pattern> mine(
-      const SequenceDatabase& db, const MiningParams& params) const override;
+  [[nodiscard]] MineResult mine_with_stats(
+      const SequenceDatabase& db, const MiningParams& params,
+      parallel::ThreadPool* pool = nullptr) const override;
   [[nodiscard]] std::string_view name() const override { return "GSP"; }
 };
 

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fsm/engine.hpp"
 #include "fsm/sequence.hpp"
 
 namespace mars::fsm {
@@ -14,22 +15,26 @@ class Miner {
  public:
   virtual ~Miner() = default;
 
-  /// Mine all frequent patterns under `params`. Output order is
-  /// unspecified; use sort_patterns() to canonicalize.
-  [[nodiscard]] virtual std::vector<Pattern> mine(
-      const SequenceDatabase& db, const MiningParams& params) const = 0;
+  /// Mine all frequent patterns under `params`, with a per-call cost
+  /// report (Fig. 11's runtime/memory axes). Stateless and safe under
+  /// concurrent calls on the same object. Output order is unspecified but
+  /// deterministic — identical for every params.threads value; use
+  /// sort_patterns() to canonicalize.
+  ///
+  /// `pool` optionally reuses an existing thread pool when
+  /// params.threads > 1 (a private pool is created per call otherwise);
+  /// ignored for sequential runs.
+  [[nodiscard]] virtual MineResult mine_with_stats(
+      const SequenceDatabase& db, const MiningParams& params,
+      parallel::ThreadPool* pool = nullptr) const = 0;
 
-  [[nodiscard]] virtual std::string_view name() const = 0;
-
-  /// Approximate peak auxiliary memory of the last mine() call, in bytes
-  /// (Fig. 11's memory axis). Updated by each call; not thread-safe across
-  /// concurrent mine() calls on the same object.
-  [[nodiscard]] std::size_t last_memory_bytes() const {
-    return last_memory_bytes_;
+  /// Convenience wrapper: the patterns alone.
+  [[nodiscard]] std::vector<Pattern> mine(const SequenceDatabase& db,
+                                          const MiningParams& params) const {
+    return mine_with_stats(db, params).patterns;
   }
 
- protected:
-  mutable std::size_t last_memory_bytes_ = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
 };
 
 enum class MinerKind {

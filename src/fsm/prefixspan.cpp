@@ -1,138 +1,205 @@
 #include "fsm/prefixspan.hpp"
 
-#include <unordered_map>
+#include <algorithm>
 
 namespace mars::fsm {
 namespace {
 
-// A projected database entry: the source sequence plus the positions where
-// the current prefix *ends*. Under gapped semantics only the earliest end
-// matters (any later occurrence offers a subset of the extensions); under
-// contiguous semantics every end position can enable a different next item,
-// so all of them are kept.
-struct Projection {
-  std::size_t entry = 0;
-  std::vector<std::size_t> ends;
+// Pseudo-projection: a projected database is a range of (entry, end)
+// pairs inside a per-task arena — the position where the current prefix
+// ends in that entry — instead of a copied projection structure. Child
+// projections are appended to the arena and truncated on backtrack, so a
+// whole root expansion costs one growing buffer. Pairs are ordered by
+// entry (the build preserves order), which the extension counting uses to
+// weight each entry once per item. Under gapped semantics only the
+// earliest end matters (any later occurrence offers a subset of the
+// extensions); under contiguous semantics every end can enable a
+// different next item, so all of them are kept.
+struct PosPair {
+  std::uint32_t entry;
+  std::uint32_t end;
+};
+
+struct Candidate {
+  Item item;
+  std::uint64_t support;
+};
+
+// Per-root-task scratch: the projection arena plus dense counting arrays
+// sized to the item universe. ext_levels[d] holds depth d's candidate
+// list, reused across siblings so steady-state DFS allocates nothing.
+struct Scratch {
+  std::vector<PosPair> arena;
+  std::vector<std::uint64_t> counts;  // weighted support per item
+  std::vector<std::uint32_t> mark;    // last entry-group that touched item
+  std::vector<std::vector<Candidate>> ext_levels;
+  std::uint32_t generation = 0;
+
+  explicit Scratch(Item bound)
+      : counts(bound, 0), mark(bound, 0) {}
 };
 
 struct Ctx {
   const SequenceDatabase* db;
   MiningParams params;
   std::uint64_t min_support;
-  std::vector<Pattern>* out;
-  std::size_t peak_bytes = 0;
-  std::size_t live_bytes = 0;
-
-  void charge(std::size_t bytes) {
-    live_bytes += bytes;
-    peak_bytes = std::max(peak_bytes, live_bytes);
-  }
-  void release(std::size_t bytes) { live_bytes -= bytes; }
 };
 
-std::size_t projection_bytes(const std::vector<Projection>& proj) {
-  std::size_t bytes = proj.size() * sizeof(Projection);
-  for (const auto& p : proj) bytes += p.ends.size() * sizeof(std::size_t);
-  return bytes;
-}
-
-void grow(Ctx& ctx, Sequence& prefix, const std::vector<Projection>& proj) {
+void grow(const Ctx& ctx, Scratch& scratch, TaskSink& sink, Sequence& prefix,
+          std::size_t lo, std::size_t hi, std::size_t depth) {
   if (prefix.size() >= ctx.params.max_length) return;
   const auto entries = ctx.db->entries();
 
-  // Count candidate extension items in the projected database.
-  std::unordered_map<Item, std::uint64_t> support;
-  for (const auto& p : proj) {
-    const auto& seq = entries[p.entry].items;
-    const std::uint64_t w = entries[p.entry].count;
-    // Distinct items reachable from this entry (count each entry once).
-    std::unordered_map<Item, bool> seen;
+  // Count candidate extension items over the projected range. Pairs are
+  // grouped by entry; a fresh generation per group de-duplicates items so
+  // each entry's weight counts once per item.
+  if (scratch.ext_levels.size() <= depth) scratch.ext_levels.emplace_back();
+  std::vector<Candidate>& ext = scratch.ext_levels[depth];
+  ext.clear();
+  std::size_t i = lo;
+  while (i < hi) {
+    const std::uint32_t entry = scratch.arena[i].entry;
+    const auto& seq = entries[entry].items;
+    const std::uint64_t w = entries[entry].count;
+    ++scratch.generation;
+    const auto touch = [&](Item item) {
+      if (scratch.mark[item] == scratch.generation) return;
+      scratch.mark[item] = scratch.generation;
+      if (scratch.counts[item] == 0) ext.push_back({item, 0});
+      scratch.counts[item] += w;
+    };
     if (ctx.params.contiguous) {
-      for (const std::size_t end : p.ends) {
-        if (end + 1 < seq.size()) seen[seq[end + 1]] = true;
+      for (; i < hi && scratch.arena[i].entry == entry; ++i) {
+        const std::size_t end = scratch.arena[i].end;
+        if (end + 1 < seq.size()) touch(seq[end + 1]);
       }
     } else {
-      for (std::size_t i = p.ends.front() + 1; i < seq.size(); ++i) {
-        seen[seq[i]] = true;
+      // One pair per entry: everything after the earliest end is reachable.
+      for (std::size_t p = scratch.arena[i].end + 1; p < seq.size(); ++p) {
+        touch(seq[p]);
       }
+      ++i;
     }
-    for (const auto& [item, _] : seen) support[item] += w;
+  }
+  // Deterministic extension order regardless of arrival order.
+  std::sort(ext.begin(), ext.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.item < b.item;
+            });
+  for (Candidate& c : ext) {
+    c.support = scratch.counts[c.item];
+    scratch.counts[c.item] = 0;  // reset for deeper levels
   }
 
-  for (const auto& [item, sup] : support) {
-    if (sup < ctx.min_support) continue;
-    prefix.push_back(item);
-    ctx.out->push_back(Pattern{prefix, sup});
+  for (const Candidate& c : ext) {
+    sink.count_node();
+    if (c.support < ctx.min_support) continue;
+    prefix.push_back(c.item);
+    sink.emit(prefix, c.support);
 
-    // Build the projection for the extended prefix.
-    std::vector<Projection> next;
-    for (const auto& p : proj) {
-      const auto& seq = entries[p.entry].items;
-      Projection np{p.entry, {}};
-      if (ctx.params.contiguous) {
-        for (const std::size_t end : p.ends) {
-          if (end + 1 < seq.size() && seq[end + 1] == item) {
-            np.ends.push_back(end + 1);
-          }
+    // Project: append the extended prefix's (entry, end) pairs.
+    const std::size_t child_lo = scratch.arena.size();
+    if (ctx.params.contiguous) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        const PosPair p = scratch.arena[j];
+        const auto& seq = entries[p.entry].items;
+        if (p.end + 1 < seq.size() && seq[p.end + 1] == c.item) {
+          scratch.arena.push_back({p.entry, p.end + 1});
         }
-      } else {
-        for (std::size_t i = p.ends.front() + 1; i < seq.size(); ++i) {
-          if (seq[i] == item) {
-            np.ends.push_back(i);  // earliest suffices for gapped
+      }
+    } else {
+      for (std::size_t j = lo; j < hi; ++j) {
+        const PosPair p = scratch.arena[j];
+        const auto& seq = entries[p.entry].items;
+        for (std::uint32_t q = p.end + 1; q < seq.size(); ++q) {
+          if (seq[q] == c.item) {
+            scratch.arena.push_back({p.entry, q});  // earliest suffices
             break;
           }
         }
       }
-      if (!np.ends.empty()) next.push_back(std::move(np));
     }
-    const std::size_t bytes = projection_bytes(next);
-    ctx.charge(bytes);
-    grow(ctx, prefix, next);
-    ctx.release(bytes);
+    const std::size_t child_hi = scratch.arena.size();
+    const std::size_t bytes = (child_hi - child_lo) * sizeof(PosPair);
+    sink.charge(bytes);
+    grow(ctx, scratch, sink, prefix, child_lo, child_hi, depth + 1);
+    sink.release(bytes);
+    scratch.arena.resize(child_lo);
     prefix.pop_back();
   }
 }
 
 }  // namespace
 
-std::vector<Pattern> PrefixSpan::mine(const SequenceDatabase& db,
-                                      const MiningParams& params) const {
-  std::vector<Pattern> out;
+MineResult PrefixSpan::mine_with_stats(const SequenceDatabase& db,
+                                       const MiningParams& params,
+                                       parallel::ThreadPool* pool) const {
+  const MineTimer timer;
+  MineResult res;
   if (db.empty() || params.max_length == 0) {
-    last_memory_bytes_ = 0;
-    return out;
+    res.stats.wall_seconds = timer.seconds();
+    return res;
   }
-  Ctx ctx{&db, params, params.effective_min_support(db.total()), &out};
-
-  // Level 1: every occurring item, with its initial projection.
-  std::unordered_map<Item, std::uint64_t> support;
-  std::unordered_map<Item, std::vector<Projection>> projections;
+  const Ctx ctx{&db, params, params.effective_min_support(db.total())};
   const auto entries = db.entries();
+  const Item bound = db.item_bound();
+
+  // Level 1: weighted item supports plus each item's initial positions
+  // (the vertical buckets every root projection starts from).
+  std::vector<std::uint64_t> support(bound, 0);
+  std::vector<std::uint32_t> mark(bound, 0);
+  std::vector<std::vector<PosPair>> initial(bound);
   for (std::size_t e = 0; e < entries.size(); ++e) {
-    std::unordered_map<Item, Projection> local;
-    for (std::size_t i = 0; i < entries[e].items.size(); ++i) {
-      auto& p = local[entries[e].items[i]];
-      p.entry = e;
-      p.ends.push_back(i);
-    }
-    for (auto& [item, p] : local) {
-      support[item] += entries[e].count;
-      if (!ctx.params.contiguous) p.ends.resize(1);  // earliest only
-      projections[item].push_back(std::move(p));
+    const auto& seq = entries[e].items;
+    for (std::uint32_t i = 0; i < seq.size(); ++i) {
+      const Item item = seq[i];
+      if (mark[item] != e + 1) {
+        mark[item] = e + 1;
+        support[item] += entries[e].count;
+        initial[item].push_back({static_cast<std::uint32_t>(e), i});
+      } else if (params.contiguous) {
+        // Gapped keeps only the earliest occurrence per entry.
+        initial[item].push_back({static_cast<std::uint32_t>(e), i});
+      }
     }
   }
-  for (auto& [item, sup] : support) {
-    if (sup < ctx.min_support) continue;
-    out.push_back(Pattern{{item}, sup});
-    Sequence prefix{item};
-    const auto& proj = projections[item];
-    const std::size_t bytes = projection_bytes(proj);
-    ctx.charge(bytes);
-    grow(ctx, prefix, proj);
-    ctx.release(bytes);
+
+  struct Root {
+    Item item;
+    std::uint64_t support;
+  };
+  std::vector<Root> roots;
+  std::size_t base_bytes = 0;
+  std::size_t l1_nodes = 0;
+  for (Item item = 0; item < bound; ++item) {
+    if (initial[item].empty()) continue;
+    ++l1_nodes;
+    if (support[item] < ctx.min_support) continue;
+    roots.push_back({item, support[item]});
+    base_bytes += initial[item].size() * sizeof(PosPair);
   }
-  last_memory_bytes_ = ctx.peak_bytes;
-  return out;
+
+  PoolGuard guard(params.threads, roots.size(), pool);
+  res.stats = run_roots(
+      roots.size(), base_bytes,
+      [&](std::size_t r, TaskSink& sink) {
+        const Root& root = roots[r];
+        sink.emit({root.item}, root.support);
+        Scratch scratch(bound);
+        const auto& proj = initial[root.item];
+        Sequence prefix{root.item};
+        // Seed the arena with the root's projection so grow() sees one
+        // uniform representation at every depth.
+        scratch.arena.assign(proj.begin(), proj.end());
+        sink.charge(scratch.arena.size() * sizeof(PosPair));
+        grow(ctx, scratch, sink, prefix, 0, scratch.arena.size(), 0);
+        sink.release(scratch.arena.size() * sizeof(PosPair));
+      },
+      res.patterns, guard.pool());
+  res.stats.nodes_expanded += l1_nodes;
+  res.stats.threads_used = guard.threads_used();
+  res.stats.wall_seconds = timer.seconds();
+  return res;
 }
 
 }  // namespace mars::fsm

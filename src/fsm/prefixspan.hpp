@@ -1,7 +1,9 @@
 #pragma once
 // PrefixSpan (Pei et al., ICDE'01): pattern growth over projected
-// databases. The paper's evaluation found it the fastest miner for MARS's
-// short path sequences (§5.5, Fig. 11).
+// databases, here with pseudo-projection — projected databases are
+// (entry, end) pairs in a per-task scratch arena, not copied structures.
+// The paper's evaluation found it the fastest miner for MARS's short path
+// sequences (§5.5, Fig. 11).
 
 #include "fsm/miner.hpp"
 
@@ -9,8 +11,9 @@ namespace mars::fsm {
 
 class PrefixSpan final : public Miner {
  public:
-  [[nodiscard]] std::vector<Pattern> mine(
-      const SequenceDatabase& db, const MiningParams& params) const override;
+  [[nodiscard]] MineResult mine_with_stats(
+      const SequenceDatabase& db, const MiningParams& params,
+      parallel::ThreadPool* pool = nullptr) const override;
   [[nodiscard]] std::string_view name() const override { return "PrefixSpan"; }
 };
 

@@ -75,6 +75,11 @@ struct MiningParams {
   /// True: pattern items must be adjacent in the sequence (MARS links).
   /// False: classic subsequence-with-gaps semantics.
   bool contiguous = true;
+  /// Worker threads for the mining engine's root-level task split. 1 (the
+  /// default) runs fully inline — no pool, no extra threads; > 1 fans the
+  /// frequent-item frontier out across a thread pool. Output is identical
+  /// for every value (see fsm/engine.hpp's determinism contract).
+  std::uint32_t threads = 1;
 
   [[nodiscard]] std::uint64_t effective_min_support(
       std::uint64_t total) const {

@@ -98,15 +98,13 @@ struct Ctx {
   std::uint64_t min_support;
   const std::vector<std::pair<Item, IdList>>* frequent_items;
   const Cmap* cmap;
-  std::vector<Pattern>* out;
-  std::size_t peak_bytes = 0;
-  std::size_t live_bytes = 0;
 };
 
-void dfs(Ctx& ctx, Sequence& prefix, const IdList& prefix_list) {
+void dfs(const Ctx& ctx, TaskSink& sink, Sequence& prefix,
+         const IdList& prefix_list) {
   if (prefix.size() >= ctx.params.max_length) return;
   for (const auto& [item, item_list] : *ctx.frequent_items) {
-    if (ctx.cmap) {
+    if (ctx.cmap != nullptr) {
       // CMAP prune: if <last(prefix), item> cannot be frequent, the longer
       // pattern cannot be either.
       const auto it = ctx.cmap->find(pair_key(prefix.back(), item));
@@ -114,25 +112,29 @@ void dfs(Ctx& ctx, Sequence& prefix, const IdList& prefix_list) {
     }
     IdList joined = join(prefix_list, item_list, ctx.params.contiguous);
     const std::uint64_t sup = joined.support(*ctx.db);
+    sink.count_node();
     if (sup < ctx.min_support) continue;
     prefix.push_back(item);
-    ctx.out->push_back(Pattern{prefix, sup});
+    sink.emit(prefix, sup);
     const std::size_t bytes = joined.bytes();
-    ctx.live_bytes += bytes;
-    ctx.peak_bytes = std::max(ctx.peak_bytes, ctx.live_bytes);
-    dfs(ctx, prefix, joined);
-    ctx.live_bytes -= bytes;
+    sink.charge(bytes);
+    dfs(ctx, sink, prefix, joined);
+    sink.release(bytes);
     prefix.pop_back();
   }
 }
 
 }  // namespace
 
-std::vector<Pattern> Spade::mine(const SequenceDatabase& db,
-                                 const MiningParams& params) const {
-  std::vector<Pattern> out;
-  last_memory_bytes_ = 0;
-  if (db.empty() || params.max_length == 0) return out;
+MineResult Spade::mine_with_stats(const SequenceDatabase& db,
+                                  const MiningParams& params,
+                                  parallel::ThreadPool* pool) const {
+  const MineTimer timer;
+  MineResult res;
+  if (db.empty() || params.max_length == 0) {
+    res.stats.wall_seconds = timer.seconds();
+    return res;
+  }
   const std::uint64_t min_sup = params.effective_min_support(db.total());
 
   // Vertical scan: id-list per item.
@@ -151,16 +153,22 @@ std::vector<Pattern> Spade::mine(const SequenceDatabase& db,
   }
 
   std::vector<std::pair<Item, IdList>> frequent_items;
+  std::vector<std::uint64_t> root_support;
   std::size_t base_bytes = 0;
+  std::size_t l1_nodes = 0;
   for (auto& [item, list] : vertical) {
+    ++l1_nodes;
     const std::uint64_t sup = list.support(db);
     if (sup < min_sup) continue;
-    out.push_back(Pattern{{item}, sup});
     base_bytes += list.bytes();
     frequent_items.emplace_back(item, std::move(list));
   }
   std::sort(frequent_items.begin(), frequent_items.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
+  root_support.reserve(frequent_items.size());
+  for (const auto& [item, list] : frequent_items) {
+    root_support.push_back(list.support(db));
+  }
 
   Cmap cmap;
   if (use_cmap_) {
@@ -168,20 +176,22 @@ std::vector<Pattern> Spade::mine(const SequenceDatabase& db,
     base_bytes += cmap.size() * 16;
   }
 
-  Ctx ctx{&db,
-          params,
-          min_sup,
-          &frequent_items,
-          use_cmap_ ? &cmap : nullptr,
-          &out,
-          base_bytes,
-          base_bytes};
-  for (const auto& [item, list] : frequent_items) {
-    Sequence prefix{item};
-    dfs(ctx, prefix, list);
-  }
-  last_memory_bytes_ = ctx.peak_bytes;
-  return out;
+  const Ctx ctx{&db, params, min_sup, &frequent_items,
+                use_cmap_ ? &cmap : nullptr};
+  PoolGuard guard(params.threads, frequent_items.size(), pool);
+  res.stats = run_roots(
+      frequent_items.size(), base_bytes,
+      [&](std::size_t r, TaskSink& sink) {
+        const auto& [item, list] = frequent_items[r];
+        sink.emit({item}, root_support[r]);
+        Sequence prefix{item};
+        dfs(ctx, sink, prefix, list);
+      },
+      res.patterns, guard.pool());
+  res.stats.nodes_expanded += l1_nodes;
+  res.stats.threads_used = guard.threads_used();
+  res.stats.wall_seconds = timer.seconds();
+  return res;
 }
 
 }  // namespace mars::fsm

@@ -2,7 +2,8 @@
 // SPADE (Zaki, MLJ'01): vertical id-lists joined by temporal position, and
 // CM-SPADE (Fournier-Viger et al., PAKDD'14): SPADE plus a co-occurrence
 // map (CMAP) that prunes candidate joins whose 2-pattern support is
-// already below threshold.
+// already below threshold. DFS fans out per frequent root item through
+// the shared engine; id-list joins themselves are unchanged.
 
 #include "fsm/miner.hpp"
 
@@ -12,8 +13,9 @@ class Spade : public Miner {
  public:
   explicit Spade(bool use_cmap = false) : use_cmap_(use_cmap) {}
 
-  [[nodiscard]] std::vector<Pattern> mine(
-      const SequenceDatabase& db, const MiningParams& params) const override;
+  [[nodiscard]] MineResult mine_with_stats(
+      const SequenceDatabase& db, const MiningParams& params,
+      parallel::ThreadPool* pool = nullptr) const override;
   [[nodiscard]] std::string_view name() const override {
     return use_cmap_ ? "CM-SPADE" : "SPADE";
   }

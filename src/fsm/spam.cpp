@@ -2,139 +2,224 @@
 
 #include <algorithm>
 #include <bit>
-#include <stdexcept>
+#include <deque>
 #include <unordered_map>
 #include <unordered_set>
 
 namespace mars::fsm {
 namespace {
 
-// One 64-bit word per database entry; bit i set = "position i".
-using Bitmap = std::vector<std::uint64_t>;
+// Vertical bitmaps over a multi-word layout: entry e's positions occupy
+// words [word_off[e], word_off[e+1]) of every bitmap, one bit per
+// position. ceil(len/64) words per entry removes the historical 64-
+// position cap (a >64-hop path used to throw std::invalid_argument and
+// abort the diagnosis).
+using Words = std::vector<std::uint64_t>;
+
+struct Layout {
+  std::vector<std::uint32_t> word_off;  // entries + 1 prefix sums
+
+  [[nodiscard]] std::size_t total_words() const { return word_off.back(); }
+  [[nodiscard]] std::size_t bytes() const {
+    return total_words() * sizeof(std::uint64_t);
+  }
+};
 
 std::uint64_t pair_key(Item a, Item b) {
   return (static_cast<std::uint64_t>(a) << 32) | b;
 }
 
+/// Position of the lowest set bit of `bm` within entry e, or -1 if clear.
+int first_position(const Words& bm, const Layout& layout, std::size_t e) {
+  for (std::uint32_t w = layout.word_off[e]; w < layout.word_off[e + 1];
+       ++w) {
+    if (bm[w] != 0) {
+      return static_cast<int>((w - layout.word_off[e]) * 64 +
+                              static_cast<unsigned>(std::countr_zero(bm[w])));
+    }
+  }
+  return -1;
+}
+
+struct FrequentItem {
+  Item item;
+  Words bitmap;
+};
+
 struct Ctx {
   const SequenceDatabase* db;
+  const Layout* layout;
   MiningParams params;
   std::uint64_t min_support;
-  const std::vector<std::pair<Item, Bitmap>>* frequent_items;
+  const std::vector<FrequentItem>* frequent;
   // LAPIN: last position of each frequent item per entry (-1 if absent).
   const std::vector<std::vector<int>>* last_pos;  // [item_idx][entry]
   const std::unordered_map<std::uint64_t, std::uint64_t>* cmap;
-  std::vector<Pattern>* out;
-  std::size_t peak_bytes = 0;
-  std::size_t live_bytes = 0;
 };
 
-std::uint64_t bitmap_support(const SequenceDatabase& db, const Bitmap& bm) {
-  std::uint64_t sup = 0;
-  const auto entries = db.entries();
-  for (std::size_t e = 0; e < bm.size(); ++e) {
-    if (bm[e] != 0) sup += entries[e].count;
-  }
-  return sup;
-}
+// Per-root DFS scratch: one bitmap buffer per depth, reused across
+// siblings so the whole expansion allocates max_depth buffers total.
+// A deque because recursion holds references into earlier levels while
+// deeper calls append — deque growth never invalidates them.
+struct Scratch {
+  std::deque<Words> levels;
+  std::size_t charged = 0;
+};
 
-void dfs(Ctx& ctx, Sequence& prefix, const Bitmap& prefix_bm) {
+void dfs(const Ctx& ctx, Scratch& scratch, TaskSink& sink, Sequence& prefix,
+         const Words& prefix_bm, std::size_t depth) {
   if (prefix.size() >= ctx.params.max_length) return;
-  const auto& items = *ctx.frequent_items;
-  for (std::size_t idx = 0; idx < items.size(); ++idx) {
-    const auto& [item, item_bm] = items[idx];
-    if (ctx.cmap) {
+  const Layout& layout = *ctx.layout;
+  const auto entries = ctx.db->entries();
+  const auto& frequent = *ctx.frequent;
+  if (scratch.levels.size() <= depth) {
+    scratch.levels.emplace_back(layout.total_words());
+    scratch.charged += layout.bytes();
+    sink.charge(layout.bytes());
+  }
+  Words& next = scratch.levels[depth];
+
+  for (std::size_t idx = 0; idx < frequent.size(); ++idx) {
+    const auto& [item, item_bm] = frequent[idx];
+    if (ctx.cmap != nullptr) {
       const auto it = ctx.cmap->find(pair_key(prefix.back(), item));
       if (it == ctx.cmap->end() || it->second < ctx.min_support) continue;
     }
-    Bitmap next(prefix_bm.size(), 0);
-    for (std::size_t e = 0; e < prefix_bm.size(); ++e) {
-      const std::uint64_t b = prefix_bm[e];
-      if (b == 0) continue;
-      if (ctx.last_pos) {
-        // LAPIN check: the item's last position must be strictly after the
-        // prefix's first end position in this sequence.
-        const int last = (*ctx.last_pos)[idx][e];
-        if (last < 0 ||
-            static_cast<unsigned>(last) <=
-                static_cast<unsigned>(std::countr_zero(b))) {
-          continue;
+    std::uint64_t sup = 0;
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+      const std::uint32_t w0 = layout.word_off[e];
+      const std::uint32_t w1 = layout.word_off[e + 1];
+      bool prefix_present = false;
+      for (std::uint32_t w = w0; w < w1; ++w) {
+        if (prefix_bm[w] != 0) {
+          prefix_present = true;
+          break;
         }
       }
-      std::uint64_t mask;
-      if (ctx.params.contiguous) {
-        mask = b << 1;  // S-step to the immediately following position
-      } else {
-        const std::uint64_t low = b & (~b + 1);  // lowest set bit
-        mask = ~(low | (low - 1));  // all positions strictly above it
+      bool skip = !prefix_present;
+      if (!skip && ctx.last_pos != nullptr) {
+        // LAPIN check: the item's last position must be strictly after
+        // the prefix's first end position in this sequence.
+        const int last = (*ctx.last_pos)[idx][e];
+        skip = last < 0 || last <= first_position(prefix_bm, layout, e);
       }
-      next[e] = mask & item_bm[e];
+      if (skip) {
+        std::fill(next.begin() + w0, next.begin() + w1, 0);
+        continue;
+      }
+      std::uint64_t any = 0;
+      if (ctx.params.contiguous) {
+        // S-step to the immediately following position: shift left by one
+        // with carry across the entry's words.
+        std::uint64_t carry = 0;
+        for (std::uint32_t w = w0; w < w1; ++w) {
+          const std::uint64_t b = prefix_bm[w];
+          const std::uint64_t v = ((b << 1) | carry) & item_bm[w];
+          carry = b >> 63;
+          next[w] = v;
+          any |= v;
+        }
+      } else {
+        // All positions strictly above the prefix's lowest set bit.
+        std::uint32_t w = w0;
+        while (w < w1 && prefix_bm[w] == 0) {
+          next[w] = 0;
+          ++w;
+        }
+        const std::uint64_t low = prefix_bm[w] & (~prefix_bm[w] + 1);
+        std::uint64_t v = ~(low | (low - 1)) & item_bm[w];
+        next[w] = v;
+        any |= v;
+        for (++w; w < w1; ++w) {
+          v = item_bm[w];
+          next[w] = v;
+          any |= v;
+        }
+      }
+      if (any != 0) sup += entries[e].count;
     }
-    const std::uint64_t sup = bitmap_support(*ctx.db, next);
+    sink.count_node();
     if (sup < ctx.min_support) continue;
     prefix.push_back(item);
-    ctx.out->push_back(Pattern{prefix, sup});
-    const std::size_t bytes = next.size() * 8;
-    ctx.live_bytes += bytes;
-    ctx.peak_bytes = std::max(ctx.peak_bytes, ctx.live_bytes);
-    dfs(ctx, prefix, next);
-    ctx.live_bytes -= bytes;
+    sink.emit(prefix, sup);
+    dfs(ctx, scratch, sink, prefix, next, depth + 1);
     prefix.pop_back();
   }
 }
 
 }  // namespace
 
-std::vector<Pattern> Spam::mine(const SequenceDatabase& db,
-                                const MiningParams& params) const {
-  std::vector<Pattern> out;
-  last_memory_bytes_ = 0;
-  if (db.empty() || params.max_length == 0) return out;
+MineResult Spam::mine_with_stats(const SequenceDatabase& db,
+                                 const MiningParams& params,
+                                 parallel::ThreadPool* pool) const {
+  const MineTimer timer;
+  MineResult res;
+  if (db.empty() || params.max_length == 0) {
+    res.stats.wall_seconds = timer.seconds();
+    return res;
+  }
   const std::uint64_t min_sup = params.effective_min_support(db.total());
   const auto entries = db.entries();
+  const Item bound = db.item_bound();
 
-  // Vertical bitmaps per item.
-  std::unordered_map<Item, Bitmap> vertical;
+  Layout layout;
+  layout.word_off.reserve(entries.size() + 1);
+  layout.word_off.push_back(0);
+  for (const auto& e : entries) {
+    layout.word_off.push_back(layout.word_off.back() +
+                              static_cast<std::uint32_t>(
+                                  (e.items.size() + 63) / 64));
+  }
+
+  // Vertical bitmaps per item, plus weighted supports (deduplicated per
+  // entry by construction: a bit is set once, support counted per entry).
+  std::vector<Words> vertical(bound);
+  std::vector<std::uint64_t> support(bound, 0);
+  std::vector<std::uint32_t> mark(bound, 0);
   for (std::size_t e = 0; e < entries.size(); ++e) {
     const auto& seq = entries[e].items;
-    if (seq.size() > 64) {
-      throw std::invalid_argument(
-          "Spam: sequence longer than 64 positions unsupported");
-    }
     for (std::size_t i = 0; i < seq.size(); ++i) {
-      Bitmap& bm = vertical[seq[i]];
-      bm.resize(entries.size(), 0);
-      bm[e] |= (1ull << i);
+      const Item item = seq[i];
+      Words& bm = vertical[item];
+      if (bm.empty()) bm.resize(layout.total_words(), 0);
+      bm[layout.word_off[e] + i / 64] |= (1ull << (i % 64));
+      if (mark[item] != e + 1) {
+        mark[item] = e + 1;
+        support[item] += entries[e].count;
+      }
     }
   }
 
-  std::vector<std::pair<Item, Bitmap>> frequent_items;
-  for (auto& [item, bm] : vertical) {
-    bm.resize(entries.size(), 0);
-    const std::uint64_t sup = bitmap_support(db, bm);
-    if (sup < min_sup) continue;
-    out.push_back(Pattern{{item}, sup});
-    frequent_items.emplace_back(item, std::move(bm));
+  std::vector<FrequentItem> frequent;
+  std::size_t l1_nodes = 0;
+  for (Item item = 0; item < bound; ++item) {
+    if (vertical[item].empty()) continue;
+    ++l1_nodes;
+    if (support[item] < min_sup) continue;
+    frequent.push_back({item, std::move(vertical[item])});
   }
-  std::sort(frequent_items.begin(), frequent_items.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
 
-  std::size_t base_bytes = frequent_items.size() * entries.size() * 8;
+  std::size_t base_bytes = frequent.size() * layout.bytes();
 
   // LAPIN last-position table.
   std::vector<std::vector<int>> last_pos;
   if (options_.use_lapin) {
-    last_pos.assign(frequent_items.size(),
-                    std::vector<int>(entries.size(), -1));
-    for (std::size_t idx = 0; idx < frequent_items.size(); ++idx) {
-      const Bitmap& bm = frequent_items[idx].second;
+    last_pos.assign(frequent.size(), std::vector<int>(entries.size(), -1));
+    for (std::size_t idx = 0; idx < frequent.size(); ++idx) {
+      const Words& bm = frequent[idx].bitmap;
       for (std::size_t e = 0; e < entries.size(); ++e) {
-        if (bm[e] != 0) {
-          last_pos[idx][e] = 63 - std::countl_zero(bm[e]);
+        for (std::uint32_t w = layout.word_off[e + 1];
+             w > layout.word_off[e]; --w) {
+          if (bm[w - 1] != 0) {
+            last_pos[idx][e] = static_cast<int>(
+                (w - 1 - layout.word_off[e]) * 64 +
+                (63 - static_cast<unsigned>(std::countl_zero(bm[w - 1]))));
+            break;
+          }
         }
       }
     }
-    base_bytes += frequent_items.size() * entries.size() * sizeof(int);
+    base_bytes += frequent.size() * entries.size() * sizeof(int);
   }
 
   // CM-SPAM co-occurrence map.
@@ -159,21 +244,29 @@ std::vector<Pattern> Spam::mine(const SequenceDatabase& db,
     base_bytes += cmap.size() * 16;
   }
 
-  Ctx ctx{&db,
-          params,
-          min_sup,
-          &frequent_items,
-          options_.use_lapin ? &last_pos : nullptr,
-          options_.use_cmap ? &cmap : nullptr,
-          &out,
-          base_bytes,
-          base_bytes};
-  for (const auto& [item, bm] : frequent_items) {
-    Sequence prefix{item};
-    dfs(ctx, prefix, bm);
-  }
-  last_memory_bytes_ = ctx.peak_bytes;
-  return out;
+  const Ctx ctx{&db,
+                &layout,
+                params,
+                min_sup,
+                &frequent,
+                options_.use_lapin ? &last_pos : nullptr,
+                options_.use_cmap ? &cmap : nullptr};
+  PoolGuard guard(params.threads, frequent.size(), pool);
+  res.stats = run_roots(
+      frequent.size(), base_bytes,
+      [&](std::size_t r, TaskSink& sink) {
+        const FrequentItem& root = frequent[r];
+        sink.emit({root.item}, support[root.item]);
+        Scratch scratch;
+        Sequence prefix{root.item};
+        dfs(ctx, scratch, sink, prefix, root.bitmap, 0);
+        sink.release(scratch.charged);
+      },
+      res.patterns, guard.pool());
+  res.stats.nodes_expanded += l1_nodes;
+  res.stats.threads_used = guard.threads_used();
+  res.stats.wall_seconds = timer.seconds();
+  return res;
 }
 
 }  // namespace mars::fsm

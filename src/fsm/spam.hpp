@@ -9,9 +9,9 @@
 //   - CM-SPAM (Fournier-Viger et al., PAKDD'14): co-occurrence-map pruning
 //     of candidate extensions.
 //
-// Sequences are limited to 64 positions (one machine word per sequence) —
-// ample for switch-level paths, whose length is bounded by network
-// diameter.
+// Bitmaps are multi-word (ceil(len/64) words per sequence), so sequences
+// of any length are supported — the historical one-word-per-sequence
+// layout threw on paths longer than 64 hops, aborting live diagnoses.
 
 #include "fsm/miner.hpp"
 
@@ -27,8 +27,9 @@ class Spam : public Miner {
   Spam() : options_{} {}
   explicit Spam(Options options) : options_(options) {}
 
-  [[nodiscard]] std::vector<Pattern> mine(
-      const SequenceDatabase& db, const MiningParams& params) const override;
+  [[nodiscard]] MineResult mine_with_stats(
+      const SequenceDatabase& db, const MiningParams& params,
+      parallel::ThreadPool* pool = nullptr) const override;
   [[nodiscard]] std::string_view name() const override {
     if (options_.use_cmap) return "CM-SPAM";
     if (options_.use_lapin) return "LAPIN-SPAM";

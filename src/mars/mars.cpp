@@ -27,7 +27,9 @@ MarsSystem::MarsSystem(net::Network& network, MarsConfig config)
   analyzer_ = std::make_unique<rca::RootCauseAnalyzer>(
       *registry_, config_.rca, &network.topology());
   controller_->set_diagnosis_callback([this](const control::DiagnosisData& d) {
-    diagnoses_.push_back(Diagnosis{d, analyzer_->analyze(d)});
+    auto analysis = analyzer_->analyze_with_stats(d);
+    diagnoses_.push_back(
+        Diagnosis{d, std::move(analysis.culprits), analysis.mining});
     if (config_.tracer != nullptr) {
       // Close the virtual-time causal chain: trigger -> diagnosis.
       config_.tracer->complete(
@@ -44,6 +46,7 @@ MarsSystem::MarsSystem(net::Network& network, MarsConfig config)
   }
   if (config_.metrics != nullptr) {
     pipeline_->set_metrics(config_.metrics);
+    analyzer_->set_metrics(config_.metrics);
     register_metrics(*config_.metrics);
   }
 

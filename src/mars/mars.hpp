@@ -36,10 +36,12 @@ struct MarsConfig {
   obs::SpanTracer* tracer = nullptr;
 };
 
-/// One completed diagnosis: the session data and the ranked culprits.
+/// One completed diagnosis: the session data, the ranked culprits, and
+/// the cost of the FSM mining passes that produced them.
 struct Diagnosis {
   control::DiagnosisData session;
   rca::CulpritList culprits;
+  fsm::MiningStats mining;
 };
 
 class MarsSystem final : public systems::TelemetrySystem {

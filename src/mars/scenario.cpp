@@ -100,6 +100,12 @@ std::vector<std::string> validate_scenario(const ScenarioConfig& config) {
         "mars.controller.max_read_retries must be at most 16 (got " +
         std::to_string(config.mars.controller.max_read_retries) + ")");
   }
+  if (config.mars.rca.mining.threads < 1 ||
+      config.mars.rca.mining.threads > 64) {
+    errors.push_back(
+        "mars.rca.mining.threads must be in [1, 64] (got " +
+        std::to_string(config.mars.rca.mining.threads) + ")");
+  }
   for (std::size_t i = 0; i < config.systems.size(); ++i) {
     const std::string& name = config.systems[i];
     if (!SystemRegistry::instance().contains(name)) {

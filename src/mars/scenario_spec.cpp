@@ -162,6 +162,7 @@ ScenarioConfig ScenarioSpec::to_config() const {
   if (channel.max_read_retries) {
     cfg.mars.controller.max_read_retries = *channel.max_read_retries;
   }
+  if (mining.threads) cfg.mars.rca.mining.threads = *mining.threads;
 
   cfg.faults.events.clear();
   for (const Fault& fault : faults) {
@@ -256,6 +257,13 @@ std::string to_json(const ScenarioSpec& spec, int indent) {
     }
     w.end_object();
   }
+  if (spec.mining.any_set()) {
+    w.key("mining").begin_object();
+    if (spec.mining.threads) {
+      w.member("threads", std::uint64_t{*spec.mining.threads});
+    }
+    w.end_object();
+  }
   w.member("seed", std::uint64_t{spec.seed});
   if (spec.systems) {
     w.key("systems").begin_array();
@@ -293,7 +301,8 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
   }
   reject_unknown_keys(doc,
                       {"name", "topology", "queue_capacity", "background",
-                       "duration_s", "seed", "systems", "faults", "channel"},
+                       "duration_s", "seed", "systems", "faults", "channel",
+                       "mining"},
                       "spec");
 
   ScenarioSpec spec;
@@ -392,6 +401,14 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
     if (const auto* v = ch->find("max_read_retries")) {
       spec.channel.max_read_retries = static_cast<std::uint32_t>(
           as_uint(*v, "spec.channel.max_read_retries"));
+    }
+  }
+  if (const auto* mining = doc.find("mining")) {
+    if (!mining->is_object()) fail("spec.mining", "expected an object");
+    reject_unknown_keys(*mining, {"threads"}, "spec.mining");
+    if (const auto* v = mining->find("threads")) {
+      spec.mining.threads =
+          static_cast<std::uint32_t>(as_uint(*v, "spec.mining.threads"));
     }
   }
   if (const auto* seed = doc.find("seed")) {

@@ -82,6 +82,16 @@ struct ScenarioSpec {
   };
   Channel channel;
 
+  /// FSM mining engine knobs (§4.4.2 / Fig. 11). Unset keeps the default:
+  /// threads = 1, i.e. fully sequential mining with no pool.
+  struct Mining {
+    std::optional<std::uint32_t> threads;
+
+    [[nodiscard]] bool any_set() const { return threads.has_value(); }
+    friend bool operator==(const Mining&, const Mining&) = default;
+  };
+  Mining mining;
+
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 
   /// Lower the spec onto a runnable config: start from

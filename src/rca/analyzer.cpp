@@ -29,7 +29,52 @@ struct PathGroup {
 RootCauseAnalyzer::RootCauseAnalyzer(const control::PathRegistry& registry,
                                      RcaConfig config,
                                      const net::Topology* topology)
-    : registry_(&registry), config_(config), topology_(topology) {}
+    : registry_(&registry), config_(config), topology_(topology) {
+  if (config_.mining.threads > 1) {
+    mining_pool_ = std::make_unique<parallel::ThreadPool>(
+        config_.mining.threads);
+  }
+}
+
+void RootCauseAnalyzer::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    mine_calls_ = mine_patterns_ = mine_nodes_ = nullptr;
+    return;
+  }
+  mine_calls_ = &metrics->counter("mars.rca.mine.calls");
+  mine_patterns_ = &metrics->counter("mars.rca.mine.patterns");
+  mine_nodes_ = &metrics->counter("mars.rca.mine.nodes");
+}
+
+std::vector<fsm::Pattern> RootCauseAnalyzer::mine_abnormal(
+    const fsm::SequenceDatabase& abnormal, fsm::MiningStats& mining) const {
+  const auto miner = fsm::make_miner(config_.miner);
+  auto mine_span = phase_span(
+      "rca.mine:" + std::string(fsm::miner_name(config_.miner)));
+  auto result =
+      miner->mine_with_stats(abnormal, config_.mining, mining_pool_.get());
+  if (mine_span) {
+    mine_span->arg({"patterns", std::uint64_t{result.stats.patterns}});
+    mine_span->arg({"nodes", std::uint64_t{result.stats.nodes_expanded}});
+    mine_span->arg({"peak_bytes", std::uint64_t{result.stats.peak_bytes}});
+    mine_span->arg({"threads", std::uint64_t{result.stats.threads_used}});
+    mine_span.reset();
+  }
+  if (mine_calls_ != nullptr) {
+    mine_calls_->inc();
+    mine_patterns_->inc(result.stats.patterns);
+    mine_nodes_->inc(result.stats.nodes_expanded);
+  }
+  // A session can mine more than once (latency pass + drop pass): counts
+  // and wall time add up, the memory axis keeps the widest pass.
+  mining.patterns += result.stats.patterns;
+  mining.nodes_expanded += result.stats.nodes_expanded;
+  mining.peak_bytes = std::max(mining.peak_bytes, result.stats.peak_bytes);
+  mining.wall_seconds += result.stats.wall_seconds;
+  mining.threads_used =
+      std::max(mining.threads_used, result.stats.threads_used);
+  return std::move(result.patterns);
+}
 
 std::optional<obs::SpanTracer::WallSpan> RootCauseAnalyzer::phase_span(
     std::string name) const {
@@ -56,8 +101,9 @@ void RootCauseAnalyzer::assign_location(Culprit& culprit,
   culprit.location = pattern;
 }
 
-CulpritList RootCauseAnalyzer::analyze(
+AnalysisResult RootCauseAnalyzer::analyze_with_stats(
     const control::DiagnosisData& data) const {
+  AnalysisResult result;
   auto span = phase_span("rca.analyze");
   if (span) {
     span->arg({"trigger", dataplane::kind_name(data.trigger.kind)});
@@ -76,7 +122,10 @@ CulpritList RootCauseAnalyzer::analyze(
   const bool saw_drop = data.saw(dataplane::Notification::Kind::kDrop) ||
                         data.trigger.kind ==
                             dataplane::Notification::Kind::kDrop;
-  if (!saw_latency && saw_drop) return analyze_drop(data);
+  if (!saw_latency && saw_drop) {
+    result.culprits = analyze_drop(data, result.mining);
+    return result;
+  }
 
   // Both kinds (or latency only): is the loss evidence genuine, or the
   // shadow of congestion (packets stuck or delayed, not gone)? Genuine
@@ -115,27 +164,27 @@ CulpritList RootCauseAnalyzer::analyze(
     real_drop = !congested && !latent;
   }
 
-  CulpritList culprits;
+  CulpritList& culprits = result.culprits;
   if (real_drop) {
     // The loss is the story; ambient latency culprits rank behind it.
-    culprits = analyze_drop(data);
-    auto latency = analyze_latency(data);
+    culprits = analyze_drop(data, result.mining);
+    auto latency = analyze_latency(data, result.mining);
     culprits.insert(culprits.end(),
                     std::make_move_iterator(latency.begin()),
                     std::make_move_iterator(latency.end()));
   } else {
     // Any loss evidence is congestion's shadow; the latency signatures
     // name the true cause.
-    culprits = analyze_latency(data);
+    culprits = analyze_latency(data, result.mining);
   }
   if (culprits.size() > config_.max_culprits) {
     culprits.resize(config_.max_culprits);
   }
-  return culprits;
+  return result;
 }
 
 CulpritList RootCauseAnalyzer::analyze_latency(
-    const control::DiagnosisData& data) const {
+    const control::DiagnosisData& data, fsm::MiningStats& mining) const {
   // Only recent history is evidence about THIS fault; older Ring Table
   // records feed the baseline features but not the abnormal/normal sets.
   std::vector<telemetry::RtRecord> recent;
@@ -182,14 +231,7 @@ CulpritList RootCauseAnalyzer::analyze_latency(
   if (abnormal.empty()) return {};
 
   // (3) Mine culprit locations from the abnormal set.
-  const auto miner = fsm::make_miner(config_.miner);
-  auto mine_span = phase_span(
-      "rca.mine:" + std::string(fsm::miner_name(config_.miner)));
-  auto patterns = miner->mine(abnormal, config_.mining);
-  if (mine_span) {
-    mine_span->arg({"patterns", std::uint64_t{patterns.size()}});
-    mine_span.reset();
-  }
+  const auto patterns = mine_abnormal(abnormal, mining);
   if (patterns.empty()) return {};
 
   // (4) Relative-risk SBFL scores.
@@ -315,7 +357,7 @@ CulpritList RootCauseAnalyzer::analyze_latency(
 }
 
 CulpritList RootCauseAnalyzer::analyze_drop(
-    const control::DiagnosisData& data) const {
+    const control::DiagnosisData& data, fsm::MiningStats& mining) const {
   // Flows with missing telemetry epochs or count mismatches are the
   // affected set (§4.4.4 "Drop").
   std::vector<telemetry::RtRecord> recent;
@@ -410,14 +452,7 @@ CulpritList RootCauseAnalyzer::analyze_drop(
   }
   if (abnormal.empty()) return {};
 
-  const auto miner = fsm::make_miner(config_.miner);
-  auto mine_span = phase_span(
-      "rca.mine:" + std::string(fsm::miner_name(config_.miner)));
-  const auto patterns = miner->mine(abnormal, config_.mining);
-  if (mine_span) {
-    mine_span->arg({"patterns", std::uint64_t{patterns.size()}});
-    mine_span.reset();
-  }
+  const auto patterns = mine_abnormal(abnormal, mining);
   auto sbfl_span = phase_span("rca.sbfl");
   auto scored = score_patterns(patterns, abnormal, normal,
                                config_.mining.contiguous, config_.formula);

@@ -7,6 +7,7 @@
 //   (5) signature matching + culprit localization and merging (Alg. 3),
 // and the separate second SBFL pass for drop events (§4.4.4 "Drop").
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,7 +15,9 @@
 #include "control/controller.hpp"
 #include "control/path_registry.hpp"
 #include "fsm/miner.hpp"
+#include "obs/registry.hpp"
 #include "obs/tracer.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rca/sbfl.hpp"
 #include "rca/signatures.hpp"
 #include "rca/traffic_estimator.hpp"
@@ -47,17 +50,33 @@ struct RcaConfig {
   std::size_t max_culprits = 20;
 };
 
+/// One diagnosis session's output plus the aggregate cost of its FSM
+/// mining passes (Fig. 11's axes: a session may mine once for latency,
+/// once for drops — patterns/nodes/wall sum, peak_bytes is the max).
+struct AnalysisResult {
+  CulpritList culprits;
+  fsm::MiningStats mining;
+};
+
 class RootCauseAnalyzer {
  public:
   /// `topology` (optional) enables port-level culprit attribution: a link
   /// pattern <a,b> with a port-scoped cause names a's egress port towards
   /// b. Without it, culprits stay at link/switch granularity.
+  /// `config.mining.threads > 1` makes the analyzer own a thread pool,
+  /// shared by every mining pass it runs.
   explicit RootCauseAnalyzer(const control::PathRegistry& registry,
                              RcaConfig config = {},
                              const net::Topology* topology = nullptr);
 
   /// Produce the ranked culprit list for one diagnosis session.
-  [[nodiscard]] CulpritList analyze(const control::DiagnosisData& data) const;
+  [[nodiscard]] CulpritList analyze(const control::DiagnosisData& data) const {
+    return analyze_with_stats(data).culprits;
+  }
+
+  /// analyze() plus the session's mining cost report.
+  [[nodiscard]] AnalysisResult analyze_with_stats(
+      const control::DiagnosisData& data) const;
 
   [[nodiscard]] const RcaConfig& config() const { return config_; }
 
@@ -66,11 +85,19 @@ class RootCauseAnalyzer {
   /// SBFL scoring, localization — the paper's "diagnosis cost" profile.
   void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
 
+  /// Attach a metrics registry (nullptr detaches): every mining pass bumps
+  /// the mars.rca.mine.{calls,patterns,nodes} counters.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   [[nodiscard]] CulpritList analyze_latency(
-      const control::DiagnosisData& data) const;
+      const control::DiagnosisData& data, fsm::MiningStats& mining) const;
   [[nodiscard]] CulpritList analyze_drop(
-      const control::DiagnosisData& data) const;
+      const control::DiagnosisData& data, fsm::MiningStats& mining) const;
+  /// Run the configured miner, fold its stats into `mining`, and feed the
+  /// attached tracer/metrics.
+  [[nodiscard]] std::vector<fsm::Pattern> mine_abnormal(
+      const fsm::SequenceDatabase& abnormal, fsm::MiningStats& mining) const;
   /// Merge per §4.4.4: flow-level causes take the max score of duplicates,
   /// others sum; port-level causes of the same kind on multiple ports of
   /// one switch fold into a switch-level cause; then sort descending and
@@ -87,6 +114,11 @@ class RootCauseAnalyzer {
   RcaConfig config_;
   const net::Topology* topology_;
   obs::SpanTracer* tracer_ = nullptr;
+  obs::Counter* mine_calls_ = nullptr;
+  obs::Counter* mine_patterns_ = nullptr;
+  obs::Counter* mine_nodes_ = nullptr;
+  /// Shared by every mining pass; null when config_.mining.threads <= 1.
+  std::unique_ptr<parallel::ThreadPool> mining_pool_;
 };
 
 }  // namespace mars::rca

@@ -43,7 +43,8 @@ const char* remediation_hint(CauseKind cause) {
 
 std::string render_report(const control::DiagnosisData& session,
                           const CulpritList& culprits,
-                          const ReportOptions& options) {
+                          const ReportOptions& options,
+                          const fsm::MiningStats* mining) {
   std::string out;
   out += "=== MARS incident report ===\n";
   out += "trigger   : " + std::string(trigger_name(session.trigger.kind)) +
@@ -64,6 +65,18 @@ std::string render_report(const control::DiagnosisData& session,
                   session.quality.switches_total,
                   static_cast<unsigned long long>(
                       session.quality.records_quarantined));
+    out += buf;
+  }
+  if (mining != nullptr) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "mining    : %zu patterns from %zu candidates in %.2f ms "
+                  "(%.1f KB peak, %zu thread%s)\n",
+                  mining->patterns, mining->nodes_expanded,
+                  mining->wall_seconds * 1e3,
+                  static_cast<double>(mining->peak_bytes) / 1024.0,
+                  mining->threads_used,
+                  mining->threads_used == 1 ? "" : "s");
     out += buf;
   }
   if (culprits.empty()) {
@@ -89,7 +102,8 @@ std::string render_report(const control::DiagnosisData& session,
 
 std::string render_json(const control::DiagnosisData& session,
                         const CulpritList& culprits,
-                        const ReportOptions& options) {
+                        const ReportOptions& options,
+                        const fsm::MiningStats* mining) {
   std::string out = "{";
   out += "\"trigger\":{\"kind\":\"" +
          std::string(trigger_name(session.trigger.kind)) +
@@ -102,6 +116,13 @@ std::string render_json(const control::DiagnosisData& session,
   out += "\"coverage\":" + std::to_string(session.quality.coverage()) + ",";
   out += "\"quarantined\":" +
          std::to_string(session.quality.records_quarantined) + ",";
+  if (mining != nullptr) {
+    out += "\"mining\":{\"patterns\":" + std::to_string(mining->patterns) +
+           ",\"nodes\":" + std::to_string(mining->nodes_expanded) +
+           ",\"peak_bytes\":" + std::to_string(mining->peak_bytes) +
+           ",\"wall_seconds\":" + std::to_string(mining->wall_seconds) +
+           ",\"threads\":" + std::to_string(mining->threads_used) + "},";
+  }
   out += "\"culprits\":[";
   const std::size_t n = std::min(culprits.size(), options.max_culprits);
   for (std::size_t i = 0; i < n; ++i) {

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "control/controller.hpp"
+#include "fsm/engine.hpp"
 #include "rca/types.hpp"
 
 namespace mars::rca {
@@ -22,14 +23,18 @@ struct ReportOptions {
 /// signature catalogue, §4.4.4 "signatures can be extended").
 [[nodiscard]] const char* remediation_hint(CauseKind cause);
 
-/// Human-readable incident report.
-[[nodiscard]] std::string render_report(const control::DiagnosisData& session,
-                                        const CulpritList& culprits,
-                                        const ReportOptions& options = {});
+/// Human-readable incident report. Passing the session's MiningStats
+/// (e.g. Diagnosis::mining) adds a "mining" cost line; nullptr omits it.
+[[nodiscard]] std::string render_report(
+    const control::DiagnosisData& session, const CulpritList& culprits,
+    const ReportOptions& options = {},
+    const fsm::MiningStats* mining = nullptr);
 
 /// Machine-readable JSON (stable field order, no external dependency).
-[[nodiscard]] std::string render_json(const control::DiagnosisData& session,
-                                      const CulpritList& culprits,
-                                      const ReportOptions& options = {});
+/// Passing MiningStats adds a "mining" object; nullptr omits it.
+[[nodiscard]] std::string render_json(
+    const control::DiagnosisData& session, const CulpritList& culprits,
+    const ReportOptions& options = {},
+    const fsm::MiningStats* mining = nullptr);
 
 }  // namespace mars::rca

@@ -169,6 +169,58 @@ INSTANTIATE_TEST_SUITE_P(AllMiners, MinerParamTest,
                            return name;
                          });
 
+class LongSequenceTest : public ::testing::TestWithParam<MinerKind> {};
+
+// Regression: the SPAM family's one-word bitmap layout used to throw
+// std::invalid_argument on any sequence longer than 64 positions, aborting
+// the diagnosis mid-flight. Multi-word bitmaps must mine such databases
+// and still agree with brute force.
+TEST_P(LongSequenceTest, HandlesSequencesBeyond64Positions) {
+  const auto miner = make_miner(GetParam());
+  const BruteForce reference;
+  util::Rng rng(271828);
+  SequenceDatabase db;
+  // A few >64-hop walks (long enough to need two or three bitmap words),
+  // plus short paths so the frequent frontier is non-trivial.
+  for (const std::size_t len : {70u, 65u, 97u, 130u}) {
+    Sequence seq;
+    for (std::size_t i = 0; i < len; ++i) {
+      seq.push_back(static_cast<Item>(rng.below(5)));
+    }
+    db.add(std::move(seq), 1 + rng.below(3));
+  }
+  db.add({1, 2, 3}, 4);
+  db.add({0, 2, 4}, 2);
+
+  for (const bool contiguous : {true, false}) {
+    MiningParams p;
+    p.min_support_abs = 3;
+    p.max_length = contiguous ? 3 : 2;  // gapped blow-up guard
+    p.contiguous = contiguous;
+    std::vector<Pattern> got, expected;
+    ASSERT_NO_THROW(got = miner->mine(db, p)) << miner->name();
+    expected = reference.mine(db, p);
+    sort_patterns(got);
+    sort_patterns(expected);
+    ASSERT_EQ(got.size(), expected.size())
+        << miner->name() << " contiguous=" << contiguous;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].items, expected[i].items) << miner->name();
+      EXPECT_EQ(got[i].support, expected[i].support) << miner->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMiners, LongSequenceTest,
+                         ::testing::ValuesIn(all_miner_kinds()),
+                         [](const auto& info) {
+                           std::string name{miner_name(info.param)};
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
 TEST(MinerRegistryTest, NamesAndKinds) {
   EXPECT_EQ(all_miner_kinds().size(), 7u);
   for (const auto kind : all_miner_kinds()) {

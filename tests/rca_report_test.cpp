@@ -80,6 +80,37 @@ TEST(ReportTest, EveryCauseHasARemediationHint) {
   }
 }
 
+TEST(ReportTest, MiningStatsLineAppearsOnlyWhenPassed) {
+  fsm::MiningStats mining;
+  mining.patterns = 12;
+  mining.nodes_expanded = 340;
+  mining.peak_bytes = 2048;
+  mining.wall_seconds = 0.004;
+  mining.threads_used = 4;
+  const auto with = render_report(make_session(), make_culprits(), {},
+                                  &mining);
+  EXPECT_NE(with.find("mining    : 12 patterns from 340 candidates"),
+            std::string::npos);
+  EXPECT_NE(with.find("2.0 KB peak, 4 threads"), std::string::npos);
+  const auto without = render_report(make_session(), make_culprits());
+  EXPECT_EQ(without.find("mining"), std::string::npos);
+}
+
+TEST(ReportJsonTest, MiningObjectAppearsOnlyWhenPassed) {
+  fsm::MiningStats mining;
+  mining.patterns = 12;
+  mining.nodes_expanded = 340;
+  mining.peak_bytes = 2048;
+  mining.threads_used = 1;
+  const auto with = render_json(make_session(), make_culprits(), {},
+                                &mining);
+  EXPECT_NE(with.find("\"mining\":{\"patterns\":12,\"nodes\":340,"
+                      "\"peak_bytes\":2048"),
+            std::string::npos);
+  const auto without = render_json(make_session(), make_culprits());
+  EXPECT_EQ(without.find("\"mining\""), std::string::npos);
+}
+
 TEST(ReportJsonTest, WellFormedAndComplete) {
   const auto json = render_json(make_session(), make_culprits());
   EXPECT_EQ(json.front(), '{');

@@ -169,6 +169,45 @@ TEST(ScenarioSpecTest, SpecWithoutChannelBlockRunsPerfectChannel) {
   EXPECT_TRUE(cfg.mars.channel.perfect());
 }
 
+TEST(ScenarioSpecTest, MiningThreadsRoundTripsAndLowers) {
+  ScenarioSpec spec;
+  spec.mining.threads = 4;
+  const ScenarioSpec reparsed = parse_scenario_spec(to_json(spec));
+  EXPECT_EQ(reparsed, spec);
+
+  const ScenarioConfig cfg = spec.to_config();
+  EXPECT_EQ(cfg.mars.rca.mining.threads, 4u);
+  EXPECT_TRUE(spec.validate().empty());
+
+  // Unset keeps the sequential default (threads = 1, no pool).
+  EXPECT_EQ(parse_scenario_spec("{}").to_config().mars.rca.mining.threads,
+            1u);
+}
+
+TEST(ScenarioSpecTest, MiningThreadsOutOfRangeIsRejected) {
+  ScenarioSpec spec;
+  spec.mining.threads = 0;
+  auto errors = spec.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors.front().find("mars.rca.mining.threads"),
+            std::string::npos);
+
+  spec.mining.threads = 65;
+  errors = spec.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors.front().find("[1, 64]"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, MiningUnknownKeyNamesItsPath) {
+  try {
+    (void)parse_scenario_spec(R"({"mining": {"thread_count": 4}})");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.mining"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("thread_count"), std::string::npos);
+  }
+}
+
 TEST(ScenarioSpecTest, ChannelUnknownKeyNamesItsPath) {
   try {
     (void)parse_scenario_spec(R"({"channel": {"notif_loss": 0.5}})");

@@ -25,6 +25,20 @@ sim::Time MarsPipeline::threshold(const net::FlowId& flow) const {
   return it != thresholds_.end() ? it->second : config_.default_threshold;
 }
 
+PipelineOverheads MarsPipeline::overheads() const {
+  PipelineOverheads total;
+  for (const SwitchState& st : state_) {
+    total.telemetry_bytes += st.overheads.telemetry_bytes;
+    total.notifications += st.overheads.notifications;
+    total.notification_bytes += st.overheads.notification_bytes;
+    total.telemetry_packets_marked += st.overheads.telemetry_packets_marked;
+    total.latency_notifications += st.overheads.latency_notifications;
+    total.drop_notifications += st.overheads.drop_notifications;
+    total.window_suppressed += st.overheads.window_suppressed;
+  }
+  return total;
+}
+
 void MarsPipeline::on_ingress(net::SwitchContext& ctx, net::Packet& pkt) {
   if (ctx.id != pkt.flow.source) return;
   SwitchState& st = state_[ctx.id];
@@ -43,7 +57,7 @@ void MarsPipeline::on_ingress(net::SwitchContext& ctx, net::Packet& pkt) {
     hdr.total_queue_depth = 0;
     hdr.epoch_id = telemetry::epoch_of(now, config_.epoch_period);
     pkt.telemetry = hdr;
-    ++overheads_.telemetry_packets_marked;
+    ++st.overheads.telemetry_packets_marked;
   }
 }
 
@@ -63,6 +77,37 @@ void MarsPipeline::on_enqueue(net::SwitchContext& ctx, net::Packet& pkt,
 void MarsPipeline::maybe_check_latency(net::SwitchContext& ctx,
                                        net::Packet& pkt, bool at_sink) {
   if (!pkt.telemetry) return;
+  if (config_.sharded) {
+    // Flagging hop: decide in-band only (no shared-map writes — this runs
+    // on the flagging switch's shard thread).
+    if (!pkt.anomaly_flagged) {
+      const sim::Time latency =
+          ctx.sim.now() - pkt.telemetry->source_timestamp;
+      if (latency > threshold(pkt.flow)) {
+        pkt.anomaly_flagged = true;
+        pkt.anomaly_reporter = ctx.id;
+        pkt.anomaly_latency = latency;
+      }
+    }
+    if (!at_sink) return;
+    // Sink: the flow's streak lives here, updated in delivery order.
+    SwitchState& st = state_[ctx.id];
+    std::uint32_t& streak = st.sink_latency_streak[pkt.flow];
+    if (!pkt.anomaly_flagged) {
+      streak = 0;
+      return;
+    }
+    if (++streak < config_.latency_persistence) return;
+    Notification n;
+    n.kind = Notification::Kind::kHighLatency;
+    n.reporter = pkt.anomaly_reporter;
+    n.flow = pkt.flow;
+    n.when = ctx.sim.now();
+    n.latency = pkt.anomaly_latency;
+    n.threshold = threshold(pkt.flow);
+    notify(ctx, n);
+    return;
+  }
   if (pkt.anomaly_flagged) return;  // an earlier hop already handled it
   const sim::Time latency = ctx.sim.now() - pkt.telemetry->source_timestamp;
   const sim::Time thr = threshold(pkt.flow);
@@ -89,21 +134,22 @@ void MarsPipeline::maybe_check_latency(net::SwitchContext& ctx,
 
 void MarsPipeline::notify(net::SwitchContext& ctx, Notification n) {
   SwitchState& st = state_[ctx.id];
+  n.origin = ctx.id;
   const sim::Time now = ctx.sim.now();
   // One notification per switch per window (§4.2.2).
   if (st.last_notification >= 0 &&
       now - st.last_notification < config_.notification_window) {
-    ++overheads_.window_suppressed;
+    ++st.overheads.window_suppressed;
     return;
   }
   st.last_notification = now;
-  ++overheads_.notifications;
+  ++st.overheads.notifications;
   if (n.kind == Notification::Kind::kHighLatency) {
-    ++overheads_.latency_notifications;
+    ++st.overheads.latency_notifications;
   } else {
-    ++overheads_.drop_notifications;
+    ++st.overheads.drop_notifications;
   }
-  overheads_.notification_bytes += Notification::kWireBytes;
+  st.overheads.notification_bytes += Notification::kWireBytes;
   if (tracer_ != nullptr) {
     obs::SpanArgs args{{"kind", kind_name(n.kind)},
                        {"reporter", std::uint64_t{n.reporter}},
@@ -123,7 +169,7 @@ void MarsPipeline::notify(net::SwitchContext& ctx, Notification n) {
 void MarsPipeline::on_egress(net::SwitchContext& ctx, net::Packet& pkt,
                              net::PortId /*out*/, sim::Time /*hop_latency*/) {
   // Monitoring bytes occupy this link once per traversal (Fig. 9).
-  overheads_.telemetry_bytes += pkt.monitoring_overhead_bytes();
+  state_[ctx.id].overheads.telemetry_bytes += pkt.monitoring_overhead_bytes();
   maybe_check_latency(ctx, pkt, /*at_sink=*/false);
 }
 

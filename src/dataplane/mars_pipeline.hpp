@@ -50,6 +50,14 @@ struct PipelineConfig {
   std::size_t ring_capacity = 1024;
   /// Threshold used for flows the controller has not yet configured.
   sim::Time default_threshold = 10 * sim::kSecond;
+  /// Sharded-substrate mode: observer callbacks run concurrently on shard
+  /// threads, so every mutation must stay inside the packet or the
+  /// per-switch state of ctx.id. The one cross-switch structure of the
+  /// legacy path — the latency streak, written at the flagging hop — moves
+  /// to the sink: the flagging hop only sets the in-band anomaly fields
+  /// and the sink (which owns the flow's delivery order) keeps the streak
+  /// and issues the notification on the flagging hop's behalf.
+  bool sharded = false;
 };
 
 /// Cumulative data-plane overhead counters (Fig. 9 accounting).
@@ -97,9 +105,9 @@ class MarsPipeline : public net::PacketObserver {
     return state_[sw].ring.snapshot();
   }
 
-  [[nodiscard]] const PipelineOverheads& overheads() const {
-    return overheads_;
-  }
+  /// Merged across switches (counters are kept per switch so shard
+  /// threads never contend on them).
+  [[nodiscard]] PipelineOverheads overheads() const;
   [[nodiscard]] const PipelineConfig& config() const { return config_; }
 
   // ---- observability (both optional; nullptr = zero overhead) ----
@@ -130,6 +138,11 @@ class MarsPipeline : public net::PacketObserver {
     std::unordered_map<net::FlowId, telemetry::EpochId> last_seen_epoch;
     /// Consecutive count-mismatch epochs per flow (drop persistence).
     std::unordered_map<net::FlowId, std::uint32_t> mismatch_streak;
+    /// Sharded mode: the latency streak, kept at the flow's sink (see
+    /// PipelineConfig::sharded).
+    std::unordered_map<net::FlowId, std::uint32_t> sink_latency_streak;
+    /// Per-switch slice of the overhead counters (merged by overheads()).
+    PipelineOverheads overheads;
 
     SwitchState(sim::Time period, std::size_t ring_capacity)
         : ingress(period), egress(period), ring(ring_capacity) {}
@@ -150,7 +163,6 @@ class MarsPipeline : public net::PacketObserver {
   /// sink clean. Conceptually each flow's counter lives where its
   /// anomalies surface; a single map keeps that bookkeeping simple.
   std::unordered_map<net::FlowId, std::uint32_t> latency_streak_;
-  PipelineOverheads overheads_;
   obs::SpanTracer* tracer_ = nullptr;
   obs::LogHistogram* latency_hist_ = nullptr;
 };

@@ -13,6 +13,11 @@ struct Notification {
 
   Kind kind = Kind::kHighLatency;
   net::SwitchId reporter = net::kInvalidSwitch;  ///< switch that triggered
+  /// Switch that physically sent the packet (== reporter in legacy mode;
+  /// in sharded mode latency notifications are issued at the sink on
+  /// behalf of the flagging hop, so the sender is the sink). Not part of
+  /// the 32-byte wire format — routing metadata for the simulator.
+  net::SwitchId origin = net::kInvalidSwitch;
   net::FlowId flow;
   sim::Time when = 0;
 

@@ -3,27 +3,51 @@
 #include <algorithm>
 #include <map>
 
+#include "sim/sharded.hpp"
+
 namespace mars {
 
 MarsSystem::MarsSystem(net::Network& network, MarsConfig config)
     : network_(&network), config_(config) {
+  const bool sharded = network.is_sharded();
+  config_.pipeline.sharded = sharded;
   registry_ = std::make_unique<control::PathRegistry>(
       network.topology(), network.routing(), config_.pipeline.path_id);
 
-  pipeline_ = std::make_unique<dataplane::MarsPipeline>(
-      network.topology().switch_count(), config_.pipeline,
-      [this](const dataplane::Notification& n) { channel_->offer(n); });
+  if (sharded) {
+    // Notifications cross shards as control mail: posted from the sending
+    // switch's shard thread, keyed on its lane, delivered to the global
+    // (control-plane) simulator control_latency later. The degraded
+    // channel model is not built — validation restricts sharded runs to a
+    // perfect channel, and a perfect channel equals no channel.
+    pipeline_ = std::make_unique<dataplane::MarsPipeline>(
+        network.topology().switch_count(), config_.pipeline,
+        [this](const dataplane::Notification& n) {
+          auto* ssim = network_->sharded();
+          sim::Lane& lane = network_->node(n.origin).lane();
+          ssim->post_control(
+              network_->shard_of(n.origin),
+              lane.now() + ssim->control_latency(), lane.next_key(),
+              sim::EventFn([this, n] { controller_->on_notification(n); }));
+        });
+  } else {
+    pipeline_ = std::make_unique<dataplane::MarsPipeline>(
+        network.topology().switch_count(), config_.pipeline,
+        [this](const dataplane::Notification& n) { channel_->offer(n); });
+  }
   pipeline_->set_control_mat(registry_->mat());
 
-  channel_ = std::make_unique<control::ControlChannel>(
-      network.simulator(), *pipeline_, config_.channel);
-  channel_->set_deliver([this](const dataplane::Notification& n) {
-    controller_->on_notification(n);
-  });
+  if (!sharded) {
+    channel_ = std::make_unique<control::ControlChannel>(
+        network.simulator(), *pipeline_, config_.channel);
+    channel_->set_deliver([this](const dataplane::Notification& n) {
+      controller_->on_notification(n);
+    });
+  }
 
   controller_ = std::make_unique<control::Controller>(network, *pipeline_,
                                                       config_.controller);
-  controller_->set_channel(channel_.get());
+  if (channel_) controller_->set_channel(channel_.get());
   analyzer_ = std::make_unique<rca::RootCauseAnalyzer>(
       *registry_, config_.rca, &network.topology());
   controller_->set_diagnosis_callback([this](const control::DiagnosisData& d) {
@@ -40,12 +64,15 @@ MarsSystem::MarsSystem(net::Network& network, MarsConfig config)
   });
 
   if (config_.tracer != nullptr) {
-    pipeline_->set_tracer(config_.tracer);
+    // Sharded: the pipeline's callbacks run on shard threads, where the
+    // tracer/histogram would race; controller and analyzer run in the
+    // single-threaded global domain and keep their hooks.
+    if (!sharded) pipeline_->set_tracer(config_.tracer);
     controller_->set_tracer(config_.tracer);
     analyzer_->set_tracer(config_.tracer);
   }
   if (config_.metrics != nullptr) {
-    pipeline_->set_metrics(config_.metrics);
+    if (!sharded) pipeline_->set_metrics(config_.metrics);
     analyzer_->set_metrics(config_.metrics);
     register_metrics(*config_.metrics);
   }
@@ -88,21 +115,23 @@ void MarsSystem::register_metrics(obs::MetricsRegistry& registry) {
   });
   registry.gauge("mars.confidence",
                  [this] { return confidence().value_or(1.0); });
-  registry.gauge("mars.channel.notifications_dropped", [this] {
-    return static_cast<double>(channel_->stats().notifications_dropped);
-  });
-  registry.gauge("mars.channel.notifications_delayed", [this] {
-    return static_cast<double>(channel_->stats().notifications_delayed);
-  });
-  registry.gauge("mars.channel.reads_failed", [this] {
-    return static_cast<double>(channel_->stats().reads_failed);
-  });
-  registry.gauge("mars.channel.records_lost", [this] {
-    return static_cast<double>(channel_->stats().records_lost);
-  });
-  registry.gauge("mars.channel.records_corrupted", [this] {
-    return static_cast<double>(channel_->stats().records_corrupted);
-  });
+  if (channel_ != nullptr) {
+    registry.gauge("mars.channel.notifications_dropped", [this] {
+      return static_cast<double>(channel_->stats().notifications_dropped);
+    });
+    registry.gauge("mars.channel.notifications_delayed", [this] {
+      return static_cast<double>(channel_->stats().notifications_delayed);
+    });
+    registry.gauge("mars.channel.reads_failed", [this] {
+      return static_cast<double>(channel_->stats().reads_failed);
+    });
+    registry.gauge("mars.channel.records_lost", [this] {
+      return static_cast<double>(channel_->stats().records_lost);
+    });
+    registry.gauge("mars.channel.records_corrupted", [this] {
+      return static_cast<double>(channel_->stats().records_corrupted);
+    });
+  }
   registry.gauge("mars.controller.poll_fallbacks", [this] {
     return static_cast<double>(controller_->overheads().poll_reads_failed);
   });
@@ -224,7 +253,7 @@ rca::CulpritList MarsSystem::culprits_for(sim::Time fault_start) const {
 
 MarsSystem::Overheads MarsSystem::overheads() const {
   Overheads o;
-  const auto& p = pipeline_->overheads();
+  const auto p = pipeline_->overheads();
   const auto& c = controller_->overheads();
   o.telemetry_bytes = p.telemetry_bytes;
   o.diagnosis_bytes =

@@ -5,7 +5,10 @@
 #include <optional>
 
 #include "mars/system_registry.hpp"
+#include "net/partition.hpp"
 #include "obs/net_scrape.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 
 namespace mars {
@@ -120,10 +123,70 @@ std::vector<std::string> validate_scenario(const ScenarioConfig& config) {
       }
     }
   }
+  if (config.sim.shards < 0 || config.sim.shards > 64) {
+    errors.push_back("sim.shards must be in [1, 64] (got " +
+                     std::to_string(config.sim.shards) + ")");
+  } else if (config.sim.shards >= 1) {
+    if (config.sim.control_latency <= 0) {
+      errors.push_back("sim.control_latency must be positive (got " +
+                       std::to_string(config.sim.control_latency) + " ns)");
+    }
+    for (const std::string& name : config.systems) {
+      if (name != "mars") {
+        errors.push_back("sharded simulation (sim.shards >= 1) supports "
+                         "only the 'mars' telemetry system (got '" +
+                         name + "')");
+      }
+    }
+    const bool channel_perfect =
+        ch.notification_loss == 0.0 && ch.notification_delay_prob == 0.0 &&
+        ch.read_failure == 0.0 && ch.record_loss == 0.0 &&
+        ch.record_corruption == 0.0;
+    if (!channel_perfect) {
+      errors.push_back("sharded simulation requires a perfect control "
+                       "channel (mars.channel degradation knobs must all "
+                       "be zero)");
+    }
+    for (const auto& event : config.faults.events) {
+      if (faults::is_telemetry_fault(event.kind)) {
+        errors.push_back(std::string("telemetry fault '") +
+                         faults::to_string(event.kind) +
+                         "' needs the degraded control channel, which "
+                         "sharded simulation does not model");
+        break;
+      }
+    }
+    if (config.sim.shards >= 2 &&
+        net::TopologyRegistry::instance().validate(config.topology).empty()) {
+      const net::BuiltFabric fabric =
+          net::TopologyRegistry::instance().build(config.topology);
+      const int capacity = net::partition_capacity(fabric.topology);
+      if (config.sim.shards > capacity) {
+        errors.push_back(
+            "sim.shards exceeds the topology's partition capacity: no "
+            "partition boundary supports " +
+            std::to_string(config.sim.shards) + " shards (topology '" +
+            config.topology.name + "' splits into " +
+            std::to_string(capacity) + " components)");
+      } else {
+        const net::Partition partition =
+            net::partition_topology(fabric.topology, config.sim.shards);
+        if (!partition.boundary_links.empty() &&
+            partition.min_boundary_propagation < 1) {
+          errors.push_back(
+              "sharded simulation requires positive propagation delay on "
+              "shard-boundary links (topology '" + config.topology.name +
+              "' has a zero-delay boundary link)");
+        }
+      }
+    }
+  }
   return errors;
 }
 
-ScenarioResult run_scenario(const ScenarioConfig& config) {
+namespace {
+
+void throw_if_invalid(const ScenarioConfig& config) {
   if (const auto errors = validate_scenario(config); !errors.empty()) {
     std::string joined;
     for (const auto& e : errors) {
@@ -132,6 +195,190 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     }
     throw std::invalid_argument("scenario config invalid: " + joined);
   }
+}
+
+/// Shared result assembly: grading queries, per-system outcomes, ground
+/// truths — identical for the legacy and sharded engines.
+ScenarioResult assemble_result(
+    const ScenarioConfig& config,
+    std::vector<std::unique_ptr<systems::TelemetrySystem>>& deployed,
+    std::vector<faults::GroundTruth>&& truths, net::NetworkStats net_stats,
+    std::uint64_t packets_injected, std::uint64_t events_executed,
+    sim::Time now) {
+  ScenarioResult result;
+  result.truths = std::move(truths);
+  result.fault_injected =
+      !config.faults.empty() && result.truths.size() == config.faults.size();
+  result.net_stats = net_stats;
+  result.packets_injected = packets_injected;
+  result.events_executed = events_executed;
+
+  // One query for every system. SyNDB reads the expert hint (the Table-1
+  // caveat — "we have to assume SyNDB knows the root cause at first"):
+  // the FIRST scheduled fault's class and incident window.
+  systems::DiagnosisQuery query;
+  query.fault_start = config.first_fault_at();
+  query.now = now;
+  if (!config.faults.empty()) {
+    const faults::FaultEvent& first = config.faults.events.front();
+    query.hint = first.kind;
+    const sim::Time fault_len =
+        first.duration > 0 ? first.duration : config.injector.duration;
+    query.incident_end = std::min(now, first.at + fault_len);
+  }
+
+  result.systems.reserve(deployed.size());
+  for (std::size_t i = 0; i < deployed.size(); ++i) {
+    systems::TelemetrySystem& system = *deployed[i];
+    SystemOutcome outcome;
+    outcome.system = config.systems[i];
+    outcome.culprits = system.diagnose(query);
+    outcome.triggered = system.triggered();
+    outcome.confidence = system.confidence();
+    const auto oh = system.overheads();
+    outcome.telemetry_bytes = oh.telemetry_bytes;
+    outcome.diagnosis_bytes = oh.diagnosis_bytes;
+    const metrics::MatchOptions match = system.match_options();
+    outcome.ranks.reserve(result.truths.size());
+    for (const auto& truth : result.truths) {
+      outcome.ranks.push_back(
+          metrics::rank_of_truth(outcome.culprits, truth, match));
+    }
+    if (!outcome.ranks.empty()) outcome.rank = outcome.ranks.front();
+    result.systems.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+/// The sharded engine: partition the fabric, one event queue per shard on
+/// a thread pool, conservative-lookahead windows, control plane on the
+/// global simulator. Validation has already restricted the config to
+/// what this engine models (MARS only, perfect channel).
+ScenarioResult run_sharded_scenario(const ScenarioConfig& config) {
+  net::BuiltFabric fabric =
+      net::TopologyRegistry::instance().build(config.topology);
+  const net::Partition partition =
+      net::partition_topology(fabric.topology, config.sim.shards);
+
+  sim::ShardedConfig shard_config;
+  shard_config.shards = config.sim.shards;
+  shard_config.control_latency = config.sim.control_latency;
+  // Lookahead: the fastest path between shards — the slimmest boundary
+  // link, capped by the control latency (post_control requires
+  // control_latency >= lookahead).
+  shard_config.lookahead = config.sim.control_latency;
+  if (!partition.boundary_links.empty()) {
+    shard_config.lookahead = std::min(shard_config.lookahead,
+                                      partition.min_boundary_propagation);
+  }
+
+  parallel::ThreadPool pool(static_cast<std::size_t>(config.sim.shards));
+  sim::ShardedSimulator ssim(pool, shard_config);
+  net::Network network(ssim, fabric.topology, partition);
+  for (net::SwitchId sw = 0; sw < network.switch_count(); ++sw) {
+    network.node(sw).set_queue_capacity(config.queue_capacity);
+  }
+
+  Observability* obs = config.observability;
+
+  std::vector<std::unique_ptr<systems::TelemetrySystem>> deployed;
+  deployed.reserve(config.systems.size());
+  for (const std::string& name : config.systems) {
+    deployed.push_back(
+        SystemRegistry::instance().create(name, network, config, obs));
+  }
+
+  workload::TrafficGenerator traffic(network, config.seed);
+  traffic.add_background(config.background, fabric.edge, fabric.pods);
+
+  faults::FaultInjector injector(network, traffic, config.seed ^ 0xFA17,
+                                 config.injector);
+  if (obs != nullptr) injector.set_metrics(obs->registry);
+
+  std::optional<obs::Sampler> sampler;
+  if (obs != nullptr) {
+    obs::scrape_network(network, obs->registry);
+    obs->registry.gauge("sim.shards", [&ssim] {
+      return static_cast<double>(ssim.shard_count());
+    });
+    obs->registry.gauge("sim.windows", [&ssim] {
+      return static_cast<double>(ssim.sync_stats().windows);
+    });
+    obs->registry.gauge("sim.global_rounds", [&ssim] {
+      return static_cast<double>(ssim.sync_stats().global_rounds);
+    });
+    obs->registry.gauge("sim.lookahead_stalls", [&ssim] {
+      return static_cast<double>(ssim.sync_stats().lookahead_stalls);
+    });
+    for (int i = 0; i < ssim.shard_count(); ++i) {
+      obs->registry.gauge("sim.shard." + std::to_string(i) + ".events",
+                          [&ssim, i] {
+                            return static_cast<double>(
+                                ssim.shard(i).events_executed());
+                          });
+    }
+    // Sampler scrapes run as global events: between windows, with every
+    // shard quiescent, so the per-shard gauges read stable state.
+    sampler.emplace(ssim.global(), obs->registry, obs->series,
+                    obs::SamplerConfig{.period = config.sample_period,
+                                       .until = config.duration});
+    sampler->set_tracer(&obs->tracer);
+    sampler->start();
+  }
+
+  for (auto& system : deployed) system->start();
+  traffic.start();
+
+  const auto injected = injector.apply(config.faults);
+  std::vector<faults::GroundTruth> truths;
+  for (std::size_t i = 0; i < injected.size(); ++i) {
+    if (!injected[i]) continue;
+    truths.push_back(*injected[i]);
+    if (obs != nullptr) {
+      obs->tracer.instant(
+          "fault_injected", "scenario", config.faults.events[i].at,
+          {{"fault", faults::to_string(config.faults.events[i].kind)},
+           {"truth", injected[i]->describe()}});
+    }
+  }
+
+  {
+    std::optional<obs::SpanTracer::WallSpan> run_span;
+    if (obs != nullptr) {
+      run_span.emplace(obs->tracer.wall_span(
+          "simulator.run", "sim",
+          {{"duration_s", sim::to_seconds(config.duration)},
+           {"shards", static_cast<std::uint64_t>(config.sim.shards)}}));
+    }
+    ssim.run(config.duration);
+    if (run_span) {
+      run_span->arg({"events", ssim.events_executed()});
+    }
+  }
+
+  if (obs != nullptr) {
+    for (int i = 0; i < ssim.shard_count(); ++i) {
+      obs->tracer.complete(
+          "sim.shard", "sim", 0, config.duration,
+          {{"shard", static_cast<std::uint64_t>(i)},
+           {"events", ssim.shard(i).events_executed()},
+           {"windows", ssim.shard_stats(i).windows}});
+    }
+    sampler->stop();
+    obs->snapshot = obs->registry.snapshot();
+    obs->registry.remove_gauges("");
+  }
+
+  return assemble_result(config, deployed, std::move(truths),
+                         network.stats(), traffic.packets_injected(),
+                         ssim.events_executed(), ssim.global().now());
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  throw_if_invalid(config);
+  if (config.sim.shards >= 1) return run_sharded_scenario(config);
 
   sim::Simulator simulator;
   net::BuiltFabric fabric =
@@ -215,49 +462,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
     obs->registry.remove_gauges("");
   }
 
-  ScenarioResult result;
-  result.truths = std::move(truths);
-  result.fault_injected =
-      !config.faults.empty() && result.truths.size() == config.faults.size();
-  result.net_stats = network.stats();
-  result.packets_injected = traffic.packets_injected();
-  result.events_executed = simulator.events_executed();
-
-  // One query for every system. SyNDB reads the expert hint (the Table-1
-  // caveat — "we have to assume SyNDB knows the root cause at first"):
-  // the FIRST scheduled fault's class and incident window.
-  systems::DiagnosisQuery query;
-  query.fault_start = config.first_fault_at();
-  query.now = simulator.now();
-  if (!config.faults.empty()) {
-    const faults::FaultEvent& first = config.faults.events.front();
-    query.hint = first.kind;
-    const sim::Time fault_len =
-        first.duration > 0 ? first.duration : config.injector.duration;
-    query.incident_end = std::min(simulator.now(), first.at + fault_len);
-  }
-
-  result.systems.reserve(deployed.size());
-  for (std::size_t i = 0; i < deployed.size(); ++i) {
-    systems::TelemetrySystem& system = *deployed[i];
-    SystemOutcome outcome;
-    outcome.system = config.systems[i];
-    outcome.culprits = system.diagnose(query);
-    outcome.triggered = system.triggered();
-    outcome.confidence = system.confidence();
-    const auto oh = system.overheads();
-    outcome.telemetry_bytes = oh.telemetry_bytes;
-    outcome.diagnosis_bytes = oh.diagnosis_bytes;
-    const metrics::MatchOptions match = system.match_options();
-    outcome.ranks.reserve(result.truths.size());
-    for (const auto& truth : result.truths) {
-      outcome.ranks.push_back(
-          metrics::rank_of_truth(outcome.culprits, truth, match));
-    }
-    if (!outcome.ranks.empty()) outcome.rank = outcome.ranks.front();
-    result.systems.push_back(std::move(outcome));
-  }
-  return result;
+  return assemble_result(config, deployed, std::move(truths),
+                         network.stats(), traffic.packets_injected(),
+                         simulator.events_executed(), simulator.now());
 }
 
 }  // namespace mars

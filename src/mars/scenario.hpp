@@ -86,6 +86,24 @@ struct ScenarioConfig {
   /// Sampler tick period when observability is attached.
   sim::Time sample_period = 100 * sim::kMillisecond;
 
+  /// Sharded-simulation settings (the spec's "sim" block). shards == 0
+  /// (the default) runs the classic single-queue simulator, bit-identical
+  /// to earlier releases; shards >= 1 runs the conservative-lookahead
+  /// sharded engine — its own golden universe (notification delivery
+  /// becomes an explicit control-latency hop), pinned by its own
+  /// fingerprints which must agree at every shard count. Sharded runs are
+  /// restricted by validate_scenario: systems must be {"mars"}, the
+  /// control channel must be perfect, no telemetry fault kinds, and for
+  /// shards >= 2 the topology must offer enough partition components with
+  /// positive boundary-link propagation.
+  struct SimConfig {
+    int shards = 0;
+    /// Data-plane -> controller notification latency; also the floor of
+    /// the conservative lookahead window.
+    sim::Time control_latency = 1 * sim::kMillisecond;
+  };
+  SimConfig sim;
+
   /// Start of the first scheduled fault — the grading boundary. An empty
   /// schedule returns `duration` (nothing to grade after the run).
   [[nodiscard]] sim::Time first_fault_at() const {

@@ -124,6 +124,10 @@ ScenarioConfig ScenarioSpec::to_config() const {
   if (spines) cfg.topology.spines = *spines;
   if (edge_gbps) cfg.topology.edge_gbps = *edge_gbps;
   if (core_gbps) cfg.topology.core_gbps = *core_gbps;
+  if (propagation_us) {
+    cfg.topology.propagation = static_cast<sim::Time>(
+        std::llround(*propagation_us * 1e3));
+  }
   if (queue_capacity) cfg.queue_capacity = *queue_capacity;
   if (flows) cfg.background.flows = *flows;
   if (pps) cfg.background.pps = *pps;
@@ -163,6 +167,10 @@ ScenarioConfig ScenarioSpec::to_config() const {
     cfg.mars.controller.max_read_retries = *channel.max_read_retries;
   }
   if (mining.threads) cfg.mars.rca.mining.threads = *mining.threads;
+  if (sim.shards) cfg.sim.shards = *sim.shards;
+  if (sim.control_latency_s) {
+    cfg.sim.control_latency = seconds_to_time(*sim.control_latency_s);
+  }
 
   cfg.faults.events.clear();
   for (const Fault& fault : faults) {
@@ -185,6 +193,10 @@ ScenarioConfig ScenarioSpec::to_config() const {
 
 std::vector<std::string> ScenarioSpec::validate() const {
   std::vector<std::string> errors;
+  if (sim.shards && (*sim.shards < 1 || *sim.shards > 64)) {
+    errors.push_back("spec.sim.shards must be in [1, 64] (got " +
+                     std::to_string(*sim.shards) + ")");
+  }
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (!faults::kind_from_name(faults[i].kind)) {
       errors.push_back("faults[" + std::to_string(i) +
@@ -215,6 +227,7 @@ std::string to_json(const ScenarioSpec& spec, int indent) {
   if (spec.spines) w.member("spines", std::int64_t{*spec.spines});
   if (spec.edge_gbps) w.member("edge_gbps", *spec.edge_gbps);
   if (spec.core_gbps) w.member("core_gbps", *spec.core_gbps);
+  if (spec.propagation_us) w.member("propagation_us", *spec.propagation_us);
   w.end_object();
 
   if (spec.queue_capacity) {
@@ -264,6 +277,14 @@ std::string to_json(const ScenarioSpec& spec, int indent) {
     }
     w.end_object();
   }
+  if (spec.sim.any_set()) {
+    w.key("sim").begin_object();
+    if (spec.sim.shards) w.member("shards", std::int64_t{*spec.sim.shards});
+    if (spec.sim.control_latency_s) {
+      w.member("control_latency_s", *spec.sim.control_latency_s);
+    }
+    w.end_object();
+  }
   w.member("seed", std::uint64_t{spec.seed});
   if (spec.systems) {
     w.key("systems").begin_array();
@@ -302,7 +323,7 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
   reject_unknown_keys(doc,
                       {"name", "topology", "queue_capacity", "background",
                        "duration_s", "seed", "systems", "faults", "channel",
-                       "mining"},
+                       "mining", "sim"},
                       "spec");
 
   ScenarioSpec spec;
@@ -311,9 +332,10 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
   }
   if (const auto* topo = doc.find("topology")) {
     if (!topo->is_object()) fail("spec.topology", "expected an object");
-    reject_unknown_keys(
-        *topo, {"name", "k", "leaves", "spines", "edge_gbps", "core_gbps"},
-        "spec.topology");
+    reject_unknown_keys(*topo,
+                        {"name", "k", "leaves", "spines", "edge_gbps",
+                         "core_gbps", "propagation_us"},
+                        "spec.topology");
     if (const auto* n = topo->find("name")) {
       spec.topology = as_string(*n, "spec.topology.name");
     }
@@ -331,6 +353,9 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
     }
     if (const auto* c = topo->find("core_gbps")) {
       spec.core_gbps = as_number(*c, "spec.topology.core_gbps");
+    }
+    if (const auto* p = topo->find("propagation_us")) {
+      spec.propagation_us = as_number(*p, "spec.topology.propagation_us");
     }
   }
   if (const auto* qc = doc.find("queue_capacity")) {
@@ -409,6 +434,16 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
     if (const auto* v = mining->find("threads")) {
       spec.mining.threads =
           static_cast<std::uint32_t>(as_uint(*v, "spec.mining.threads"));
+    }
+  }
+  if (const auto* sim = doc.find("sim")) {
+    if (!sim->is_object()) fail("spec.sim", "expected an object");
+    reject_unknown_keys(*sim, {"shards", "control_latency_s"}, "spec.sim");
+    if (const auto* v = sim->find("shards")) {
+      spec.sim.shards = as_count(*v, "spec.sim.shards");
+    }
+    if (const auto* v = sim->find("control_latency_s")) {
+      spec.sim.control_latency_s = as_number(*v, "spec.sim.control_latency_s");
     }
   }
   if (const auto* seed = doc.find("seed")) {

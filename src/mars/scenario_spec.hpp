@@ -31,6 +31,10 @@ struct ScenarioSpec {
   std::optional<int> k;               ///< fat-tree arity
   std::optional<int> leaves, spines;  ///< leaf-spine shape
   std::optional<double> edge_gbps, core_gbps;
+  /// Per-link propagation delay in microseconds (all links). Datacenter
+  /// fibre runs ~1–10 µs; larger values widen the sharded engine's
+  /// conservative lookahead window.
+  std::optional<double> propagation_us;
   std::optional<std::uint32_t> queue_capacity;
 
   // ---- workload ----
@@ -91,6 +95,20 @@ struct ScenarioSpec {
     friend bool operator==(const Mining&, const Mining&) = default;
   };
   Mining mining;
+
+  /// Sharded-simulation block ("sim"). Unset runs the classic
+  /// single-queue engine; {"shards": N} runs N topology shards with
+  /// conservative lookahead on a thread pool (see DESIGN.md).
+  struct Sim {
+    std::optional<int> shards;                 ///< must be in [1, 64]
+    std::optional<double> control_latency_s;   ///< notification latency
+
+    [[nodiscard]] bool any_set() const {
+      return shards || control_latency_s;
+    }
+    friend bool operator==(const Sim&, const Sim&) = default;
+  };
+  Sim sim;
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 

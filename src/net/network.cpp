@@ -4,10 +4,38 @@
 #include <memory>
 #include <utility>
 
+#include "sim/sharded.hpp"
+
 namespace mars::net {
 
 Network::Network(sim::Simulator& sim, Topology topology)
     : sim_(&sim), topology_(std::move(topology)), routing_(topology_) {
+  wire_topology();
+  for (auto& sw : switches_) sw->bind_lane(sim::Lane::plain(sim));
+}
+
+Network::Network(sim::ShardedSimulator& sharded, Topology topology,
+                 const Partition& partition)
+    : sim_(&sharded.global()),
+      topology_(std::move(topology)),
+      routing_(topology_),
+      sharded_(&sharded),
+      shard_of_(partition.shard_of) {
+  assert(shard_of_.size() == topology_.switch_count());
+  assert(partition.shards <= sharded.shard_count());
+  wire_topology();
+  shard_state_ = std::vector<ShardState>(
+      static_cast<std::size_t>(sharded.shard_count()));
+  mailbox_.resize(shard_state_.size() * shard_state_.size());
+  packet_seq_.assign(switch_count(), 0);
+  for (auto& sw : switches_) {
+    sw->bind_lane(sim::Lane::keyed(sharded.shard(shard_of_[sw->id()]),
+                                   sw->id()));
+  }
+  sharded.set_drain_hook([this] { drain_mailboxes(); });
+}
+
+void Network::wire_topology() {
   port_links_.resize(topology_.switch_count());
   switches_.reserve(topology_.switch_count());
   for (SwitchId id = 0; id < topology_.switch_count(); ++id) {
@@ -27,18 +55,34 @@ Network::Network(sim::Simulator& sim, Topology topology)
   }
 }
 
+sim::Lane Network::flow_lane(SwitchId source, std::size_t flow_index) {
+  if (sharded_ == nullptr) return sim::Lane::plain(*sim_);
+  return sim::Lane::keyed(
+      sharded_->shard(shard_of_[source]),
+      static_cast<std::uint64_t>(switch_count()) + flow_index);
+}
+
 std::uint64_t Network::inject(FlowId flow, std::uint32_t flow_hash,
                               std::uint32_t size_bytes) {
   assert(flow.source < switch_count() && flow.sink < switch_count());
   Packet pkt;
-  pkt.id = next_packet_id_++;
   pkt.flow = flow;
   pkt.flow_hash = flow_hash;
   pkt.size_bytes = size_bytes;
-  pkt.created = sim_->now();
-  pkt.true_path = pool_.take_path();
+  if (sharded_ != nullptr) {
+    // Per-source ids keep assignment shard-local; the source's shard clock
+    // is the injection time (flow arrival events run on that shard).
+    pkt.id = (static_cast<std::uint64_t>(flow.source) << 40) |
+             ++packet_seq_[flow.source];
+    pkt.created = switches_[flow.source]->lane().now();
+    pkt.true_path = pool_for(flow.source).take_path();
+  } else {
+    pkt.id = next_packet_id_++;
+    pkt.created = sim_->now();
+    pkt.true_path = pool_.take_path();
+  }
   const std::uint64_t id = pkt.id;
-  ++stats_.injected;
+  ++stats_for(flow.source).injected;
   switches_[flow.source]->receive(std::move(pkt));
   return id;
 }
@@ -46,30 +90,91 @@ std::uint64_t Network::inject(FlowId flow, std::uint32_t flow_hash,
 void Network::forward_to_neighbor(SwitchId from, PortId from_port,
                                   Packet&& pkt, sim::Time extra_delay) {
   const PortLink& link = port_links_[from][from_port];
-  const sim::Time prop = link.propagation;
   pkt.ingress_port = link.neighbor_port;
+  const SwitchId next = link.neighbor;
+
+  if (sharded_ != nullptr) {
+    sim::Lane& lane = switches_[from]->lane();
+    const sim::Time at = lane.now() + link.propagation + extra_delay;
+    const std::uint64_t key = lane.next_key();
+    const int src_shard = shard_of_[from];
+    const int dst_shard = shard_of_[next];
+    if (src_shard != dst_shard) {
+      // Boundary hop: stage for the barrier drain. link.propagation >=
+      // lookahead (validated), so `at` is provably outside the window
+      // currently running on the destination shard.
+      mailbox(src_shard, dst_shard)
+          .push_back(PacketMail{at, key, next, std::move(pkt)});
+      return;
+    }
+    Packet* slot = shard_state_[src_shard].pool.acquire(std::move(pkt));
+    auto hop = [this, next, slot] { receive_parked(next, slot); };
+    static_assert(sim::event_fn_fits_inline<decltype(hop)>,
+                  "link-hop closure must fit the inline event buffer");
+    lane.simulator().schedule_at_keyed(at, key, std::move(hop));
+    return;
+  }
+
   // Park the packet in a pool slot; the link event carries only the raw
   // slot pointer, so the closure stays inside the inline buffer and the
   // hop costs no allocation (the old path make_shared'd every hop).
   Packet* slot = pool_.acquire(std::move(pkt));
-  const SwitchId next = link.neighbor;
   auto hop = [this, next, slot] {
     switches_[next]->receive(std::move(*slot));
     pool_.release(slot);
   };
   static_assert(sim::event_fn_fits_inline<decltype(hop)>,
                 "link-hop closure must fit the inline event buffer");
-  sim_->schedule_in(prop + extra_delay, std::move(hop));
+  sim_->schedule_in(link.propagation + extra_delay, std::move(hop));
+}
+
+void Network::receive_parked(SwitchId dst, Packet* slot) {
+  PacketPool& pool = shard_state_[shard_of_[dst]].pool;
+  switches_[dst]->receive(std::move(*slot));
+  pool.release(slot);
+}
+
+void Network::drain_mailboxes() {
+  // Single-threaded (barrier). Visit order is irrelevant for determinism —
+  // each mail carries its own (time, key) — but keep it fixed anyway.
+  for (auto& box : mailbox_) {
+    for (PacketMail& mail : box) {
+      const SwitchId dst = mail.dst;
+      const int dst_shard = shard_of_[dst];
+      Packet* slot = shard_state_[dst_shard].pool.acquire(std::move(mail.pkt));
+      auto hop = [this, dst, slot] { receive_parked(dst, slot); };
+      static_assert(sim::event_fn_fits_inline<decltype(hop)>,
+                    "mailbox-hop closure must fit the inline event buffer");
+      sharded_->shard(dst_shard).schedule_at_keyed(mail.at, mail.key,
+                                                   std::move(hop));
+    }
+    // clear(), not shrink: mail slots (and the pooled true_path buffers
+    // their packets carry) are reused, so steady state is alloc-free.
+    box.clear();
+  }
 }
 
 void Network::deliver(Switch& sink, Packet&& pkt) {
+  sim::Simulator& sim = sink.lane().simulator();
   if (!observers_.empty()) {
-    SwitchContext ctx{*sim_, sink, sink.id(), sink.layer()};
+    SwitchContext ctx{sim, sink, sink.id(), sink.layer()};
     for (auto* obs : observers_) obs->on_deliver(ctx, pkt);
   }
-  ++stats_.delivered;
-  if (on_delivery_) on_delivery_(pkt, sim_->now());
-  pool_.recycle_path(std::move(pkt.true_path));
+  ++stats_for(sink.id()).delivered;
+  if (on_delivery_) on_delivery_(pkt, sim.now());
+  pool_for(sink.id()).recycle_path(std::move(pkt.true_path));
+}
+
+NetworkStats Network::stats() const {
+  if (sharded_ == nullptr) return stats_;
+  NetworkStats total;
+  for (const ShardState& s : shard_state_) {
+    total.injected += s.stats.injected;
+    total.delivered += s.stats.delivered;
+    total.dropped += s.stats.dropped;
+    total.unroutable += s.stats.unroutable;
+  }
+  return total;
 }
 
 double Network::port_rate_gbps(SwitchId sw, PortId port) const {

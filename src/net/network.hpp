@@ -2,6 +2,23 @@
 // The assembled network: topology + routing + switches over a simulator,
 // with monitoring observers attached. This is the substrate equivalent of
 // the paper's Mininet/BMv2 testbed.
+//
+// Two execution modes share the same forwarding logic:
+//
+//   * legacy (single simulator): every switch binds a plain Lane on the
+//     one queue — byte-identical to pre-shard releases;
+//   * sharded: switches bind keyed Lanes on their shard's simulator.
+//     Same-shard hops schedule keyed events directly; hops that cross a
+//     shard boundary stage a PacketMail{arrival time, lane key, packet}
+//     in a per-(src shard, dst shard) mailbox, drained single-threaded at
+//     the barrier into the destination queue. Because the mail carries the
+//     sender's lane key, the destination pops the exact event order a
+//     single-shard run would — the determinism invariant.
+//
+// In sharded mode each shard owns its own PacketPool and NetworkStats
+// (cache-line padded; stats() merges), and packet ids are per-source
+// (source id << 40 | per-source seq) so id assignment never needs a
+// cross-shard counter.
 
 #include <cstdint>
 #include <functional>
@@ -11,10 +28,16 @@
 #include "net/observer.hpp"
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
+#include "net/partition.hpp"
 #include "net/routing.hpp"
 #include "net/switch.hpp"
 #include "net/topology.hpp"
+#include "sim/lane.hpp"
 #include "sim/simulator.hpp"
+
+namespace mars::sim {
+class ShardedSimulator;
+}  // namespace mars::sim
 
 namespace mars::net {
 
@@ -31,6 +54,14 @@ class Network {
   /// The topology is copied; routing tables are built immediately.
   Network(sim::Simulator& sim, Topology topology);
 
+  /// Sharded substrate: every switch binds a keyed lane on the shard the
+  /// partition assigns it to; registers the mailbox drain hook on the
+  /// sharded simulator. The partition must cover this topology.
+  Network(sim::ShardedSimulator& sharded, Topology topology,
+          const Partition& partition);
+
+  /// The control-plane simulator: the only simulator in legacy mode, the
+  /// global (single-threaded, between-windows) domain in sharded mode.
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
   [[nodiscard]] const Topology& topology() const { return topology_; }
   [[nodiscard]] RoutingTable& routing() { return routing_; }
@@ -39,6 +70,17 @@ class Network {
   [[nodiscard]] const Switch& node(SwitchId id) const { return *switches_[id]; }
   [[nodiscard]] std::size_t switch_count() const { return switches_.size(); }
 
+  // ---- sharded-mode introspection ----
+  [[nodiscard]] bool is_sharded() const { return sharded_ != nullptr; }
+  [[nodiscard]] sim::ShardedSimulator* sharded() { return sharded_; }
+  [[nodiscard]] int shard_of(SwitchId sw) const {
+    return shard_of_.empty() ? 0 : shard_of_[sw];
+  }
+  /// A keyed lane for the flow generator of flow `flow_index` homed at
+  /// `source`, on the source's shard. Entity ids switch_count()+index
+  /// never collide with switch lanes. Legacy mode returns a plain lane.
+  [[nodiscard]] sim::Lane flow_lane(SwitchId source, std::size_t flow_index);
+
   /// Attach a monitoring system. Observers are invoked in attach order.
   void add_observer(PacketObserver& observer) {
     observers_.push_back(&observer);
@@ -46,7 +88,8 @@ class Network {
 
   /// Inject a packet at its source switch at the current simulation time.
   /// `flow_hash` carries the per-flow entropy a real switch would take from
-  /// the 5-tuple. Returns the assigned packet id.
+  /// the 5-tuple. Returns the assigned packet id. In sharded mode this must
+  /// run on the source's shard (flow arrival events do) or between windows.
   std::uint64_t inject(FlowId flow, std::uint32_t flow_hash,
                        std::uint32_t size_bytes);
 
@@ -54,7 +97,8 @@ class Network {
   using DeliveryFn = std::function<void(const Packet&, sim::Time)>;
   void set_delivery_callback(DeliveryFn fn) { on_delivery_ = std::move(fn); }
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  /// Aggregate counters; merged across shards in sharded mode.
+  [[nodiscard]] NetworkStats stats() const;
 
   /// Fraction of capacity used on each direction of each link since t=0.
   /// Returned per (link index, direction a->b then b->a), labelled by the
@@ -67,7 +111,8 @@ class Network {
   };
   [[nodiscard]] std::vector<LinkUtilization> link_utilization() const;
 
-  /// Pool parking packets in flight across links (introspection/tests).
+  /// Pool parking packets in flight across links (introspection/tests;
+  /// legacy mode — sharded mode pools per shard).
   [[nodiscard]] const PacketPool& packet_pool() const { return pool_; }
 
   // ---- internal API used by Switch ----
@@ -75,12 +120,12 @@ class Network {
                            sim::Time extra_delay);
   void deliver(Switch& sink, Packet&& pkt);
   /// Reclaim the buffers of a packet leaving the network without being
-  /// delivered (dropped or unroutable).
-  void recycle_dead(Packet&& pkt) {
-    pool_.recycle_path(std::move(pkt.true_path));
+  /// delivered (dropped or unroutable) at switch `at`.
+  void recycle_dead(SwitchId at, Packet&& pkt) {
+    pool_for(at).recycle_path(std::move(pkt.true_path));
   }
-  void count_drop() { ++stats_.dropped; }
-  void count_unroutable() { ++stats_.unroutable; }
+  void count_drop(SwitchId at) { ++stats_for(at).dropped; }
+  void count_unroutable(SwitchId at) { ++stats_for(at).unroutable; }
   [[nodiscard]] std::vector<PacketObserver*>& observers() {
     return observers_;
   }
@@ -98,6 +143,40 @@ class Network {
     double gbps = 0.0;
   };
 
+  /// A cross-shard hop staged until the next barrier: arrival time and
+  /// the sender's lane key travel with the packet so the destination
+  /// queue orders it exactly as a single-shard run would.
+  struct PacketMail {
+    sim::Time at = 0;
+    std::uint64_t key = 0;
+    SwitchId dst = kInvalidSwitch;
+    Packet pkt;
+  };
+
+  /// Per-shard hot state, padded so shards never share a cache line.
+  struct alignas(64) ShardState {
+    PacketPool pool;
+    NetworkStats stats;
+  };
+
+  void wire_topology();
+  /// Registered as the sharded simulator's drain hook; runs
+  /// single-threaded at every barrier.
+  void drain_mailboxes();
+  void receive_parked(SwitchId dst, Packet* slot);
+
+  [[nodiscard]] NetworkStats& stats_for(SwitchId sw) {
+    return sharded_ != nullptr ? shard_state_[shard_of_[sw]].stats : stats_;
+  }
+  [[nodiscard]] PacketPool& pool_for(SwitchId sw) {
+    return sharded_ != nullptr ? shard_state_[shard_of_[sw]].pool : pool_;
+  }
+  [[nodiscard]] std::vector<PacketMail>& mailbox(int src_shard,
+                                                 int dst_shard) {
+    return mailbox_[static_cast<std::size_t>(src_shard) * shard_state_.size() +
+                    static_cast<std::size_t>(dst_shard)];
+  }
+
   sim::Simulator* sim_;
   Topology topology_;
   RoutingTable routing_;
@@ -108,6 +187,13 @@ class Network {
   DeliveryFn on_delivery_;
   NetworkStats stats_;
   std::uint64_t next_packet_id_ = 1;
+
+  // ---- sharded mode ----
+  sim::ShardedSimulator* sharded_ = nullptr;
+  std::vector<int> shard_of_;                   // per switch
+  std::vector<ShardState> shard_state_;         // per shard
+  std::vector<std::vector<PacketMail>> mailbox_;  // [src shard][dst shard]
+  std::vector<std::uint64_t> packet_seq_;       // per source switch
 };
 
 }  // namespace mars::net

@@ -1,0 +1,52 @@
+#pragma once
+// Topology partitioner for the sharded simulator.
+//
+// Shards must cut the topology along links only (a switch's queues are
+// single-threaded state), and the conservative window is bounded by the
+// smallest propagation delay crossing a shard boundary — so the
+// partitioner's job is to produce few, fat boundary links. In a fat-tree
+// the natural atoms are pods: removing the core layer leaves one
+// connected component per pod, and every pod-to-pod path crosses a core
+// switch, so cutting only pod<->core (and core<->core assignment) edges
+// keeps intra-pod traffic shard-local. The same rule degrades gracefully
+// on a leaf-spine (spines are Layer::kCore there): each leaf is its own
+// atom.
+//
+// Assignment is deterministic: components ordered largest-first (ties by
+// smallest member id) go to the currently least-loaded shard (ties to the
+// lowest shard index). Determinism of the *simulation* does not depend on
+// the assignment — event keys do that — but a reproducible layout keeps
+// per-shard gauges and stall diagnostics comparable across runs.
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "net/types.hpp"
+#include "sim/time.hpp"
+
+namespace mars::net {
+
+struct Partition {
+  int shards = 0;
+  /// Shard owning each switch, indexed by SwitchId.
+  std::vector<int> shard_of;
+  /// Indices into topology.links() whose endpoints live in different
+  /// shards (the mailbox edges).
+  std::vector<std::size_t> boundary_links;
+  /// Smallest propagation delay over boundary_links — the network's
+  /// contribution to the conservative lookahead. 0 when no link crosses
+  /// a boundary (single shard).
+  sim::Time min_boundary_propagation = 0;
+};
+
+/// Number of atomic components the partitioner can distribute: connected
+/// components of the topology with core-layer switches removed, plus one
+/// singleton per core switch. Sharding beyond this cannot balance.
+[[nodiscard]] int partition_capacity(const Topology& topology);
+
+/// Partition into `shards` groups (1 <= shards <= partition_capacity).
+[[nodiscard]] Partition partition_topology(const Topology& topology,
+                                           int shards);
+
+}  // namespace mars::net

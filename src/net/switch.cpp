@@ -14,7 +14,7 @@ Switch::Switch(Network& net, SwitchId id, Layer layer, std::size_t port_count)
       rng_(0xC0FFEEull ^ (static_cast<std::uint64_t>(id) << 20)) {}
 
 void Switch::receive(Packet&& pkt) {
-  auto& sim = net_.simulator();
+  auto& sim = lane_.simulator();
   pkt.switch_arrival = sim.now();
   if (pkt.true_path.empty()) pkt.source_switch_time = sim.now();
   pkt.true_path.push_back(id_);
@@ -33,15 +33,15 @@ void Switch::receive(Packet&& pkt) {
 
   PortId out = 0;
   if (!net_.routing().select_port(id_, pkt.flow.sink, pkt.flow_hash, out)) {
-    net_.count_unroutable();
-    net_.recycle_dead(std::move(pkt));
+    net_.count_unroutable(id_);
+    net_.recycle_dead(id_, std::move(pkt));
     return;
   }
   enqueue(std::move(pkt), out);
 }
 
 void Switch::enqueue(Packet&& pkt, PortId out) {
-  auto& sim = net_.simulator();
+  auto& sim = lane_.simulator();
   PortState& port = ports_[out];
   const auto& observers = net_.observers();
 
@@ -50,12 +50,12 @@ void Switch::enqueue(Packet&& pkt, PortId out) {
   const bool tail_drop = port.queue.size() >= queue_capacity_;
   if (fault_drop || tail_drop) {
     ++port.counters.drops;
-    net_.count_drop();
+    net_.count_drop(id_);
     if (!observers.empty()) {
       SwitchContext ctx{sim, *this, id_, layer_};
       for (auto* obs : observers) obs->on_drop(ctx, pkt, out);
     }
-    net_.recycle_dead(std::move(pkt));
+    net_.recycle_dead(id_, std::move(pkt));
     return;
   }
 
@@ -69,7 +69,6 @@ void Switch::enqueue(Packet&& pkt, PortId out) {
 }
 
 void Switch::start_service(PortId out) {
-  auto& sim = net_.simulator();
   PortState& port = ports_[out];
   assert(!port.queue.empty());
   port.busy = true;
@@ -84,11 +83,11 @@ void Switch::start_service(PortId out) {
   auto done = [this, out] { finish_service(out); };
   static_assert(sim::event_fn_fits_inline<decltype(done)>,
                 "service-completion closure must fit the inline buffer");
-  sim.schedule_in(service, std::move(done));
+  lane_.schedule_in(service, std::move(done));
 }
 
 void Switch::finish_service(PortId out) {
-  auto& sim = net_.simulator();
+  auto& sim = lane_.simulator();
   PortState& port = ports_[out];
   assert(port.busy && !port.queue.empty());
 

@@ -5,12 +5,19 @@
 // min(link rate, configured packet rate). Fault knobs cover the paper's
 // injection scenarios (§5.2): `max_pps` (process-rate decrease),
 // `extra_delay` (delay outside the queue), `drop_probability` (drop).
+//
+// All of a switch's event scheduling goes through its Lane, bound by the
+// Network right after construction: a plain lane on the single simulator
+// in legacy mode (byte-identical to the historical behavior), or a keyed
+// lane on the owning shard's simulator in sharded mode (so service and
+// hop events replay identically at any shard count).
 
 #include <cstdint>
 #include <vector>
 
 #include "net/packet.hpp"
 #include "net/types.hpp"
+#include "sim/lane.hpp"
 #include "sim/time.hpp"
 #include "util/fifo_ring.hpp"
 #include "util/rng.hpp"
@@ -65,6 +72,12 @@ class Switch {
     ports_[port].rate_gbps = gbps;
   }
 
+  /// Internal: called once by Network to attach this switch to its
+  /// simulator (plain lane: the shared simulator; keyed lane: the owning
+  /// shard's simulator).
+  void bind_lane(sim::Lane lane) { lane_ = lane; }
+  [[nodiscard]] sim::Lane& lane() { return lane_; }
+
  private:
   struct PortState {
     util::FifoRing<Packet> queue;
@@ -89,6 +102,7 @@ class Switch {
   std::uint32_t queue_capacity_ = 256;
   std::vector<PortState> ports_;
   util::Rng rng_;
+  sim::Lane lane_;
 };
 
 }  // namespace mars::net

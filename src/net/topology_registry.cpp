@@ -73,12 +73,23 @@ std::vector<std::string> validate_common(const TopologySpec& spec) {
   return errors;
 }
 
+/// "fat-tree-16": the datacenter-scale fabric (320 switches, 16 pods)
+/// used by the sharded-simulation scale benchmarks. The spec's `k` is
+/// ignored — the name pins the arity, so scenario files can request the
+/// big fabric without knowing fat-tree arithmetic.
+BuiltFabric build_fat_tree_16_fabric(const TopologySpec& spec) {
+  TopologySpec fixed = spec;
+  fixed.k = 16;
+  return build_fat_tree_fabric(fixed);
+}
+
 }  // namespace
 
 TopologyRegistry& TopologyRegistry::instance() {
   static TopologyRegistry registry = [] {
     TopologyRegistry r;
     r.add("fat-tree", build_fat_tree_fabric, validate_fat_tree);
+    r.add("fat-tree-16", build_fat_tree_16_fabric, nullptr);
     r.add("leaf-spine", build_leaf_spine_fabric, validate_leaf_spine);
     return r;
   }();

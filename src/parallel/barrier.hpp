@@ -1,0 +1,76 @@
+#pragma once
+// Spin-then-yield barrier for epoch-synchronized workers.
+//
+// The sharded simulator synchronizes its shard threads every conservative
+// window — typically tens of microseconds of work per shard — so the
+// barrier itself must cost well under a microsecond. A mutex+condvar
+// barrier wakes through the kernel (~10 us per round trip); this one spins
+// on a generation counter and falls back to yield() only after a bounded
+// burst, so an on-core waiter pays nanoseconds and an oversubscribed one
+// still makes progress.
+//
+// The last arriver runs a completion callback while every other party is
+// still blocked, which gives the caller a natural single-threaded section
+// per epoch (the sharded simulator plans the next window there). The
+// generation release/acquire pair makes everything the completion wrote
+// visible to every party that leaves the barrier.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+namespace mars::parallel {
+
+class SpinBarrier {
+ public:
+  /// `parties` threads must call arrive_and_wait() per generation.
+  explicit SpinBarrier(std::size_t parties) : parties_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+
+  /// Block until all parties arrive. The last arriver runs `on_complete`
+  /// exclusively (no other party is running) before releasing the rest.
+  /// Reusable: parties may immediately re-enter for the next generation —
+  /// a party cannot lap the barrier because the completer resets the
+  /// arrival count before publishing the new generation, and nobody else
+  /// arrives again until they have observed that publication.
+  template <typename Fn>
+  void arrive_and_wait(Fn&& on_complete) {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    const std::size_t arrived =
+        arrived_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (arrived == parties_) {
+      on_complete();
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.store(gen + 1, std::memory_order_release);
+      return;
+    }
+    std::uint32_t spins = 0;
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      if (++spins >= kSpinsBeforeYield) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void arrive_and_wait() {
+    arrive_and_wait([] {});
+  }
+
+ private:
+  /// Spin budget before ceding the core: long enough that same-core waits
+  /// (another shard finishing its window) never syscall, short enough that
+  /// an oversubscribed host (CI: one core, many parties) is not starved.
+  static constexpr std::uint32_t kSpinsBeforeYield = 1u << 12;
+
+  const std::size_t parties_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+}  // namespace mars::parallel

@@ -6,8 +6,11 @@
 // miners to parallelize candidate joins. Tasks must not block on other
 // tasks submitted to the same pool.
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -15,6 +18,8 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "parallel/barrier.hpp"
 
 namespace mars::parallel {
 
@@ -52,6 +57,60 @@ class ThreadPool {
 
   /// Block until every task submitted so far has finished.
   void wait_idle();
+
+  /// Run a barrier-synchronized epoch loop over `lanes` parallel lanes.
+  ///
+  /// Each epoch e: every lane runs `body(lane, e)` exactly once, then all
+  /// parties meet at a spin barrier where `control(e)` runs exclusively
+  /// (single-threaded, all lanes quiescent); the loop continues while it
+  /// returns true. Unlike per-epoch submit() fan-out, the worker closures
+  /// are submitted ONCE — the epoch loop itself runs inside them — so an
+  /// epoch costs two barrier crossings and zero task allocations.
+  ///
+  /// min(size(), lanes) workers plus the calling thread participate; lane
+  /// ownership is strided and FIXED across epochs (party p always runs
+  /// lanes p, p+parties, ...), so per-lane state never migrates between
+  /// threads mid-loop. Everything `control` writes is visible to every
+  /// lane of the next epoch (barrier release/acquire), and everything the
+  /// lanes wrote in epoch e is visible to `control(e)`.
+  ///
+  /// The pool must be otherwise idle: the participating workers are
+  /// occupied until the loop ends, so tasks submitted concurrently (or a
+  /// nested run_epochs on the same pool) would starve. With no workers
+  /// (size() == 0) the loop runs inline on the caller.
+  template <typename Body, typename Control>
+  void run_epochs(std::size_t lanes, Body&& body, Control&& control) {
+    if (lanes == 0) return;
+    const std::size_t helpers = std::min(size(), lanes);
+    if (helpers == 0) {
+      for (std::uint64_t e = 0;; ++e) {
+        for (std::size_t lane = 0; lane < lanes; ++lane) body(lane, e);
+        if (!control(e)) return;
+      }
+    }
+    const std::size_t parties = helpers + 1;  // workers + calling thread
+    SpinBarrier barrier(parties);
+    std::atomic<bool> running{true};
+    auto party_loop = [&](std::size_t party) {
+      for (std::uint64_t e = 0;; ++e) {
+        for (std::size_t lane = party; lane < lanes; lane += parties) {
+          body(lane, e);
+        }
+        barrier.arrive_and_wait(
+            [&] { running.store(control(e), std::memory_order_relaxed); });
+        // Ordered by the barrier's generation release/acquire: every party
+        // sees the verdict control() just stored.
+        if (!running.load(std::memory_order_relaxed)) return;
+      }
+    };
+    std::vector<std::future<void>> parked;
+    parked.reserve(helpers);
+    for (std::size_t p = 0; p < helpers; ++p) {
+      parked.push_back(submit([&party_loop, p] { party_loop(p); }));
+    }
+    party_loop(helpers);
+    for (auto& f : parked) f.get();
+  }
 
  private:
   void worker_loop();

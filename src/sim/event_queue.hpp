@@ -43,6 +43,39 @@ class EventQueue {
     return push_scheduled(t, idx);
   }
 
+  /// Schedule a pre-built EventFn (move-assigned into its arena slot).
+  /// Used when a handler was parked outside the queue — e.g. cross-shard
+  /// control messages staged in a mailbox — and is now being scheduled.
+  std::uint64_t schedule(Time t, EventFn&& fn) {
+    const std::uint32_t idx = alloc_slot();
+    slots_[idx].fn = std::move(fn);
+    return push_scheduled(t, idx);
+  }
+
+  /// Schedule fn at time t with an explicit tie-break key in place of the
+  /// internal insertion sequence. The heap key becomes (t, tiebreak), so
+  /// the execution order of same-time events is a pure function of the
+  /// caller-supplied keys — independent of the order the schedule calls
+  /// happened to arrive in. The sharded simulator keys every shard-local
+  /// event by (entity id, per-entity sequence), which is what makes a
+  /// fixed-seed run bit-identical at every shard count.
+  ///
+  /// Caller contract: (t, tiebreak) pairs must be unique among live keyed
+  /// events, and a queue should not mix keyed and unkeyed scheduling at
+  /// the same timestamp (the internal sequence could collide with a key).
+  template <typename F>
+  std::uint64_t schedule_keyed(Time t, std::uint64_t tiebreak, F&& fn) {
+    const std::uint32_t idx = alloc_slot();
+    slots_[idx].fn.assign(std::forward<F>(fn));
+    return push_keyed(t, tiebreak, idx);
+  }
+
+  std::uint64_t schedule_keyed(Time t, std::uint64_t tiebreak, EventFn&& fn) {
+    const std::uint32_t idx = alloc_slot();
+    slots_[idx].fn = std::move(fn);
+    return push_keyed(t, tiebreak, idx);
+  }
+
   /// Cancel a scheduled event in O(1). Returns false if it already ran,
   /// was already cancelled, or the id is stale (its slot was reused).
   bool cancel(std::uint64_t id);
@@ -124,8 +157,14 @@ class EventQueue {
 
   /// Heap insertion half of schedule(); returns the stamped event id.
   std::uint64_t push_scheduled(Time t, std::uint32_t idx) {
+    return push_keyed(t, next_seq_++, idx);
+  }
+
+  /// Heap insertion with an explicit tie-break key.
+  std::uint64_t push_keyed(Time t, std::uint64_t tiebreak,
+                           std::uint32_t idx) {
     const std::uint32_t generation = slots_[idx].generation;
-    heap_.push_back(HeapEntry{HeapEntry::make_key(t, next_seq_++), idx,
+    heap_.push_back(HeapEntry{HeapEntry::make_key(t, tiebreak), idx,
                               generation});
     sift_up(heap_.size() - 1);
     ++live_;

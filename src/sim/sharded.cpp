@@ -1,0 +1,124 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <tuple>
+#include <utility>
+
+namespace mars::sim {
+
+namespace {
+constexpr Time kInf = std::numeric_limits<Time>::max();
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(parallel::ThreadPool& pool,
+                                   ShardedConfig config)
+    : config_(config), pool_(&pool),
+      shards_(static_cast<std::size_t>(std::max(config.shards, 1))) {
+  assert(config_.lookahead >= 1 && "zero lookahead cannot make progress");
+  assert(config_.control_latency >= config_.lookahead &&
+         "control messages must not undercut the conservative window");
+}
+
+void ShardedSimulator::post_control(int shard, Time at, std::uint64_t key,
+                                    EventFn fn) {
+  shards_[static_cast<std::size_t>(shard)].outbox.push_back(
+      ControlMail{at, key, std::move(fn)});
+}
+
+void ShardedSimulator::drain_control_outboxes() {
+  control_staging_.clear();
+  for (auto& s : shards_) {
+    for (auto& mail : s.outbox) {
+      control_staging_.push_back(std::move(mail));
+    }
+    s.outbox.clear();
+  }
+  if (control_staging_.empty()) return;
+  // (at, key) pairs are unique — the key embeds the sender's entity id —
+  // so this order is total and independent of shard layout and of the
+  // outbox visit order above.
+  std::sort(control_staging_.begin(), control_staging_.end(),
+            [](const ControlMail& a, const ControlMail& b) {
+              return std::tie(a.at, a.key) < std::tie(b.at, b.key);
+            });
+  for (auto& mail : control_staging_) {
+    global_.schedule_at(mail.at, std::move(mail.fn));
+  }
+  control_staging_.clear();
+}
+
+bool ShardedSimulator::plan_window(Time until) {
+  if (drain_hook_) drain_hook_();
+  drain_control_outboxes();
+  for (;;) {
+    Time t_l = kInf;
+    for (auto& s : shards_) {
+      if (const auto t = s.sim.next_event_time()) t_l = std::min(t_l, *t);
+    }
+    const Time t_g = global_.next_event_time().value_or(kInf);
+    if (std::min(t_l, t_g) > until) return false;
+
+    if (t_g <= t_l) {
+      // Global events run BEFORE any shard event at the same time: a
+      // threshold write or fault injection at virtual time T is visible
+      // to exactly the shard events at t >= T, independent of sharding.
+      // They run here, between windows, with every shard quiescent, so
+      // they may touch shard state (schedule onto shard lanes, flip
+      // switch fault knobs) directly.
+      ++sync_.global_rounds;
+      global_.run(t_g);
+      continue;
+    }
+
+    // Next parallel window: every shard executes events in [.., W).
+    // Capped by the next global event (rule above), by end-of-run
+    // (until + 1 so events at exactly `until` still execute, matching
+    // Simulator::run), and by the conservative lookahead bound.
+    Time w = until + 1;
+    bool stalled = false;
+    if (t_l + config_.lookahead < w) {
+      w = t_l + config_.lookahead;
+      stalled = true;
+    }
+    if (t_g < w) {
+      w = t_g;
+      stalled = false;
+    }
+    window_ = w;
+    ++sync_.windows;
+    if (stalled) ++sync_.lookahead_stalls;
+    return true;
+  }
+}
+
+void ShardedSimulator::run(Time until) {
+  if (plan_window(until)) {
+    pool_->run_epochs(
+        shards_.size(),
+        [this](std::size_t lane, std::uint64_t /*epoch*/) {
+          Shard& s = shards_[lane];
+          // Events strictly below window_ are independent across shards
+          // (nothing scheduled at >= T_l can reach another shard before
+          // T_l + lookahead >= window_).
+          s.sim.run(window_ - 1);
+          ++s.stats.windows;
+        },
+        [this, until](std::uint64_t /*epoch*/) {
+          return plan_window(until);
+        });
+  }
+  // Advance every clock to `until` exactly like Simulator::run does on an
+  // empty queue (pending events, if any, are all beyond `until`).
+  for (auto& s : shards_) s.sim.run(until);
+  global_.run(until);
+}
+
+std::uint64_t ShardedSimulator::events_executed() const {
+  std::uint64_t total = global_.events_executed();
+  for (const auto& s : shards_) total += s.sim.events_executed();
+  return total;
+}
+
+}  // namespace mars::sim

@@ -1,0 +1,149 @@
+#pragma once
+// Sharded discrete-event simulation with conservative lookahead.
+//
+// The topology is partitioned into shards; each shard owns a Simulator
+// (its own event queue, its own virtual clock) and runs on the shared
+// thread pool. A separate "global" Simulator hosts everything that spans
+// shards — controller polls, samplers, fault injections, cross-shard
+// control messages — and runs single-threaded between windows, when every
+// shard is quiescent.
+//
+// Window protocol (per barrier round, single-threaded):
+//   1. drain hooks move cross-shard traffic (network mailboxes) and the
+//      per-shard control outboxes into their destination queues;
+//   2. T_l = min over shards of next-event time, T_g = global next-event;
+//   3. if min(T_l, T_g) > until: done;
+//   4. if T_g <= T_l: run the global queue up to T_g and recompute
+//      (global events — threshold writes, fault lambdas, burst starts —
+//      observe and mutate shard state at an exact virtual time, before
+//      any shard event at or after it);
+//   5. else the next window is W = min(T_l + lookahead, T_g, until + 1)
+//      and every shard runs events strictly below W in parallel.
+//
+// The lookahead is the minimum latency of any shard-crossing edge (the
+// smallest boundary-link propagation delay and the shard-to-controller
+// control latency): an event at t >= T_l can only influence another shard
+// at or after t + lookahead >= W, so everything below W is independent
+// across shards and the parallel window is safe — the classic
+// conservative PDES bound (Chandy–Misra), degenerated to a barrier
+// because fat-tree shards are all mutually adjacent through the core.
+//
+// Determinism does NOT come from the window placement (which depends on
+// shard count) but from event keys: every shard-local event is keyed
+// (entity id, per-entity seq) via sim::Lane, so each queue pops an
+// identical sequence no matter how entities are grouped; mailbox drains
+// only move (time, key, fn) tuples between queues, and control-outbox
+// drains sort by (time, key) before scheduling. Fixed seed => the same
+// execution, bit for bit, at every shard count.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace mars::sim {
+
+struct ShardedConfig {
+  int shards = 1;
+  /// Conservative window bound: no cross-shard influence travels faster
+  /// than this. Must be >= 1 ns or the window loop cannot make progress,
+  /// and <= every boundary-link propagation delay and the control latency
+  /// or a message could arrive inside an already-running window.
+  Time lookahead = 1 * kMicrosecond;
+  /// Virtual-time delay of a shard -> global control message (the wire
+  /// latency a data-plane notification pays to reach the controller).
+  Time control_latency = 1 * kMillisecond;
+};
+
+/// Per-shard accounting, exposed as obs gauges per shard.
+struct ShardStats {
+  std::uint64_t windows = 0;  ///< parallel windows this shard ran in
+};
+
+/// Synchronization accounting for the whole run.
+struct ShardSyncStats {
+  std::uint64_t windows = 0;            ///< parallel windows executed
+  std::uint64_t global_rounds = 0;      ///< global-queue sub-runs
+  std::uint64_t lookahead_stalls = 0;   ///< windows clipped by lookahead
+};
+
+class ShardedSimulator {
+ public:
+  ShardedSimulator(parallel::ThreadPool& pool, ShardedConfig config);
+
+  [[nodiscard]] int shard_count() const {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] Simulator& shard(int i) { return shards_[i].sim; }
+  /// The single-threaded domain: control plane, samplers, fault lambdas.
+  /// Its events run only between windows, when every shard is quiescent,
+  /// so they may touch any shard's state directly.
+  [[nodiscard]] Simulator& global() { return global_; }
+  [[nodiscard]] Time lookahead() const { return config_.lookahead; }
+  [[nodiscard]] Time control_latency() const {
+    return config_.control_latency;
+  }
+
+  /// Barrier hook, called single-threaded at the start of every round
+  /// before next-event times are read. The network drains its cross-shard
+  /// packet mailboxes here.
+  void set_drain_hook(std::function<void()> hook) {
+    drain_hook_ = std::move(hook);
+  }
+
+  /// Post a control message from shard code (runs on the shard's thread
+  /// during a window) to the global domain. `at` must be >= the current
+  /// window end (guaranteed when at = now + control latency with control
+  /// latency >= lookahead); `key` orders same-time messages (use the
+  /// sender's lane key). Staged wait-free in the shard's outbox; drained,
+  /// sorted by (at, key), and scheduled at the next barrier.
+  void post_control(int shard, Time at, std::uint64_t key, EventFn fn);
+
+  /// Run every queue to `until` (inclusive, like Simulator::run). Uses
+  /// the pool's run_epochs loop; the pool must be otherwise idle.
+  void run(Time until);
+
+  /// Sum of events executed across all shard queues and the global queue.
+  /// Shard-count-invariant for a fixed seed (the determinism fingerprint).
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+  [[nodiscard]] const ShardStats& shard_stats(int i) const {
+    return shards_[i].stats;
+  }
+  [[nodiscard]] const ShardSyncStats& sync_stats() const { return sync_; }
+
+ private:
+  struct ControlMail {
+    Time at = 0;
+    std::uint64_t key = 0;
+    EventFn fn;
+  };
+
+  /// One shard, padded so adjacent shards' hot state (event queues,
+  /// outboxes) never share a cache line across worker threads.
+  struct alignas(64) Shard {
+    Simulator sim;
+    std::vector<ControlMail> outbox;
+    ShardStats stats;
+  };
+
+  /// Single-threaded planning step: drain, advance the global queue, and
+  /// choose the next window. Returns false when nothing remains <= until.
+  bool plan_window(Time until);
+  void drain_control_outboxes();
+
+  ShardedConfig config_;
+  parallel::ThreadPool* pool_;
+  std::vector<Shard> shards_;
+  Simulator global_;
+  std::function<void()> drain_hook_;
+  std::vector<ControlMail> control_staging_;  ///< reused sort buffer
+  Time window_ = 0;  ///< exclusive end of the current parallel window
+  ShardSyncStats sync_;
+};
+
+}  // namespace mars::sim

@@ -8,6 +8,7 @@
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "sim/event_queue.hpp"
@@ -35,6 +36,26 @@ class Simulator {
     return queue_.schedule(t, std::forward<F>(fn));
   }
 
+  /// Schedule a pre-built EventFn (see EventQueue::schedule overload).
+  std::uint64_t schedule_at(Time t, EventFn&& fn) {
+    assert(t >= now_);
+    return queue_.schedule(t, std::move(fn));
+  }
+
+  /// Schedule with an explicit same-time tie-break key — the sharded
+  /// engine's determinism primitive (see EventQueue::schedule_keyed).
+  template <typename F>
+  std::uint64_t schedule_at_keyed(Time t, std::uint64_t tiebreak, F&& fn) {
+    assert(t >= now_);
+    return queue_.schedule_keyed(t, tiebreak, std::forward<F>(fn));
+  }
+
+  std::uint64_t schedule_at_keyed(Time t, std::uint64_t tiebreak,
+                                  EventFn&& fn) {
+    assert(t >= now_);
+    return queue_.schedule_keyed(t, tiebreak, std::move(fn));
+  }
+
   bool cancel(std::uint64_t id) { return queue_.cancel(id); }
 
   /// Run until the event queue is empty or `until` is passed.
@@ -46,6 +67,14 @@ class Simulator {
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] bool pending() const { return !queue_.empty(); }
+
+  /// Time of the earliest pending event, if any. Non-const: surfacing the
+  /// answer may discard cancelled tombstones at the top of the heap. The
+  /// sharded driver polls this per window to bound conservative progress.
+  [[nodiscard]] std::optional<Time> next_event_time() {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.next_time();
+  }
 
  private:
   EventQueue queue_;

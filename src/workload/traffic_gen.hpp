@@ -17,6 +17,7 @@
 
 #include "net/network.hpp"
 #include "net/types.hpp"
+#include "sim/lane.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -82,16 +83,31 @@ class TrafficGenerator {
   void stop_at(sim::Time at);
 
   [[nodiscard]] const std::vector<FlowSpec>& flows() const { return flows_; }
-  [[nodiscard]] std::uint64_t packets_injected() const { return injected_; }
+  [[nodiscard]] std::uint64_t packets_injected() const;
 
  private:
+  /// Sharded mode gives every flow its own rng and its own keyed lane on
+  /// the source switch's shard: arrival events then replay identically at
+  /// any shard count, and flows on different shards never race on shared
+  /// generator state. (Legacy mode keeps the single shared rng_ so the
+  /// historical golden fingerprints are untouched.)
+  struct FlowRuntime {
+    util::Rng rng{0};
+    sim::Lane lane;
+    std::uint64_t injected = 0;
+  };
+
   void schedule_next(std::size_t flow_index);
+  void schedule_next_sharded(std::size_t flow_index);
   [[nodiscard]] double rate_multiplier(const FlowSpec& spec,
                                        sim::Time now) const;
 
   net::Network* network_;
   util::Rng rng_;
+  std::uint64_t seed_;
+  bool sharded_;
   std::vector<FlowSpec> flows_;
+  std::vector<FlowRuntime> runtime_;  ///< index-aligned with flows_ (sharded)
   DiurnalConfig diurnal_;
   bool running_ = false;
   std::uint64_t injected_ = 0;

@@ -1,0 +1,137 @@
+// Topology partitioner for the sharded simulator (net/partition.hpp).
+//
+// The contract under test: shards cut the topology along links only,
+// intra-pod traffic stays shard-local (removing the core layer leaves one
+// component per pod and each becomes an atom), assignment is deterministic
+// largest-first/least-loaded, and min_boundary_propagation reports the
+// slimmest shard-crossing edge — the network's contribution to the
+// conservative lookahead window.
+
+#include "net/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/fat_tree.hpp"
+#include "net/leaf_spine.hpp"
+#include "net/topology.hpp"
+
+namespace mars::net {
+namespace {
+
+Topology fat_tree_k4() { return build_fat_tree({.k = 4}).topology; }
+
+TEST(ShardPartitionTest, FatTreeCapacityIsPodsPlusCores) {
+  // k=4: 4 pods (atoms) + (k/2)^2 = 4 core singletons.
+  EXPECT_EQ(partition_capacity(fat_tree_k4()), 8);
+}
+
+TEST(ShardPartitionTest, LeafSpineCapacityIsLeavesPlusSpines) {
+  const auto ls = build_leaf_spine({.leaves = 6, .spines = 3});
+  EXPECT_EQ(partition_capacity(ls.topology), 9);
+}
+
+TEST(ShardPartitionTest, SingleShardOwnsEverythingWithNoBoundary) {
+  const Topology topo = fat_tree_k4();
+  const Partition p = partition_topology(topo, 1);
+  EXPECT_EQ(p.shards, 1);
+  ASSERT_EQ(p.shard_of.size(), topo.switch_count());
+  for (const int s : p.shard_of) EXPECT_EQ(s, 0);
+  EXPECT_TRUE(p.boundary_links.empty());
+  EXPECT_EQ(p.min_boundary_propagation, 0);
+}
+
+TEST(ShardPartitionTest, EverySwitchAssignedToAValidShard) {
+  const Topology topo = fat_tree_k4();
+  for (const int shards : {2, 3, 4, 8}) {
+    const Partition p = partition_topology(topo, shards);
+    ASSERT_EQ(p.shard_of.size(), topo.switch_count());
+    for (const int s : p.shard_of) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, shards);
+    }
+    // Every shard is non-empty (capacity was respected).
+    std::vector<int> load(shards, 0);
+    for (const int s : p.shard_of) ++load[s];
+    for (const int l : load) EXPECT_GT(l, 0);
+  }
+}
+
+TEST(ShardPartitionTest, PodsNeverSplitAcrossShards) {
+  const Topology topo = fat_tree_k4();
+  const Partition p = partition_topology(topo, 4);
+  // Two non-core switches joined by a link are in the same pod component
+  // and therefore must share a shard; only links touching the core may
+  // cross boundaries.
+  for (const Link& link : topo.links()) {
+    const bool touches_core = topo.layer(link.a.sw) == Layer::kCore ||
+                              topo.layer(link.b.sw) == Layer::kCore;
+    if (!touches_core) {
+      EXPECT_EQ(p.shard_of[link.a.sw], p.shard_of[link.b.sw])
+          << "intra-pod link s" << link.a.sw << "<->s" << link.b.sw
+          << " crosses a shard boundary";
+    }
+  }
+}
+
+TEST(ShardPartitionTest, BoundaryLinksAreExactlyTheShardCrossingOnes) {
+  const Topology topo = fat_tree_k4();
+  const Partition p = partition_topology(topo, 2);
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < topo.links().size(); ++i) {
+    const Link& link = topo.links()[i];
+    if (p.shard_of[link.a.sw] != p.shard_of[link.b.sw]) expected.push_back(i);
+  }
+  EXPECT_EQ(p.boundary_links, expected);
+  EXPECT_FALSE(p.boundary_links.empty());
+}
+
+TEST(ShardPartitionTest, MinBoundaryPropagationIsTheSlimmestCrossingEdge) {
+  // Hand-built: two 2-switch islands bridged through one core switch, with
+  // distinct propagation delays on the two bridge links.
+  Topology topo;
+  const SwitchId a0 = topo.add_switch(Layer::kEdge);
+  const SwitchId a1 = topo.add_switch(Layer::kAggregation);
+  const SwitchId b0 = topo.add_switch(Layer::kEdge);
+  const SwitchId b1 = topo.add_switch(Layer::kAggregation);
+  const SwitchId core = topo.add_switch(Layer::kCore);
+  topo.add_link(a0, a1, 10.0, 500);    // intra-island: not a boundary
+  topo.add_link(b0, b1, 10.0, 700);
+  topo.add_link(a1, core, 40.0, 3'000);
+  topo.add_link(b1, core, 40.0, 2'000);
+
+  EXPECT_EQ(partition_capacity(topo), 3);  // two islands + the core
+  const Partition p = partition_topology(topo, 3);
+  EXPECT_NE(p.shard_of[a0], p.shard_of[b0]);
+  EXPECT_EQ(p.shard_of[a0], p.shard_of[a1]);
+  EXPECT_EQ(p.shard_of[b0], p.shard_of[b1]);
+  EXPECT_EQ(p.min_boundary_propagation, 2'000);
+}
+
+TEST(ShardPartitionTest, AssignmentIsDeterministic) {
+  const Topology topo = fat_tree_k4();
+  for (const int shards : {2, 4, 8}) {
+    const Partition first = partition_topology(topo, shards);
+    const Partition second = partition_topology(topo, shards);
+    EXPECT_EQ(first.shard_of, second.shard_of);
+    EXPECT_EQ(first.boundary_links, second.boundary_links);
+    EXPECT_EQ(first.min_boundary_propagation,
+              second.min_boundary_propagation);
+  }
+}
+
+TEST(ShardPartitionTest, LoadsAreBalancedLargestFirst) {
+  // k=4 fat-tree: 4 pods of 4 switches + 4 core singletons = 20 switches.
+  // Largest-first/least-loaded onto 4 shards puts one pod plus one core on
+  // each shard: a perfect 5/5/5/5 split.
+  const Partition p = partition_topology(fat_tree_k4(), 4);
+  std::vector<int> load(4, 0);
+  for (const int s : p.shard_of) ++load[s];
+  std::sort(load.begin(), load.end());
+  EXPECT_EQ(load, (std::vector<int>{5, 5, 5, 5}));
+}
+
+}  // namespace
+}  // namespace mars::net

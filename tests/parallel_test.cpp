@@ -1,11 +1,15 @@
+#include "parallel/barrier.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace mars::parallel {
@@ -148,6 +152,148 @@ TEST(ParallelForTest, LargeReductionMatchesSerial) {
     sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
   });
   EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelBarrierTest, ReusableAcrossManyGenerations) {
+  constexpr std::size_t kParties = 4;
+  constexpr int kGenerations = 2000;
+  SpinBarrier barrier(kParties);
+  EXPECT_EQ(barrier.parties(), kParties);
+
+  std::atomic<int> completions{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kParties);
+  for (std::size_t p = 0; p < kParties; ++p) {
+    threads.emplace_back([&] {
+      for (int g = 0; g < kGenerations; ++g) {
+        barrier.arrive_and_wait(
+            [&] { completions.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Exactly one completer per generation, never lapped or skipped.
+  EXPECT_EQ(completions.load(), kGenerations);
+}
+
+TEST(ParallelBarrierTest, CompletionRunsExclusivelyAndPublishes) {
+  constexpr std::size_t kParties = 3;
+  constexpr int kGenerations = 500;
+  SpinBarrier barrier(kParties);
+
+  // Unsynchronized: only safe if the completion callback really is
+  // single-threaded and its writes are released to every leaving party.
+  std::uint64_t epoch_value = 0;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kParties; ++p) {
+    threads.emplace_back([&] {
+      for (int g = 0; g < kGenerations; ++g) {
+        barrier.arrive_and_wait([&] { epoch_value = std::uint64_t(g) + 1; });
+        if (epoch_value != std::uint64_t(g) + 1) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ParallelEpochsTest, EveryLaneRunsOncePerEpoch) {
+  ThreadPool pool(3);
+  constexpr std::size_t kLanes = 10;
+  constexpr std::uint64_t kEpochs = 50;
+  std::vector<std::uint64_t> per_lane(kLanes, 0);  // lane-owned, no atomics
+  pool.run_epochs(
+      kLanes, [&](std::size_t lane, std::uint64_t) { ++per_lane[lane]; },
+      [&](std::uint64_t e) { return e + 1 < kEpochs; });
+  for (const auto count : per_lane) EXPECT_EQ(count, kEpochs);
+}
+
+TEST(ParallelEpochsTest, LaneOwnershipIsFixedAcrossEpochs) {
+  ThreadPool pool(4);
+  constexpr std::size_t kLanes = 9;
+  std::vector<std::set<std::thread::id>> owners(kLanes);
+  pool.run_epochs(
+      kLanes,
+      [&](std::size_t lane, std::uint64_t) {
+        // Safe unsynchronized: each lane is visited by one party per epoch
+        // and control() barriers order the epochs.
+        owners[lane].insert(std::this_thread::get_id());
+      },
+      [](std::uint64_t e) { return e + 1 < 200; });
+  for (const auto& ids : owners) EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST(ParallelEpochsTest, ControlSeesLaneWritesAndLanesSeeControl) {
+  ThreadPool pool(3);
+  constexpr std::size_t kLanes = 8;
+  constexpr std::uint64_t kEpochs = 300;
+  std::vector<std::uint64_t> lane_out(kLanes, 0);
+  std::uint64_t broadcast = 1;  // written by control, read by every lane
+  std::atomic<int> bad_reads{0};
+  std::uint64_t checked_epochs = 0;
+  pool.run_epochs(
+      kLanes,
+      [&](std::size_t lane, std::uint64_t e) {
+        if (broadcast != e + 1) bad_reads.fetch_add(1);
+        lane_out[lane] = (e + 1) * lane;
+      },
+      [&](std::uint64_t e) {
+        for (std::size_t lane = 0; lane < kLanes; ++lane) {
+          if (lane_out[lane] == (e + 1) * lane) ++checked_epochs;
+        }
+        broadcast = e + 2;
+        return e + 1 < kEpochs;
+      });
+  EXPECT_EQ(bad_reads.load(), 0);
+  EXPECT_EQ(checked_epochs, kEpochs * kLanes);
+}
+
+TEST(ParallelEpochsTest, SingleWorkerPoolStillCompletes) {
+  ThreadPool pool(1);  // two parties: the worker plus the calling thread
+  std::vector<std::uint64_t> per_lane(4, 0);
+  pool.run_epochs(
+      4, [&](std::size_t lane, std::uint64_t) { ++per_lane[lane]; },
+      [](std::uint64_t e) { return e < 2; });
+  for (const auto count : per_lane) EXPECT_EQ(count, 3u);
+}
+
+TEST(ParallelEpochsTest, ZeroLanesIsNoop) {
+  ThreadPool pool(2);
+  bool control_ran = false;
+  pool.run_epochs(
+      0, [](std::size_t, std::uint64_t) { FAIL() << "no lanes to run"; },
+      [&](std::uint64_t) {
+        control_ran = true;
+        return false;
+      });
+  EXPECT_FALSE(control_ran);
+}
+
+TEST(ParallelEpochsTest, MoreLanesThanPartiesStillCoversAll) {
+  ThreadPool pool(2);  // 3 parties, 32 lanes -> strided ownership
+  std::vector<std::uint64_t> per_lane(32, 0);
+  pool.run_epochs(
+      32, [&](std::size_t lane, std::uint64_t) { ++per_lane[lane]; },
+      [](std::uint64_t e) { return e + 1 < 10; });
+  for (const auto count : per_lane) EXPECT_EQ(count, 10u);
+}
+
+TEST(ParallelEpochsTest, PoolIsReusableAfterEpochLoop) {
+  ThreadPool pool(2);
+  int epochs = 0;
+  pool.run_epochs(
+      2, [](std::size_t, std::uint64_t) {},
+      [&](std::uint64_t) { return ++epochs < 5; });
+  // Workers must have fully returned to the queue loop.
+  auto f = pool.submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+  pool.run_epochs(
+      3, [](std::size_t, std::uint64_t) {},
+      [&](std::uint64_t) { return ++epochs < 8; });
+  EXPECT_EQ(epochs, 8);
 }
 
 }  // namespace

@@ -18,6 +18,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <random>
+#include <sstream>
+#include <string>
 
 namespace mars {
 namespace {
@@ -93,6 +96,147 @@ TEST(ScenarioDeterminismTest, SpecDrivenRunMatchesGoldenFingerprint) {
   EXPECT_EQ(r.outcome("spidermon").rank, std::optional<std::size_t>(1));
   EXPECT_EQ(r.outcome("intsight").rank, std::optional<std::size_t>(3));
   EXPECT_EQ(r.outcome("syndb").rank, std::optional<std::size_t>(1));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded engine (sim.shards >= 1): its own golden universe — notification
+// delivery becomes an explicit control-latency hop, so the fingerprints
+// differ from the legacy ones above — with one extra invariant the legacy
+// engine never had to prove: a fixed seed must produce a byte-identical
+// diagnosis at EVERY shard count. Event keys (sim/lane.hpp), not window
+// placement, carry that guarantee; these tests pin it.
+
+ScenarioConfig sharded_config(faults::FaultKind kind, std::uint64_t seed,
+                              int shards) {
+  auto cfg = default_scenario(kind, seed);
+  cfg.duration = 4 * sim::kSecond;
+  cfg.systems = {"mars"};  // validate_scenario: sharded runs are mars-only
+  cfg.sim.shards = shards;
+  return cfg;
+}
+
+/// Serialize everything an operator would act on — stats, ranks, and the
+/// full ranked culprit list with scores — so "same diagnosis" is a single
+/// byte-level string comparison.
+std::string serialize_diagnosis(const ScenarioResult& r) {
+  std::ostringstream out;
+  out << "events=" << r.events_executed << " injected=" << r.net_stats.injected
+      << " delivered=" << r.net_stats.delivered
+      << " dropped=" << r.net_stats.dropped
+      << " unroutable=" << r.net_stats.unroutable
+      << " packets=" << r.packets_injected << "\n";
+  for (const auto& outcome : r.systems) {
+    out << outcome.system << " rank=";
+    if (outcome.rank) {
+      out << *outcome.rank;
+    } else {
+      out << "null";
+    }
+    out << " triggered=" << outcome.triggered
+        << " telemetry_bytes=" << outcome.telemetry_bytes
+        << " diagnosis_bytes=" << outcome.diagnosis_bytes << "\n";
+    for (const auto& culprit : outcome.culprits) {
+      out << "  " << culprit.describe() << "\n";
+    }
+  }
+  return out.str();
+}
+
+struct ShardedFingerprint {
+  faults::FaultKind kind;
+  std::uint64_t seed;
+  std::uint64_t events;
+  std::uint64_t injected;
+  std::uint64_t delivered;
+  std::uint64_t dropped;
+  std::optional<std::size_t> mars_rank;
+};
+
+class ShardedScenarioDeterminismTest
+    : public ::testing::TestWithParam<ShardedFingerprint> {};
+
+TEST_P(ShardedScenarioDeterminismTest, ByteIdenticalAtEveryShardCount) {
+  const ShardedFingerprint& golden = GetParam();
+
+  // Shard count 1 is the identity reference: same engine, no parallelism.
+  const ScenarioResult reference =
+      run_scenario(sharded_config(golden.kind, golden.seed, 1));
+  EXPECT_EQ(reference.events_executed, golden.events);
+  EXPECT_EQ(reference.net_stats.injected, golden.injected);
+  EXPECT_EQ(reference.net_stats.delivered, golden.delivered);
+  EXPECT_EQ(reference.net_stats.dropped, golden.dropped);
+  EXPECT_EQ(reference.outcome("mars").rank, golden.mars_rank);
+
+  const std::string reference_bytes = serialize_diagnosis(reference);
+  for (const int shards : {2, 4, 8}) {
+    const ScenarioResult r =
+        run_scenario(sharded_config(golden.kind, golden.seed, shards));
+    EXPECT_EQ(serialize_diagnosis(r), reference_bytes)
+        << "diagnosis diverged at " << shards << " shards";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardedGoldenFingerprints, ShardedScenarioDeterminismTest,
+    ::testing::Values(
+        ShardedFingerprint{faults::FaultKind::kProcessRateDecrease, 7,
+                           303511, 40650, 39965, 0, std::nullopt},
+        ShardedFingerprint{faults::FaultKind::kDrop, 21, 328546, 39996,
+                           39531, 427, 1}),
+    [](const ::testing::TestParamInfo<ShardedFingerprint>& info) {
+      return std::string(info.param.kind ==
+                                 faults::FaultKind::kProcessRateDecrease
+                             ? "ProcessRateDecrease"
+                             : "Drop") +
+             "Seed" + std::to_string(info.param.seed);
+    });
+
+// Randomized cross-shard-traffic differential: random seeds, flow counts,
+// rates, and fault kinds on a small fat-tree, sharded run vs the 1-shard
+// reference. The trial parameters are drawn from a FIXED meta-seed so the
+// test is itself reproducible; what varies is coverage of the cross-shard
+// interleavings, not the verdict.
+TEST(ShardedScenarioDeterminismTest, RandomizedTrafficMatchesOneShardRun) {
+  std::mt19937_64 meta(0xD1FFu);
+  const faults::FaultKind kinds[] = {
+      faults::FaultKind::kProcessRateDecrease, faults::FaultKind::kDrop,
+      faults::FaultKind::kMicroBurst, faults::FaultKind::kDelay};
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto kind = kinds[trial % 4];
+    const std::uint64_t seed = meta() % 10'000;
+    auto make = [&](int shards) {
+      auto cfg = sharded_config(kind, seed, shards);
+      cfg.background.flows = 12 + static_cast<int>(seed % 13);
+      cfg.background.pps = 120.0 + static_cast<double>(seed % 160);
+      return cfg;
+    };
+    const ScenarioResult reference = run_scenario(make(1));
+    const int shards = 2 + static_cast<int>(meta() % 7);  // 2..8
+    const ScenarioResult r = run_scenario(make(shards));
+    EXPECT_EQ(serialize_diagnosis(r), serialize_diagnosis(reference))
+        << "trial " << trial << ": kind " << static_cast<int>(kind)
+        << " seed " << seed << " diverged at " << shards << " shards";
+  }
+}
+
+// The spec-driven path lowers a "sim" block onto the same engine: a JSON
+// spec with {"shards": 4} reproduces the sharded golden fingerprint.
+TEST(ShardedScenarioDeterminismTest, SpecDrivenShardedRunMatchesGolden) {
+  const ScenarioSpec spec = parse_scenario_spec(R"({
+    "name": "sharded-golden-rate-7",
+    "topology": {"name": "fat-tree"},
+    "seed": 7,
+    "duration_s": 4.0,
+    "systems": ["mars"],
+    "sim": {"shards": 4},
+    "faults": [{"kind": "rate", "at_s": 3.0}]
+  })");
+  const ScenarioResult r = run_scenario(spec.to_config());
+  EXPECT_EQ(r.events_executed, 303511u);
+  EXPECT_EQ(r.net_stats.injected, 40650u);
+  EXPECT_EQ(r.net_stats.delivered, 39965u);
+  EXPECT_EQ(r.net_stats.dropped, 0u);
+  EXPECT_EQ(r.outcome("mars").rank, std::nullopt);
 }
 
 }  // namespace

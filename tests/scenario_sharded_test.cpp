@@ -1,0 +1,200 @@
+// Validation and spec plumbing for the sharded-simulation "sim" block.
+//
+// validate_scenario must reject every configuration the sharded engine
+// cannot honour — out-of-range shard counts, baselines it does not deploy,
+// a degraded channel it does not model, topologies with no partition
+// boundary — with sentences that name the offending path, mirroring the
+// channel/mining validation style. The spec layer round-trips the block
+// and lowers seconds to simulator time.
+
+#include "mars/scenario.hpp"
+#include "mars/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "faults/injector.hpp"
+#include "net/partition.hpp"
+#include "sim/time.hpp"
+
+namespace mars {
+namespace {
+
+ScenarioConfig sharded_base(int shards) {
+  auto cfg = default_scenario(faults::FaultKind::kProcessRateDecrease, 7);
+  cfg.systems = {"mars"};
+  cfg.sim.shards = shards;
+  return cfg;
+}
+
+bool any_error_contains(const std::vector<std::string>& errors,
+                        const std::string& needle) {
+  for (const auto& e : errors) {
+    if (e.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(ShardedValidationTest, DefaultConfigHasNoShardingAndValidates) {
+  const auto cfg =
+      default_scenario(faults::FaultKind::kProcessRateDecrease, 7);
+  EXPECT_EQ(cfg.sim.shards, 0);  // legacy engine, bit-identical goldens
+  EXPECT_TRUE(validate_scenario(cfg).empty());
+}
+
+TEST(ShardedValidationTest, ShardCountsWithinCapacityValidate) {
+  for (const int shards : {1, 2, 4, 8}) {
+    EXPECT_TRUE(validate_scenario(sharded_base(shards)).empty())
+        << shards << " shards rejected";
+  }
+}
+
+TEST(ShardedValidationTest, ShardCountOutOfRangeIsPathNamed) {
+  auto errors = validate_scenario(sharded_base(65));
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("sim.shards must be in [1, 64] (got 65)"),
+            std::string::npos);
+
+  errors = validate_scenario(sharded_base(-1));
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("sim.shards must be in [1, 64]"),
+            std::string::npos);
+}
+
+TEST(ShardedValidationTest, ShardsBeyondPartitionCapacityAreRejected) {
+  // A k=4 fat-tree splits into 8 atoms (4 pods + 4 cores): 9 shards have
+  // no boundary to cut along.
+  const auto errors = validate_scenario(sharded_base(9));
+  ASSERT_FALSE(errors.empty());
+  EXPECT_TRUE(any_error_contains(errors, "partition capacity"));
+  EXPECT_TRUE(any_error_contains(errors, "9 shards"));
+  EXPECT_TRUE(any_error_contains(errors, "8 components"));
+}
+
+TEST(ShardedValidationTest, BaselineSystemsAreRejectedUnderSharding) {
+  auto cfg = sharded_base(2);
+  cfg.systems = {"mars", "spidermon"};
+  const auto errors = validate_scenario(cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_TRUE(any_error_contains(
+      errors, "supports only the 'mars' telemetry system (got 'spidermon')"));
+}
+
+TEST(ShardedValidationTest, DegradedChannelIsRejectedUnderSharding) {
+  auto cfg = sharded_base(2);
+  cfg.mars.channel.notification_loss = 0.2;
+  const auto errors = validate_scenario(cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_TRUE(any_error_contains(errors, "perfect control channel"));
+  EXPECT_TRUE(any_error_contains(errors, "mars.channel"));
+}
+
+TEST(ShardedValidationTest, TelemetryFaultsAreRejectedUnderSharding) {
+  auto cfg = sharded_base(2);
+  cfg.faults = faults::FaultSchedule::single(
+      faults::FaultKind::kNotificationLoss, 3 * sim::kSecond);
+  const auto errors = validate_scenario(cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_TRUE(any_error_contains(errors, "telemetry fault"));
+  EXPECT_TRUE(any_error_contains(errors, "sharded simulation"));
+}
+
+TEST(ShardedValidationTest, NonPositiveControlLatencyIsRejected) {
+  auto cfg = sharded_base(2);
+  cfg.sim.control_latency = 0;
+  const auto errors = validate_scenario(cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_TRUE(any_error_contains(errors, "sim.control_latency"));
+}
+
+TEST(ShardedValidationTest, RunScenarioThrowsEveryShardingSentence) {
+  auto cfg = sharded_base(2);
+  cfg.systems = {"mars", "syndb"};
+  cfg.mars.channel.read_failure = 0.5;
+  try {
+    (void)run_scenario(cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'mars' telemetry system"), std::string::npos);
+    EXPECT_NE(what.find("perfect control channel"), std::string::npos);
+  }
+}
+
+// ---- spec layer ----
+
+TEST(ShardedSpecTest, SimBlockRoundTripsAndLowers) {
+  const ScenarioSpec spec = parse_scenario_spec(R"({
+    "name": "sharded",
+    "systems": ["mars"],
+    "sim": {"shards": 4, "control_latency_s": 0.002}
+  })");
+  ASSERT_TRUE(spec.sim.shards.has_value());
+  EXPECT_EQ(*spec.sim.shards, 4);
+  ASSERT_TRUE(spec.sim.control_latency_s.has_value());
+  EXPECT_DOUBLE_EQ(*spec.sim.control_latency_s, 0.002);
+
+  // Exact round trip: serialize -> parse is a fixed point.
+  EXPECT_EQ(parse_scenario_spec(to_json(spec)), spec);
+
+  const ScenarioConfig cfg = spec.to_config();
+  EXPECT_EQ(cfg.sim.shards, 4);
+  EXPECT_EQ(cfg.sim.control_latency, 2 * sim::kMillisecond);
+}
+
+TEST(ShardedSpecTest, SpecWithoutSimBlockRunsLegacyEngine) {
+  const ScenarioSpec spec = parse_scenario_spec(R"({"seed": 7})");
+  EXPECT_FALSE(spec.sim.any_set());
+  EXPECT_EQ(spec.to_config().sim.shards, 0);
+}
+
+TEST(ShardedSpecTest, ShardsOutOfRangeIsPathNamed) {
+  ScenarioSpec spec;
+  spec.sim.shards = 0;
+  auto errors = spec.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("spec.sim.shards must be in [1, 64] (got 0)"),
+            std::string::npos);
+
+  spec.sim.shards = 65;
+  errors = spec.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("spec.sim.shards must be in [1, 64]"),
+            std::string::npos);
+}
+
+TEST(ShardedSpecTest, UnknownSimKeyNamesItsPath) {
+  try {
+    (void)parse_scenario_spec(R"({"sim": {"shard_count": 4}})");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.sim"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("shard_count"), std::string::npos);
+  }
+}
+
+TEST(ShardedSpecTest, PropagationOverrideLowersToNanoseconds) {
+  const ScenarioSpec spec = parse_scenario_spec(R"({
+    "topology": {"name": "fat-tree", "k": 4, "propagation_us": 10.0}
+  })");
+  ASSERT_TRUE(spec.propagation_us.has_value());
+  EXPECT_EQ(spec.to_config().topology.propagation, 10'000);
+  EXPECT_EQ(parse_scenario_spec(to_json(spec)), spec);
+}
+
+TEST(ShardedSpecTest, FatTree16RegistryEntryBuildsTheBigFabric) {
+  // The datacenter-scale alias ignores the spec's k and pins arity 16:
+  // (16/2)^2 = 64 cores + 16 pods x 16 switches = 320 switches.
+  ScenarioConfig cfg = sharded_base(8);
+  cfg.topology.name = "fat-tree-16";
+  EXPECT_TRUE(validate_scenario(cfg).empty());
+  const auto fabric = net::TopologyRegistry::instance().build(cfg.topology);
+  EXPECT_EQ(fabric.topology.switch_count(), 320u);
+  EXPECT_EQ(fabric.pods, 16);
+  EXPECT_EQ(net::partition_capacity(fabric.topology), 80);
+}
+
+}  // namespace
+}  // namespace mars

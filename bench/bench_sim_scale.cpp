@@ -56,9 +56,9 @@ struct Point {
   double wall_ms = 0.0;
   std::uint64_t events = 0;
   std::uint64_t injected = 0;
-  std::uint64_t windows = 0;
-  std::uint64_t global_rounds = 0;
-  std::uint64_t lookahead_stalls = 0;
+  mars::sim::ShardSyncStats sync;
+  std::vector<mars::sim::ShardStats> shard_stats;
+  mars::net::Network::MailboxStats mailbox;
 };
 
 std::vector<int> parse_csv_ints(const char* s) {
@@ -129,9 +129,12 @@ Point run_point(const Options& opt, int shards) {
       std::chrono::duration<double, std::milli>(stop - start).count();
   p.events = ssim.events_executed();
   p.injected = traffic.packets_injected();
-  p.windows = ssim.sync_stats().windows;
-  p.global_rounds = ssim.sync_stats().global_rounds;
-  p.lookahead_stalls = ssim.sync_stats().lookahead_stalls;
+  p.sync = ssim.sync_stats();
+  p.shard_stats.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < ssim.shard_count(); ++i) {
+    p.shard_stats.push_back(ssim.shard_stats(i));
+  }
+  p.mailbox = network.mailbox_stats();
   return p;
 }
 
@@ -159,13 +162,45 @@ void write_report(std::ostream& out, const Options& opt,
              p.wall_ms > 0 ? 1e3 * static_cast<double>(p.events) / p.wall_ms
                            : 0.0);
     w.member("injected", p.injected);
-    w.member("windows", p.windows);
-    w.member("global_rounds", p.global_rounds);
-    w.member("lookahead_stalls", p.lookahead_stalls);
+    w.member("windows", p.sync.windows);
+    w.member("global_rounds", p.sync.global_rounds);
+    w.member("lookahead_stalls", p.sync.lookahead_stalls);
     if (p.shards != points.front().shards && points.front().wall_ms > 0) {
       w.member("speedup_vs_first",
                points.front().wall_ms / std::max(p.wall_ms, 1e-9));
     }
+    // PDES profiler: window-end attribution, mailbox volume, and per-shard
+    // occupancy (see sim::ShardStats). Every window end is attributed to
+    // exactly one cap, so the three counters sum to "windows".
+    w.key("profile").begin_object();
+    w.key("window_caps").begin_object();
+    w.member("lookahead_stall", p.sync.lookahead_stalls);
+    w.member("global_event", p.sync.windows_capped_by_global);
+    w.member("end_of_run", p.sync.windows_to_end);
+    w.end_object();
+    w.key("mailbox").begin_object();
+    w.member("drains", p.mailbox.drains);
+    w.member("total_mail", p.mailbox.total_mail);
+    w.member("max_batch", p.mailbox.max_batch);
+    w.key("batch_hist").begin_array();
+    for (const std::uint64_t n : p.mailbox.batch_hist) w.value(n);
+    w.end_array();
+    w.end_object();
+    w.key("shards").begin_array();
+    for (const mars::sim::ShardStats& s : p.shard_stats) {
+      w.begin_object();
+      w.member("windows", s.windows);
+      w.member("busy_windows", s.busy_windows);
+      w.member("busy_fraction", s.busy_fraction());
+      w.member("window_events", s.window_events);
+      w.member("max_window_events", s.max_window_events);
+      w.key("window_event_hist").begin_array();
+      for (const std::uint64_t n : s.window_event_hist) w.value(n);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
     w.end_object();
   }
   w.end_array();

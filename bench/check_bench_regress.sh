@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Guard the zero-overhead-when-disabled contract: the recorded pairwise
+# ratio of BM_LeafSpine_HotPath_Instrumented to BM_LeafSpine_HotPath (an
+# idle MetricsRegistry + SpanTracer constructed but never attached) must
+# not regress more than 5% below the PR-2 reference of 0.976.
+#
+# Usage: bench/check_bench_regress.sh [report.json]
+#   Defaults to the committed BENCH_sim_hotpath.json. Pass a freshly
+#   refreshed report (bench/run_sim_hotpath.sh out.json) to gate a new
+#   measurement instead of the committed record.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+report=${1:-$repo_root/BENCH_sim_hotpath.json}
+
+if [[ ! -f $report ]]; then
+  echo "error: $report not found" >&2
+  exit 1
+fi
+
+python3 - "$report" <<'EOF'
+import json
+import sys
+
+REFERENCE_RATIO = 0.976   # recorded when instrumentation landed (PR 2)
+MAX_REGRESSION = 0.05     # fail past 5% below the reference
+
+report_path = sys.argv[1]
+doc = json.load(open(report_path))
+
+ratio = doc.get("instrumented_unattached_ratio")
+if ratio is None:
+    sys.exit(f"error: {report_path} has no instrumented_unattached_ratio")
+
+floor = REFERENCE_RATIO * (1.0 - MAX_REGRESSION)
+verdict = "ok" if ratio >= floor else "REGRESSION"
+print(f"instrumented/plain ratio {ratio:.3f} "
+      f"(reference {REFERENCE_RATIO:.3f}, floor {floor:.3f}): {verdict}")
+if ratio < floor:
+    sys.exit(
+        f"error: instrumented hot-path ratio {ratio:.3f} regressed more "
+        f"than {MAX_REGRESSION:.0%} below the {REFERENCE_RATIO:.3f} "
+        "reference — instrumentation is leaking onto the packet hot path")
+EOF

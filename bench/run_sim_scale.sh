@@ -38,6 +38,28 @@ import sys
 
 raw16, raw32, out_path, committed_path = sys.argv[1:5]
 
+def profile(p):
+    # Per-shard PDES profiler summary (see sim::ShardStats): window-end
+    # attribution, cross-shard mailbox volume, per-shard occupancy.
+    prof = p['profile']
+    return {
+        'window_caps': prof['window_caps'],
+        'mailbox': {
+            'drains': prof['mailbox']['drains'],
+            'total_mail': prof['mailbox']['total_mail'],
+            'max_batch': prof['mailbox']['max_batch'],
+        },
+        'shards': [
+            {
+                'busy_windows': s['busy_windows'],
+                'busy_fraction': round(s['busy_fraction'], 4),
+                'window_events': s['window_events'],
+                'max_window_events': s['max_window_events'],
+            }
+            for s in prof['shards']
+        ],
+    }
+
 def curve(path):
     doc = json.load(open(path))
     points = []
@@ -51,6 +73,7 @@ def curve(path):
             'windows': p['windows'],
             'lookahead_stalls': p['lookahead_stalls'],
             'speedup_vs_1_shard': round(base / p['wall_ms'], 2),
+            'profile': profile(p),
         })
     return {'config': doc['config'], 'points': points}
 

@@ -20,6 +20,11 @@
 //     --trace-out <file>      dump the workload as CSV
 //     --metrics-out <file>    metrics snapshot + sampled series (JSON)
 //     --spans-out <file>      Chrome/Perfetto trace-event JSON
+//     --log-out <file>        structured event log (NDJSON, one event/line)
+//     --log-level <level>     log admission floor: debug|info|warn|error
+//     --provenance-out <file> diagnosis provenance DAG (JSON)
+//     --flight-out <file>     flight-recorder dumps (JSON; arms the
+//                             recorder)
 //     --json                  machine-readable result summary
 //
 // Unknown fault / topology / system names exit nonzero with the list of
@@ -53,7 +58,8 @@ using namespace mars;
                "[--systems A,B,...] [--flows N] [--pps X] [--duration S] "
                "[--fault-at S] [--no-baselines] [--list-topologies] "
                "[--list-systems] [--trace-out FILE] [--metrics-out FILE] "
-               "[--spans-out FILE] [--json]\n",
+               "[--spans-out FILE] [--log-out FILE] [--log-level LEVEL] "
+               "[--provenance-out FILE] [--flight-out FILE] [--json]\n",
                argv0);
   std::exit(2);
 }
@@ -141,6 +147,8 @@ int main(int argc, char** argv) {
   std::string scenario_file;
   bool baselines = true, json = false;
   std::string trace_out, metrics_out, spans_out;
+  std::string log_out, provenance_out, flight_out;
+  std::optional<obs::LogLevel> log_level;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -190,6 +198,22 @@ int main(int argc, char** argv) {
       metrics_out = next();
     } else if (arg == "--spans-out") {
       spans_out = next();
+    } else if (arg == "--log-out") {
+      log_out = next();
+    } else if (arg == "--log-level") {
+      const std::string name = next();
+      log_level = obs::level_from_name(name);
+      if (!log_level) {
+        std::fprintf(stderr,
+                     "unknown log level '%s' (known: debug, info, warn, "
+                     "error)\n",
+                     name.c_str());
+        return 2;
+      }
+    } else if (arg == "--provenance-out") {
+      provenance_out = next();
+    } else if (arg == "--flight-out") {
+      flight_out = next();
     } else if (arg == "--json") {
       json = true;
     } else {
@@ -240,6 +264,10 @@ int main(int argc, char** argv) {
     cfg.systems = {"mars"};
   }
 
+  if (log_level) cfg.obs.log_level = *log_level;
+  if (!provenance_out.empty()) cfg.obs.provenance = true;
+  if (!flight_out.empty()) cfg.obs.flight_recorder = true;
+
   if (const auto errors = validate_scenario(cfg); !errors.empty()) {
     for (const auto& error : errors) {
       std::fprintf(stderr, "invalid scenario: %s\n", error.c_str());
@@ -248,7 +276,9 @@ int main(int argc, char** argv) {
   }
 
   Observability obs;
-  const bool want_obs = !metrics_out.empty() || !spans_out.empty();
+  const bool want_obs = !metrics_out.empty() || !spans_out.empty() ||
+                        !log_out.empty() || !provenance_out.empty() ||
+                        !flight_out.empty();
   if (want_obs) cfg.observability = &obs;
 
   // The trace dump reruns the workload generator standalone so the CSV
@@ -301,6 +331,36 @@ int main(int argc, char** argv) {
                  "wrote %zu trace events to %s "
                  "(load in ui.perfetto.dev or chrome://tracing)\n",
                  obs.tracer.size(), spans_out.c_str());
+  }
+  if (!log_out.empty()) {
+    std::ofstream out;
+    if (!open_out(out, log_out)) return 1;
+    obs.log.write_ndjson(out);
+    std::fprintf(stderr,
+                 "wrote %zu log events to %s (%llu below level, %llu rate-"
+                 "suppressed)\n",
+                 obs.log.events().size(), log_out.c_str(),
+                 static_cast<unsigned long long>(obs.log.stats().below_level),
+                 static_cast<unsigned long long>(
+                     obs.log.stats().rate_suppressed));
+  }
+  if (!provenance_out.empty()) {
+    std::ofstream out;
+    if (!open_out(out, provenance_out)) return 1;
+    obs.provenance.write_json(out);
+    std::fprintf(stderr, "wrote %zu provenance nodes, %zu edges to %s\n",
+                 obs.provenance.nodes().size(), obs.provenance.edges().size(),
+                 provenance_out.c_str());
+  }
+  if (!flight_out.empty()) {
+    std::ofstream out;
+    if (!open_out(out, flight_out)) return 1;
+    obs.recorder.write_json(out);
+    std::fprintf(stderr, "wrote %zu flight-recorder dumps to %s "
+                 "(%llu triggers)\n",
+                 obs.recorder.dumps().size(), flight_out.c_str(),
+                 static_cast<unsigned long long>(
+                     obs.recorder.triggers_total()));
   }
 
   if (!cfg.faults.empty() && !result.fault_injected) {

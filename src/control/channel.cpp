@@ -123,6 +123,15 @@ double& ControlChannel::dial_value(Dial dial) {
   return config_.notification_loss;  // unreachable
 }
 
+const char* ControlChannel::dial_name(Dial dial) {
+  switch (dial) {
+    case Dial::kNotificationLoss: return "notification_loss";
+    case Dial::kReadFailure: return "read_failure";
+    case Dial::kRecordCorruption: return "record_corruption";
+  }
+  return "?";
+}
+
 void ControlChannel::schedule_degradation(Dial dial, double severity,
                                           sim::Time at, sim::Time duration) {
   ++stats_.scheduled_faults;
@@ -133,9 +142,19 @@ void ControlChannel::schedule_degradation(Dial dial, double severity,
     double& value = dial_value(dial);
     *saved = value;
     value = std::max(value, severity);
+    if (log_ != nullptr) {
+      log_->log(obs::LogLevel::kWarn, simulator_->now(), "channel",
+                "degradation_start",
+                {{"dial", dial_name(dial)}, {"severity", severity}});
+    }
   });
   simulator_->schedule_at(at + duration, [this, dial, saved] {
     dial_value(dial) = *saved;
+    if (log_ != nullptr) {
+      log_->log(obs::LogLevel::kInfo, simulator_->now(), "channel",
+                "degradation_end",
+                {{"dial", dial_name(dial)}, {"restored", *saved}});
+    }
   });
 }
 

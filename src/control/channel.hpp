@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "dataplane/mars_pipeline.hpp"
+#include "obs/event_log.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/tables.hpp"
 #include "util/rng.hpp"
@@ -133,6 +134,14 @@ class ControlChannel {
   void schedule_degradation(Dial dial, double severity, sim::Time at,
                             sim::Time duration);
 
+  /// Attach a structured event log (nullptr detaches): one event at each
+  /// degradation-window edge (raise / restore). Logging happens inside
+  /// the already-scheduled window events, so attachment never changes the
+  /// event schedule.
+  void set_event_log(obs::EventLog* log) { log_ = log; }
+
+  [[nodiscard]] static const char* dial_name(Dial dial);
+
   [[nodiscard]] const ChannelConfig& config() const { return config_; }
   [[nodiscard]] const ChannelStats& stats() const { return stats_; }
 
@@ -146,6 +155,7 @@ class ControlChannel {
   DeliverFn deliver_;
   util::Rng rng_;
   ChannelStats stats_;
+  obs::EventLog* log_ = nullptr;
 };
 
 }  // namespace mars::control

@@ -37,6 +37,8 @@
 #include "dataplane/mars_pipeline.hpp"
 #include "detect/reservoir.hpp"
 #include "net/network.hpp"
+#include "obs/event_log.hpp"
+#include "obs/provenance.hpp"
 #include "obs/tracer.hpp"
 #include "telemetry/tables.hpp"
 
@@ -101,6 +103,10 @@ struct DiagnosisData {
   sim::Time default_threshold = 10 * sim::kSecond;
   /// Evidence completeness for this session.
   CollectionQuality quality;
+  /// Provenance node id of this session ("session:N") when a
+  /// ProvenanceGraph is attached to the controller; empty otherwise.
+  /// Downstream stages (RCA) parent their evidence nodes under it.
+  std::string provenance_id;
 
   /// True if `rec` is in the abnormal set under the session thresholds.
   [[nodiscard]] bool is_abnormal(const telemetry::RtRecord& rec) const {
@@ -193,6 +199,17 @@ class Controller {
   /// around poll and ring-drain work.
   void set_tracer(obs::SpanTracer* tracer) { tracer_ = tracer; }
 
+  /// Attach a structured event log (nullptr detaches): poll fallbacks,
+  /// quarantines, drain retries/abandons, and session summaries.
+  void set_event_log(obs::EventLog* log) { log_ = log; }
+
+  /// Attach a provenance graph (nullptr detaches): each finalized session
+  /// gets a session node plus notification nodes, and DiagnosisData
+  /// carries the session node id for downstream stages.
+  void set_provenance(obs::ProvenanceGraph* provenance) {
+    provenance_ = provenance;
+  }
+
   /// One polling pass (normally driven by start(); exposed for tests).
   void poll_once();
 
@@ -229,6 +246,8 @@ class Controller {
   std::vector<DiagnosisData> sessions_;
   ControllerOverheads overheads_;
   obs::SpanTracer* tracer_ = nullptr;
+  obs::EventLog* log_ = nullptr;
+  obs::ProvenanceGraph* provenance_ = nullptr;
   std::uint64_t reservoir_seed_ = 0x7E5E4D01ull;
 };
 

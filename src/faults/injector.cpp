@@ -5,6 +5,7 @@
 
 #include "control/channel.hpp"
 #include "faults/schedule.hpp"
+#include "obs/event_log.hpp"
 #include "obs/registry.hpp"
 
 namespace mars::faults {
@@ -76,6 +77,11 @@ std::optional<GroundTruth> FaultInjector::inject(const FaultEvent& event) {
   }
   if (truth) {
     history_.push_back(*truth);
+    if (log_ != nullptr) {
+      log_->log(obs::LogLevel::kInfo, event.at, "injector", "fault_injected",
+                {{"kind", to_string(event.kind)},
+                 {"truth", truth->describe()}});
+    }
   } else {
     note_skipped(event.kind, event.at);
   }
@@ -88,6 +94,10 @@ void FaultInjector::set_metrics(obs::MetricsRegistry& registry) {
 
 void FaultInjector::note_skipped(FaultKind kind, sim::Time at) {
   if (skipped_ != nullptr) skipped_->inc();
+  if (log_ != nullptr) {
+    log_->log(obs::LogLevel::kWarn, at, "injector", "fault_skipped",
+              {{"kind", to_string(kind)}});
+  }
   std::fprintf(stderr,
                "warning: %s injection at %.3fs found no viable target; "
                "trial runs without this fault\n",

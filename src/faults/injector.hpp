@@ -39,6 +39,7 @@ class ControlChannel;
 
 namespace mars::obs {
 class Counter;
+class EventLog;
 class MetricsRegistry;
 }  // namespace mars::obs
 
@@ -113,6 +114,10 @@ class FaultInjector {
   /// like a graded one in sweep aggregates).
   void set_metrics(obs::MetricsRegistry& registry);
 
+  /// Attach a structured event log (nullptr detaches): one event per
+  /// successful injection (with its ground truth) and per skip.
+  void set_event_log(obs::EventLog* log) { log_ = log; }
+
   /// Inject `kind` at absolute time `at`; removal is scheduled
   /// automatically. Returns the ground truth, or nullopt if no viable
   /// target exists (e.g. no active flows yet).
@@ -164,6 +169,7 @@ class FaultInjector {
   InjectorConfig config_;
   control::ControlChannel* channel_ = nullptr;
   obs::Counter* skipped_ = nullptr;
+  obs::EventLog* log_ = nullptr;
   std::vector<GroundTruth> history_;
 };
 

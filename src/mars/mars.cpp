@@ -50,16 +50,49 @@ MarsSystem::MarsSystem(net::Network& network, MarsConfig config)
   if (channel_) controller_->set_channel(channel_.get());
   analyzer_ = std::make_unique<rca::RootCauseAnalyzer>(
       *registry_, config_.rca, &network.topology());
+  if (config_.log != nullptr) {
+    controller_->set_event_log(config_.log);
+    if (channel_) channel_->set_event_log(config_.log);
+  }
+  if (config_.provenance != nullptr) {
+    controller_->set_provenance(config_.provenance);
+    analyzer_->set_provenance(config_.provenance);
+  }
   controller_->set_diagnosis_callback([this](const control::DiagnosisData& d) {
     auto analysis = analyzer_->analyze_with_stats(d);
     diagnoses_.push_back(
         Diagnosis{d, std::move(analysis.culprits), analysis.mining});
+    const auto& diag = diagnoses_.back();
     if (config_.tracer != nullptr) {
       // Close the virtual-time causal chain: trigger -> diagnosis.
-      config_.tracer->complete(
-          "diagnosis", "mars", d.trigger.when, d.collected_at,
+      obs::SpanArgs args{
+          {"trigger", dataplane::kind_name(d.trigger.kind)},
+          {"culprits", std::uint64_t{diag.culprits.size()}}};
+      if (!d.provenance_id.empty()) args.push_back({"prov", d.provenance_id});
+      config_.tracer->complete("diagnosis", "mars", d.trigger.when,
+                               d.collected_at, args);
+    }
+    if (config_.log != nullptr) {
+      const obs::LogLevel level = diag.culprits.empty()
+                                      ? obs::LogLevel::kError
+                                      : obs::LogLevel::kInfo;
+      config_.log->log(
+          level, d.collected_at, "mars",
+          diag.culprits.empty() ? "diagnosis_empty" : "diagnosis_complete",
           {{"trigger", dataplane::kind_name(d.trigger.kind)},
-           {"culprits", std::uint64_t{diagnoses_.back().culprits.size()}}});
+           {"culprits", std::uint64_t{diag.culprits.size()}},
+           {"confidence", d.quality.confidence()},
+           {"top", diag.culprits.empty() ? std::string("none")
+                                         : diag.culprits.front().describe()}});
+    }
+    if (config_.recorder != nullptr &&
+        (diag.culprits.empty() ||
+         config_.recorder->should_trigger(d.quality.confidence()))) {
+      // Black-box dump: the diagnosis either aborted (no culprits) or
+      // completed on degraded evidence — preserve the recent event window.
+      config_.recorder->trigger(diag.culprits.empty() ? "diagnosis_empty"
+                                                      : "low_confidence",
+                                d.collected_at);
     }
   });
 

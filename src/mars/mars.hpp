@@ -12,6 +12,9 @@
 #include "control/path_registry.hpp"
 #include "dataplane/mars_pipeline.hpp"
 #include "net/network.hpp"
+#include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/provenance.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 #include "rca/analyzer.hpp"
@@ -34,6 +37,15 @@ struct MarsConfig {
   /// outlive the MarsSystem (its destructor removes the "mars." gauges).
   obs::MetricsRegistry* metrics = nullptr;
   obs::SpanTracer* tracer = nullptr;
+  /// Structured event log: controller retries/quarantines, channel
+  /// degradation windows, diagnosis lifecycle (null disables).
+  obs::EventLog* log = nullptr;
+  /// Diagnosis provenance DAG: session/epoch/pattern/suspect nodes are
+  /// appended by the controller and analyzer (null disables).
+  obs::ProvenanceGraph* provenance = nullptr;
+  /// Flight recorder: triggered automatically when a diagnosis completes
+  /// below its confidence threshold or with an empty culprit list.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// One completed diagnosis: the session data, the ranked culprits, and

@@ -48,6 +48,15 @@ struct Observability {
   obs::SeriesStore series;
   /// Registry state at end-of-run (gauges still attached when taken).
   obs::MetricsSnapshot snapshot;
+  /// Structured NDJSON event log (admission configured by
+  /// ScenarioConfig::obs; empty when the trial logged nothing).
+  obs::EventLog log;
+  /// Black-box ring of recent events + metric deltas; dumps accumulate
+  /// when a diagnosis aborts or completes below its confidence threshold.
+  obs::FlightRecorder recorder;
+  /// Diagnosis provenance DAG (populated when ScenarioConfig::obs
+  /// .provenance is on and MARS is deployed).
+  obs::ProvenanceGraph provenance;
 };
 
 struct ScenarioConfig {
@@ -85,6 +94,25 @@ struct ScenarioConfig {
   Observability* observability = nullptr;
   /// Sampler tick period when observability is attached.
   sim::Time sample_period = 100 * sim::kMillisecond;
+
+  /// Ops-plane knobs (the spec's "obs" block). All of them are inert
+  /// unless an Observability bundle is attached.
+  struct ObsConfig {
+    /// Admission floor for the structured event log.
+    obs::LogLevel log_level = obs::LogLevel::kInfo;
+    /// Per-(component, event) token-bucket rate limit, in events per
+    /// simulated second, and its burst allowance.
+    double log_rate_limit_per_s = 50.0;
+    std::uint32_t log_rate_limit_burst = 16;
+    /// Arm the flight recorder: ring capacity in events, and the session
+    /// confidence below which a completed diagnosis dumps the ring.
+    bool flight_recorder = false;
+    std::size_t flight_capacity = 256;
+    double flight_confidence_threshold = 0.8;
+    /// Build the diagnosis provenance DAG (Observability::provenance).
+    bool provenance = false;
+  };
+  ObsConfig obs;
 
   /// Sharded-simulation settings (the spec's "sim" block). shards == 0
   /// (the default) runs the classic single-queue simulator, bit-identical
@@ -132,6 +160,10 @@ struct SystemOutcome {
   /// observed telemetry degradation; nullopt when the system never
   /// diagnosed (or does not model a degradable channel).
   std::optional<double> confidence;
+  /// The trial's provenance DAG (points into the caller's Observability
+  /// bundle; non-null only for systems that produce provenance — MARS —
+  /// when ScenarioConfig::obs.provenance is on).
+  const obs::ProvenanceGraph* provenance = nullptr;
 };
 
 struct ScenarioResult {

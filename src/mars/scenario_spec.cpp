@@ -53,6 +53,12 @@ const std::string& as_string(const obs::JsonValue& v,
   return v.as_string();
 }
 
+bool as_bool(const obs::JsonValue& v, const std::string& path) {
+  if (!v.is_bool()) fail(path, std::string("expected a boolean, got ") +
+                                   v.kind_name());
+  return v.as_bool();
+}
+
 void reject_unknown_keys(const obs::JsonValue& object,
                          std::initializer_list<std::string_view> known,
                          const std::string& path) {
@@ -167,6 +173,31 @@ ScenarioConfig ScenarioSpec::to_config() const {
     cfg.mars.controller.max_read_retries = *channel.max_read_retries;
   }
   if (mining.threads) cfg.mars.rca.mining.threads = *mining.threads;
+  if (obs.log_level) {
+    const auto level = obs::level_from_name(*obs.log_level);
+    if (!level) {
+      throw std::invalid_argument("unknown log level '" + *obs.log_level +
+                                  "' (known: debug, info, warn, error)");
+    }
+    cfg.obs.log_level = *level;
+  }
+  if (obs.log_rate_limit_per_s) {
+    cfg.obs.log_rate_limit_per_s = *obs.log_rate_limit_per_s;
+  }
+  if (obs.log_rate_limit_burst) {
+    cfg.obs.log_rate_limit_burst = *obs.log_rate_limit_burst;
+  }
+  if (obs.flight_recorder.enabled) {
+    cfg.obs.flight_recorder = *obs.flight_recorder.enabled;
+  }
+  if (obs.flight_recorder.capacity) {
+    cfg.obs.flight_capacity = *obs.flight_recorder.capacity;
+  }
+  if (obs.flight_recorder.confidence_threshold) {
+    cfg.obs.flight_confidence_threshold =
+        *obs.flight_recorder.confidence_threshold;
+  }
+  if (obs.provenance) cfg.obs.provenance = *obs.provenance;
   if (sim.shards) cfg.sim.shards = *sim.shards;
   if (sim.control_latency_s) {
     cfg.sim.control_latency = seconds_to_time(*sim.control_latency_s);
@@ -196,6 +227,28 @@ std::vector<std::string> ScenarioSpec::validate() const {
   if (sim.shards && (*sim.shards < 1 || *sim.shards > 64)) {
     errors.push_back("spec.sim.shards must be in [1, 64] (got " +
                      std::to_string(*sim.shards) + ")");
+  }
+  if (obs.log_level && !obs::level_from_name(*obs.log_level)) {
+    errors.push_back("spec.obs.log_level: unknown level '" + *obs.log_level +
+                     "' (known: debug, info, warn, error)");
+  }
+  if (obs.log_rate_limit_per_s && *obs.log_rate_limit_per_s <= 0.0) {
+    errors.push_back("spec.obs.log_rate_limit_per_s must be positive (got " +
+                     std::to_string(*obs.log_rate_limit_per_s) + ")");
+  }
+  if (obs.log_rate_limit_burst && *obs.log_rate_limit_burst == 0) {
+    errors.push_back("spec.obs.log_rate_limit_burst must be nonzero");
+  }
+  if (obs.flight_recorder.capacity && *obs.flight_recorder.capacity == 0) {
+    errors.push_back("spec.obs.flight_recorder.capacity must be nonzero");
+  }
+  if (obs.flight_recorder.confidence_threshold &&
+      (*obs.flight_recorder.confidence_threshold < 0.0 ||
+       *obs.flight_recorder.confidence_threshold > 1.0)) {
+    errors.push_back(
+        "spec.obs.flight_recorder.confidence_threshold must be in [0, 1] "
+        "(got " +
+        std::to_string(*obs.flight_recorder.confidence_threshold) + ")");
   }
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (!faults::kind_from_name(faults[i].kind)) {
@@ -285,6 +338,33 @@ std::string to_json(const ScenarioSpec& spec, int indent) {
     }
     w.end_object();
   }
+  if (spec.obs.any_set()) {
+    const auto& ob = spec.obs;
+    w.key("obs").begin_object();
+    if (ob.log_level) w.member("log_level", *ob.log_level);
+    if (ob.log_rate_limit_per_s) {
+      w.member("log_rate_limit_per_s", *ob.log_rate_limit_per_s);
+    }
+    if (ob.log_rate_limit_burst) {
+      w.member("log_rate_limit_burst", std::uint64_t{*ob.log_rate_limit_burst});
+    }
+    if (ob.flight_recorder.any_set()) {
+      w.key("flight_recorder").begin_object();
+      if (ob.flight_recorder.enabled) {
+        w.member("enabled", *ob.flight_recorder.enabled);
+      }
+      if (ob.flight_recorder.capacity) {
+        w.member("capacity", std::uint64_t{*ob.flight_recorder.capacity});
+      }
+      if (ob.flight_recorder.confidence_threshold) {
+        w.member("confidence_threshold",
+                 *ob.flight_recorder.confidence_threshold);
+      }
+      w.end_object();
+    }
+    if (ob.provenance) w.member("provenance", *ob.provenance);
+    w.end_object();
+  }
   w.member("seed", std::uint64_t{spec.seed});
   if (spec.systems) {
     w.key("systems").begin_array();
@@ -323,7 +403,7 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
   reject_unknown_keys(doc,
                       {"name", "topology", "queue_capacity", "background",
                        "duration_s", "seed", "systems", "faults", "channel",
-                       "mining", "sim"},
+                       "mining", "sim", "obs"},
                       "spec");
 
   ScenarioSpec spec;
@@ -444,6 +524,47 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
     }
     if (const auto* v = sim->find("control_latency_s")) {
       spec.sim.control_latency_s = as_number(*v, "spec.sim.control_latency_s");
+    }
+  }
+  if (const auto* ob = doc.find("obs")) {
+    if (!ob->is_object()) fail("spec.obs", "expected an object");
+    reject_unknown_keys(*ob,
+                        {"log_level", "log_rate_limit_per_s",
+                         "log_rate_limit_burst", "flight_recorder",
+                         "provenance"},
+                        "spec.obs");
+    if (const auto* v = ob->find("log_level")) {
+      spec.obs.log_level = as_string(*v, "spec.obs.log_level");
+    }
+    if (const auto* v = ob->find("log_rate_limit_per_s")) {
+      spec.obs.log_rate_limit_per_s =
+          as_number(*v, "spec.obs.log_rate_limit_per_s");
+    }
+    if (const auto* v = ob->find("log_rate_limit_burst")) {
+      spec.obs.log_rate_limit_burst = static_cast<std::uint32_t>(
+          as_uint(*v, "spec.obs.log_rate_limit_burst"));
+    }
+    if (const auto* fr = ob->find("flight_recorder")) {
+      if (!fr->is_object()) {
+        fail("spec.obs.flight_recorder", "expected an object");
+      }
+      reject_unknown_keys(*fr, {"enabled", "capacity", "confidence_threshold"},
+                          "spec.obs.flight_recorder");
+      if (const auto* v = fr->find("enabled")) {
+        spec.obs.flight_recorder.enabled =
+            as_bool(*v, "spec.obs.flight_recorder.enabled");
+      }
+      if (const auto* v = fr->find("capacity")) {
+        spec.obs.flight_recorder.capacity = static_cast<std::uint32_t>(
+            as_uint(*v, "spec.obs.flight_recorder.capacity"));
+      }
+      if (const auto* v = fr->find("confidence_threshold")) {
+        spec.obs.flight_recorder.confidence_threshold =
+            as_number(*v, "spec.obs.flight_recorder.confidence_threshold");
+      }
+    }
+    if (const auto* v = ob->find("provenance")) {
+      spec.obs.provenance = as_bool(*v, "spec.obs.provenance");
     }
   }
   if (const auto* seed = doc.find("seed")) {

@@ -110,6 +110,36 @@ struct ScenarioSpec {
   };
   Sim sim;
 
+  /// Ops-plane block ("obs"): event-log admission, flight recorder,
+  /// provenance. The knobs land in ScenarioConfig::obs and take effect
+  /// only when the runner attaches an Observability bundle (mars_cli does
+  /// whenever any obs output flag is given).
+  struct Obs {
+    std::optional<std::string> log_level;  ///< "debug"|"info"|"warn"|"error"
+    std::optional<double> log_rate_limit_per_s;
+    std::optional<std::uint32_t> log_rate_limit_burst;
+    struct FlightRecorder {
+      std::optional<bool> enabled;
+      std::optional<std::uint32_t> capacity;
+      std::optional<double> confidence_threshold;
+
+      [[nodiscard]] bool any_set() const {
+        return enabled || capacity || confidence_threshold;
+      }
+      friend bool operator==(const FlightRecorder&,
+                             const FlightRecorder&) = default;
+    };
+    FlightRecorder flight_recorder;
+    std::optional<bool> provenance;
+
+    [[nodiscard]] bool any_set() const {
+      return log_level || log_rate_limit_per_s || log_rate_limit_burst ||
+             flight_recorder.any_set() || provenance;
+    }
+    friend bool operator==(const Obs&, const Obs&) = default;
+  };
+  Obs obs;
+
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 
   /// Lower the spec onto a runnable config: start from

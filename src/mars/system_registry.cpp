@@ -25,6 +25,9 @@ std::unique_ptr<systems::TelemetrySystem> make_mars(
   if (obs != nullptr) {
     mars_config.metrics = &obs->registry;
     mars_config.tracer = &obs->tracer;
+    mars_config.log = &obs->log;
+    if (config.obs.provenance) mars_config.provenance = &obs->provenance;
+    if (config.obs.flight_recorder) mars_config.recorder = &obs->recorder;
   }
   // The MarsSystem constructor attaches its pipeline observer and
   // registers the "mars." gauge family itself.

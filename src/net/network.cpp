@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
 #include <utility>
@@ -137,7 +138,9 @@ void Network::receive_parked(SwitchId dst, Packet* slot) {
 void Network::drain_mailboxes() {
   // Single-threaded (barrier). Visit order is irrelevant for determinism —
   // each mail carries its own (time, key) — but keep it fixed anyway.
+  std::uint64_t batch = 0;
   for (auto& box : mailbox_) {
+    batch += box.size();
     for (PacketMail& mail : box) {
       const SwitchId dst = mail.dst;
       const int dst_shard = shard_of_[dst];
@@ -152,6 +155,31 @@ void Network::drain_mailboxes() {
     // their packets carry) are reused, so steady state is alloc-free.
     box.clear();
   }
+  if (batch > 0) {
+    ++mailbox_stats_.drains;
+    mailbox_stats_.total_mail += batch;
+    mailbox_stats_.max_batch = std::max(mailbox_stats_.max_batch, batch);
+    std::size_t b = 0;
+    for (std::uint64_t n = batch;
+         n > 0 && b + 1 < MailboxStats::kHistBuckets; n >>= 1) {
+      ++b;
+    }
+    ++mailbox_stats_.batch_hist[b];
+  }
+}
+
+std::size_t Network::pool_in_flight() const {
+  std::size_t total = pool_.in_flight();
+  for (const auto& s : shard_state_) total += s.pool.in_flight();
+  return total;
+}
+
+std::size_t Network::pool_peak_in_flight() const {
+  // slot_count() is the arena high-water mark: slots are only ever added
+  // (never shrunk), one per peak concurrent in-flight packet.
+  std::size_t total = pool_.slot_count();
+  for (const auto& s : shard_state_) total += s.pool.slot_count();
+  return total;
 }
 
 void Network::deliver(Switch& sink, Packet&& pkt) {

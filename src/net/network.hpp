@@ -20,6 +20,7 @@
 // (source id << 40 | per-source seq) so id assignment never needs a
 // cross-shard counter.
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -115,6 +116,27 @@ class Network {
   /// legacy mode — sharded mode pools per shard).
   [[nodiscard]] const PacketPool& packet_pool() const { return pool_; }
 
+  /// Packets parked across links right now, summed over every pool.
+  [[nodiscard]] std::size_t pool_in_flight() const;
+  /// High-water mark of parked packets (pool arenas only grow), summed
+  /// over every pool — the memory footprint of in-flight traffic.
+  [[nodiscard]] std::size_t pool_peak_in_flight() const;
+
+  /// Cross-shard packet-mailbox accounting (sharded mode; all-zero in
+  /// legacy mode). One "drain" is a barrier-round visit that moved at
+  /// least one mail; `batch_hist` buckets mails-per-drain by log2, so a
+  /// fat tail means barriers move bursts rather than a steady trickle.
+  struct MailboxStats {
+    static constexpr std::size_t kHistBuckets = 16;
+    std::uint64_t drains = 0;      ///< barrier rounds that moved mail
+    std::uint64_t total_mail = 0;  ///< packets moved across shards
+    std::uint64_t max_batch = 0;   ///< largest single-round volume
+    std::array<std::uint64_t, kHistBuckets> batch_hist{};
+  };
+  [[nodiscard]] const MailboxStats& mailbox_stats() const {
+    return mailbox_stats_;
+  }
+
   // ---- internal API used by Switch ----
   void forward_to_neighbor(SwitchId from, PortId from_port, Packet&& pkt,
                            sim::Time extra_delay);
@@ -194,6 +216,7 @@ class Network {
   std::vector<ShardState> shard_state_;         // per shard
   std::vector<std::vector<PacketMail>> mailbox_;  // [src shard][dst shard]
   std::vector<std::uint64_t> packet_seq_;       // per source switch
+  MailboxStats mailbox_stats_;
 };
 
 }  // namespace mars::net

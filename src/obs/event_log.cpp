@@ -1,0 +1,128 @@
+#include "obs/event_log.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/json_writer.hpp"
+
+namespace mars::obs {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+std::optional<LogLevel> level_from_name(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+EventLog::EventLog(EventLogConfig config)
+    : config_(config), wall_epoch_(std::chrono::steady_clock::now()) {}
+
+void EventLog::configure(EventLogConfig config) {
+  config_ = config;
+  events_.clear();
+  buckets_.clear();
+  stats_ = Stats{};
+  wall_epoch_ = std::chrono::steady_clock::now();
+}
+
+double EventLog::wall_ms_now() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - wall_epoch_)
+      .count();
+}
+
+void EventLog::log(LogLevel level, sim::Time at, std::string component,
+                   std::string event, SpanArgs fields) {
+  LogEvent e;
+  e.level = level;
+  e.at = at;
+  e.wall_ms = wall_ms_now();
+  e.component = std::move(component);
+  e.event = std::move(event);
+  e.fields = std::move(fields);
+
+  // The black box sees full verbosity, before any filtering.
+  if (recorder_ != nullptr) recorder_->record(e);
+
+  if (level < config_.min_level) {
+    ++stats_.below_level;
+    return;
+  }
+
+  if (config_.rate_limit_per_s > 0) {
+    Bucket& bucket = buckets_[e.component + "/" + e.event];
+    if (!bucket.primed) {
+      bucket.tokens = static_cast<double>(config_.rate_limit_burst);
+      bucket.last = at;
+      bucket.primed = true;
+    } else if (at > bucket.last) {
+      // Refill in virtual time only; same-instant bursts share one refill.
+      bucket.tokens = std::min(
+          static_cast<double>(config_.rate_limit_burst),
+          bucket.tokens + sim::to_seconds(at - bucket.last) *
+                              config_.rate_limit_per_s);
+      bucket.last = at;
+    }
+    if (bucket.tokens < 1.0) {
+      ++bucket.suppressed_since;
+      ++stats_.rate_suppressed;
+      return;
+    }
+    bucket.tokens -= 1.0;
+    e.suppressed = bucket.suppressed_since;
+    bucket.suppressed_since = 0;
+  }
+
+  if (events_.size() >= config_.max_events) {
+    ++stats_.overflow_dropped;
+    return;
+  }
+  ++stats_.logged;
+  events_.push_back(std::move(e));
+}
+
+void EventLog::write_event(std::ostream& out, const LogEvent& event) {
+  JsonWriter w(out, 0);
+  write_event(w, event);
+}
+
+void EventLog::write_event(JsonWriter& w, const LogEvent& event) {
+  w.begin_object();
+  w.member("ts_s", sim::to_seconds(event.at));
+  w.member("wall_ms", event.wall_ms);
+  w.member("level", level_name(event.level));
+  w.member("component", event.component);
+  w.member("event", event.event);
+  w.key("fields").begin_object();
+  for (const SpanArg& field : event.fields) {
+    if (field.is_number) {
+      w.member(field.key, field.number);
+    } else {
+      w.member(field.key, field.text);
+    }
+  }
+  w.end_object();
+  if (event.suppressed > 0) w.member("suppressed", event.suppressed);
+  w.end_object();
+}
+
+void EventLog::write_ndjson(std::ostream& out) const {
+  for (const LogEvent& event : events_) {
+    write_event(out, event);
+    out << "\n";
+  }
+}
+
+}  // namespace mars::obs

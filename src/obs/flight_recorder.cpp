@@ -1,0 +1,77 @@
+#include "obs/flight_recorder.hpp"
+
+#include <utility>
+
+#include "obs/json_writer.hpp"
+
+namespace mars::obs {
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(config), ring_(config.capacity > 0 ? config.capacity : 1) {}
+
+void FlightRecorder::configure(FlightRecorderConfig config) {
+  config_ = config;
+  ring_ = util::RingBuffer<LogEvent>(config.capacity > 0 ? config.capacity
+                                                         : 1);
+  dumps_.clear();
+  triggers_total_ = 0;
+  prev_metrics_ = MetricsSnapshot{};
+  have_prev_metrics_ = false;
+}
+
+void FlightRecorder::record(const LogEvent& event) { ring_.push(event); }
+
+void FlightRecorder::note_metrics(sim::Time at, const MetricsSnapshot& snap) {
+  if (have_prev_metrics_) {
+    const MetricsSnapshot delta = snap.delta(prev_metrics_);
+    LogEvent e;
+    e.level = LogLevel::kDebug;
+    e.at = at;
+    e.component = "metrics";
+    e.event = "delta";
+    for (const auto& [name, value] : delta.counters) {
+      if (value == 0) continue;
+      if (e.fields.size() >= kMaxDeltaFields) {
+        e.fields.emplace_back("...", "more counters moved");
+        break;
+      }
+      e.fields.emplace_back(name, value);
+    }
+    if (!e.fields.empty()) ring_.push(std::move(e));
+  }
+  prev_metrics_ = snap;
+  have_prev_metrics_ = true;
+}
+
+void FlightRecorder::trigger(std::string reason, sim::Time at) {
+  ++triggers_total_;
+  if (dumps_.size() >= config_.max_dumps) return;
+  Dump dump;
+  dump.reason = std::move(reason);
+  dump.at = at;
+  dump.events = ring_.snapshot();
+  dumps_.push_back(std::move(dump));
+}
+
+void FlightRecorder::write_json(std::ostream& out, int indent) const {
+  JsonWriter w(out, indent);
+  w.begin_object();
+  w.member("triggers_total", triggers_total_);
+  w.key("dumps").begin_array();
+  for (const Dump& dump : dumps_) {
+    w.begin_object();
+    w.member("reason", dump.reason);
+    w.member("ts_s", sim::to_seconds(dump.at));
+    w.key("events").begin_array();
+    for (const LogEvent& event : dump.events) {
+      EventLog::write_event(w, event);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace mars::obs

@@ -1,0 +1,89 @@
+#pragma once
+// Flight recorder: a bounded ring of recent events and metric deltas that
+// is dumped on demand when a diagnosis goes wrong (confidence below
+// threshold, aborted collection), giving triggered post-mortem context
+// instead of always-on verbosity.
+//
+// The ring stores LogEvents at *full* verbosity — an attached EventLog
+// forwards every emission before its own level/rate filtering — plus
+// synthetic "metrics/delta" events appended on sampler ticks, so a dump
+// interleaves the last N control-plane decisions with how the counters
+// moved between them. Dumps snapshot the ring without clearing it, so two
+// triggers close together share the overlapping history.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.hpp"
+#include "obs/registry.hpp"
+#include "sim/time.hpp"
+#include "util/ring_buffer.hpp"
+
+namespace mars::obs {
+
+class JsonWriter;
+
+struct FlightRecorderConfig {
+  /// Events retained in the ring (oldest overwritten first).
+  std::size_t capacity = 256;
+  /// Sessions whose confidence lands strictly below this dump the ring.
+  double confidence_threshold = 0.8;
+  /// At most this many dumps are kept (later triggers still count).
+  std::size_t max_dumps = 8;
+};
+
+class FlightRecorder {
+ public:
+  /// One triggered snapshot of the ring, oldest event first.
+  struct Dump {
+    std::string reason;
+    sim::Time at = 0;
+    std::vector<LogEvent> events;
+  };
+
+  explicit FlightRecorder(FlightRecorderConfig config = {});
+
+  /// Replace the config and reset the ring, dumps, and counters.
+  void configure(FlightRecorderConfig config);
+
+  /// Append one event to the ring (called by EventLog pre-filter).
+  void record(const LogEvent& event);
+
+  /// Diff `snap` against the previous sampler tick and append one
+  /// synthetic "metrics/delta" event listing the counters that moved.
+  void note_metrics(sim::Time at, const MetricsSnapshot& snap);
+
+  /// Snapshot the ring into a dump. Always counts the trigger; retains
+  /// the dump only while under max_dumps.
+  void trigger(std::string reason, sim::Time at);
+
+  [[nodiscard]] bool should_trigger(double confidence) const {
+    return confidence < config_.confidence_threshold;
+  }
+
+  [[nodiscard]] const std::vector<Dump>& dumps() const { return dumps_; }
+  [[nodiscard]] std::uint64_t triggers_total() const {
+    return triggers_total_;
+  }
+  [[nodiscard]] std::size_t ring_size() const { return ring_.size(); }
+  [[nodiscard]] const FlightRecorderConfig& config() const { return config_; }
+
+  /// {"dumps": [{"reason", "ts_s", "events": [...]}]} — events in the
+  /// same compact object shape the NDJSON log uses.
+  void write_json(std::ostream& out, int indent = 2) const;
+
+ private:
+  /// At most this many counter deltas per synthetic metrics event.
+  static constexpr std::size_t kMaxDeltaFields = 24;
+
+  FlightRecorderConfig config_;
+  util::RingBuffer<LogEvent> ring_;
+  std::vector<Dump> dumps_;
+  std::uint64_t triggers_total_ = 0;
+  MetricsSnapshot prev_metrics_;
+  bool have_prev_metrics_ = false;
+};
+
+}  // namespace mars::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/sharded.hpp"
+
 namespace mars::obs {
 
 namespace {
@@ -27,6 +29,23 @@ void scrape_network(net::Network& network, MetricsRegistry& registry,
     });
     registry.gauge("sim.time_s", [&network] {
       return sim::to_seconds(network.simulator().now());
+    });
+    registry.gauge("sim.event_queue_depth", [&network] {
+      // Live scheduled events: every shard queue plus the global/control
+      // queue in sharded mode, the one queue in legacy mode.
+      std::size_t depth = network.simulator().pending_events();
+      if (auto* ssim = network.sharded(); ssim != nullptr) {
+        for (int i = 0; i < ssim->shard_count(); ++i) {
+          depth += ssim->shard(i).pending_events();
+        }
+      }
+      return static_cast<double>(depth);
+    });
+    registry.gauge("sim.packet_pool.in_flight", [&network] {
+      return static_cast<double>(network.pool_in_flight());
+    });
+    registry.gauge("sim.packet_pool.peak", [&network] {
+      return static_cast<double>(network.pool_peak_in_flight());
     });
     registry.gauge(p + "injected", [&network] {
       return static_cast<double>(network.stats().injected);

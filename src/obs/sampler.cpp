@@ -132,6 +132,11 @@ void Sampler::tick(sim::Time at, bool periodic) {
       if (std::isfinite(value)) tracer_->counter(name, at, value);
     }
   }
+  if (recorder_ != nullptr) {
+    // Full snapshot (counters included): the recorder keeps only the
+    // per-tick counter deltas, the black box's metric track.
+    recorder_->note_metrics(at, registry_->snapshot());
+  }
   // Only a periodic tick reschedules; sample_now() is an off-grid extra
   // that must not shift the phase of the pending periodic event.
   if (periodic) schedule_next(at);

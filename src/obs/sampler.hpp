@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
@@ -92,6 +93,11 @@ class Sampler {
 
   void set_tracer(SpanTracer* tracer) { tracer_ = tracer; }
 
+  /// Feed each tick's counter snapshot into a flight recorder (nullptr
+  /// detaches): the recorder's ring gains one "metrics/delta" event per
+  /// tick with every counter that moved since the previous tick.
+  void set_flight_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
   [[nodiscard]] sim::Time period() const { return config_.period; }
   [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
 
@@ -104,6 +110,7 @@ class Sampler {
   SeriesStore* series_;
   SamplerConfig config_;
   SpanTracer* tracer_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
   std::uint64_t pending_event_ = 0;
   bool pending_valid_ = false;
   std::uint64_t ticks_ = 0;

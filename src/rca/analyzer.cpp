@@ -24,7 +24,40 @@ struct PathGroup {
   return items.size() >= 2 ? CulpritLevel::kLink : CulpritLevel::kSwitch;
 }
 
+[[nodiscard]] std::string sequence_label(const fsm::Sequence& items) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += '>';
+    out += 's' + std::to_string(items[i]);
+  }
+  return out;
+}
+
 }  // namespace
+
+/// Accumulates the evidence chain of one analysis: epoch node per abnormal
+/// path group, pattern node per scored pattern, and (pattern -> culprit)
+/// contributions keyed by the culprit's canonical provenance_key(), so the
+/// final ranked list (assembled after merging, folding, and truncation)
+/// can be linked back to the patterns that produced each entry.
+struct RootCauseAnalyzer::ProvScratch {
+  obs::ProvenanceGraph* graph = nullptr;
+  std::string session_id;
+  /// provenance_key(culprit) -> pattern node ids that contributed.
+  std::map<std::string, std::vector<std::string>> contributions;
+  /// Fallback for port -> switch folding: "<cause>|<front switch>".
+  std::map<std::string, std::vector<std::string>> loose_contributions;
+
+  void contribute(const Culprit& culprit, const std::string& pattern_id) {
+    if (pattern_id.empty()) return;
+    contributions[provenance_key(culprit)].push_back(pattern_id);
+    if (!culprit.location.empty()) {
+      loose_contributions[std::string(to_string(culprit.cause)) + "|" +
+                          std::to_string(culprit.location.front())]
+          .push_back(pattern_id);
+    }
+  }
+};
 
 RootCauseAnalyzer::RootCauseAnalyzer(const control::PathRegistry& registry,
                                      RcaConfig config,
@@ -109,6 +142,20 @@ AnalysisResult RootCauseAnalyzer::analyze_with_stats(
     span->arg({"trigger", dataplane::kind_name(data.trigger.kind)});
     span->arg({"records", std::uint64_t{data.records.size()}});
   }
+  std::optional<ProvScratch> prov;
+  if (provenance_ != nullptr) {
+    prov.emplace();
+    prov->graph = provenance_;
+    // The controller normally created the session node; a standalone
+    // analyzer (tests, tools) gets a minimal one so the chain still roots.
+    prov->session_id =
+        !data.provenance_id.empty()
+            ? data.provenance_id
+            : provenance_->add_node(
+                  obs::ProvenanceGraph::NodeKind::kSession,
+                  {{"trigger", dataplane::kind_name(data.trigger.kind)}});
+  }
+  ProvScratch* prov_ptr = prov ? &*prov : nullptr;
   // A count deficit also appears when packets stall behind a congested or
   // delaying port: they arrive, just late, and also raise HighLatency
   // notifications. The notification mix collected with the session decides
@@ -122,8 +169,10 @@ AnalysisResult RootCauseAnalyzer::analyze_with_stats(
   const bool saw_drop = data.saw(dataplane::Notification::Kind::kDrop) ||
                         data.trigger.kind ==
                             dataplane::Notification::Kind::kDrop;
+  CulpritList& culprits = result.culprits;
   if (!saw_latency && saw_drop) {
-    result.culprits = analyze_drop(data, result.mining);
+    culprits = analyze_drop(data, result.mining, prov_ptr);
+    finish_provenance(prov_ptr, culprits);
     return result;
   }
 
@@ -164,27 +213,72 @@ AnalysisResult RootCauseAnalyzer::analyze_with_stats(
     real_drop = !congested && !latent;
   }
 
-  CulpritList& culprits = result.culprits;
   if (real_drop) {
     // The loss is the story; ambient latency culprits rank behind it.
-    culprits = analyze_drop(data, result.mining);
-    auto latency = analyze_latency(data, result.mining);
+    culprits = analyze_drop(data, result.mining, prov_ptr);
+    auto latency = analyze_latency(data, result.mining, prov_ptr);
     culprits.insert(culprits.end(),
                     std::make_move_iterator(latency.begin()),
                     std::make_move_iterator(latency.end()));
   } else {
     // Any loss evidence is congestion's shadow; the latency signatures
     // name the true cause.
-    culprits = analyze_latency(data, result.mining);
+    culprits = analyze_latency(data, result.mining, prov_ptr);
   }
   if (culprits.size() > config_.max_culprits) {
     culprits.resize(config_.max_culprits);
   }
+  finish_provenance(prov_ptr, culprits);
   return result;
 }
 
+void RootCauseAnalyzer::finish_provenance(ProvScratch* prov,
+                                          const CulpritList& culprits) const {
+  if (prov == nullptr) return;
+  obs::ProvenanceGraph& graph = *prov->graph;
+  for (std::size_t i = 0; i < culprits.size(); ++i) {
+    const Culprit& c = culprits[i];
+    const std::string key = provenance_key(c);
+    const std::string suspect_id = graph.add_node(
+        obs::ProvenanceGraph::NodeKind::kSuspect,
+        {{"rank", std::uint64_t{i + 1}},
+         {"score", c.score},
+         {"cause", to_string(c.cause)},
+         {"level", to_string(c.level)},
+         {"describe", c.describe()},
+         {"key", key}});
+    // Exact-key contributions first; port-level culprits folded into a
+    // switch-level one fall back to (cause, front switch).
+    const std::vector<std::string>* pattern_ids = nullptr;
+    const auto exact = prov->contributions.find(key);
+    if (exact != prov->contributions.end()) {
+      pattern_ids = &exact->second;
+    } else if (!c.location.empty()) {
+      const auto loose = prov->loose_contributions.find(
+          std::string(to_string(c.cause)) + "|" +
+          std::to_string(c.location.front()));
+      if (loose != prov->loose_contributions.end()) {
+        pattern_ids = &loose->second;
+      }
+    }
+    if (pattern_ids != nullptr) {
+      std::vector<std::string> unique = *pattern_ids;
+      std::sort(unique.begin(), unique.end());
+      unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+      for (const std::string& pattern_id : unique) {
+        graph.add_edge(pattern_id, suspect_id, "scored");
+      }
+    } else {
+      // No mined contribution survived (should not happen; keeps the
+      // graph connected if it does).
+      graph.add_edge(prov->session_id, suspect_id, "ranked");
+    }
+  }
+}
+
 CulpritList RootCauseAnalyzer::analyze_latency(
-    const control::DiagnosisData& data, fsm::MiningStats& mining) const {
+    const control::DiagnosisData& data, fsm::MiningStats& mining,
+    ProvScratch* prov) const {
   // Only recent history is evidence about THIS fault; older Ring Table
   // records feed the baseline features but not the abnormal/normal sets.
   std::vector<telemetry::RtRecord> recent;
@@ -230,6 +324,30 @@ CulpritList RootCauseAnalyzer::analyze_latency(
   }
   if (abnormal.empty()) return {};
 
+  // One epoch node per abnormal path group, in sorted path-id order so
+  // node ids are deterministic regardless of hash-map iteration.
+  std::unordered_map<std::uint32_t, std::string> epoch_ids;
+  if (prov != nullptr) {
+    std::vector<std::uint32_t> abnormal_ids;
+    for (const auto& [id, g] : groups) {
+      if (g.path != nullptr && g.abnormal > 0) abnormal_ids.push_back(id);
+    }
+    std::sort(abnormal_ids.begin(), abnormal_ids.end());
+    for (const std::uint32_t id : abnormal_ids) {
+      const PathGroup& g = groups.at(id);
+      const std::string epoch_id = prov->graph->add_node(
+          obs::ProvenanceGraph::NodeKind::kEpoch,
+          {{"pass", "latency"},
+           {"path_id", std::uint64_t{id}},
+           {"path", sequence_label(*g.path)},
+           {"abnormal", g.abnormal},
+           {"normal", g.normal},
+           {"flows", std::uint64_t{g.abnormal_by_flow.size()}}});
+      prov->graph->add_edge(prov->session_id, epoch_id, "classified");
+      epoch_ids.emplace(id, epoch_id);
+    }
+  }
+
   // (3) Mine culprit locations from the abnormal set.
   const auto patterns = mine_abnormal(abnormal, mining);
   if (patterns.empty()) return {};
@@ -254,18 +372,37 @@ CulpritList RootCauseAnalyzer::analyze_latency(
     // Flows whose abnormal packets traverse this pattern, plus totals.
     std::unordered_map<net::FlowId, std::uint64_t> flow_pkts;
     std::uint64_t pattern_pkts = 0;
+    std::vector<std::uint32_t> covering_groups;
     for (const auto& [id, g] : groups) {
       if (g.path == nullptr || g.abnormal == 0) continue;
       if (!fsm::contains_pattern(*g.path, sp.pattern.items,
                                  config_.mining.contiguous)) {
         continue;
       }
+      covering_groups.push_back(id);
       for (const auto& [flow, n] : g.abnormal_by_flow) {
         flow_pkts[flow] += n;
         pattern_pkts += n;
       }
     }
     if (pattern_pkts == 0) continue;
+
+    std::string pattern_id;
+    if (prov != nullptr) {
+      pattern_id = prov->graph->add_node(
+          obs::ProvenanceGraph::NodeKind::kPattern,
+          {{"pass", "latency"},
+           {"items", sequence_label(sp.pattern.items)},
+           {"support", sp.pattern.support},
+           {"score", sp.score}});
+      std::sort(covering_groups.begin(), covering_groups.end());
+      for (const std::uint32_t id : covering_groups) {
+        const auto it = epoch_ids.find(id);
+        if (it != epoch_ids.end()) {
+          prov->graph->add_edge(it->second, pattern_id, "mined");
+        }
+      }
+    }
 
     // First pass: which flows through this pattern are bursting? A burst
     // explains the congestion every other flow on the pattern suffers, so
@@ -297,6 +434,7 @@ CulpritList RootCauseAnalyzer::analyze_latency(
           victim_credit.location = sp.pattern.items;
           victim_credit.score =
               score / static_cast<double>(spiked.size());
+          if (prov != nullptr) prov->contribute(victim_credit, pattern_id);
           raw.push_back(std::move(victim_credit));
         }
         continue;
@@ -346,6 +484,7 @@ CulpritList RootCauseAnalyzer::analyze_latency(
         assign_location(culprit, sp.pattern.items);
         culprit.cause = CauseKind::kDelay;
       }
+      if (prov != nullptr) prov->contribute(culprit, pattern_id);
       raw.push_back(std::move(culprit));
     }
   }
@@ -357,7 +496,8 @@ CulpritList RootCauseAnalyzer::analyze_latency(
 }
 
 CulpritList RootCauseAnalyzer::analyze_drop(
-    const control::DiagnosisData& data, fsm::MiningStats& mining) const {
+    const control::DiagnosisData& data, fsm::MiningStats& mining,
+    ProvScratch* prov) const {
   // Flows with missing telemetry epochs or count mismatches are the
   // affected set (§4.4.4 "Drop").
   std::vector<telemetry::RtRecord> recent;
@@ -395,6 +535,7 @@ CulpritList RootCauseAnalyzer::analyze_drop(
   std::unordered_map<net::FlowId, std::unordered_map<std::uint32_t, PathRate>>
       per_flow;
   std::unordered_map<std::uint32_t, std::uint64_t> normal_weights;
+  std::unordered_map<std::uint32_t, std::uint64_t> abnormal_path_weights;
   for (const auto& rec : recent) {
     if (affected.count(rec.flow)) {
       auto& rates = per_flow[rec.flow];
@@ -443,7 +584,10 @@ CulpritList RootCauseAnalyzer::analyze_drop(
       if (path == nullptr) continue;
       const auto weight = static_cast<std::uint64_t>(
           100.0 * deficit / total_deficit + 0.5);
-      if (weight > 0) abnormal.add(*path, weight);
+      if (weight > 0) {
+        abnormal.add(*path, weight);
+        abnormal_path_weights[path_id] += weight;
+      }
     }
   }
   for (const auto& [id, w] : normal_weights) {
@@ -451,6 +595,27 @@ CulpritList RootCauseAnalyzer::analyze_drop(
     if (path != nullptr && w > 0) normal.add(*path, w);
   }
   if (abnormal.empty()) return {};
+
+  // One epoch node per deficit-weighted abnormal path (sorted for
+  // deterministic ids), mirroring the latency pass.
+  std::unordered_map<std::uint32_t, std::string> epoch_ids;
+  if (prov != nullptr) {
+    std::vector<std::uint32_t> ids;
+    for (const auto& [id, w] : abnormal_path_weights) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint32_t id : ids) {
+      const net::SwitchPath* path = registry_->lookup(id);
+      if (path == nullptr) continue;
+      const std::string epoch_id = prov->graph->add_node(
+          obs::ProvenanceGraph::NodeKind::kEpoch,
+          {{"pass", "drop"},
+           {"path_id", std::uint64_t{id}},
+           {"path", sequence_label(*path)},
+           {"deficit_weight", abnormal_path_weights.at(id)}});
+      prov->graph->add_edge(prov->session_id, epoch_id, "classified");
+      epoch_ids.emplace(id, epoch_id);
+    }
+  }
 
   const auto patterns = mine_abnormal(abnormal, mining);
   auto sbfl_span = phase_span("rca.sbfl");
@@ -468,6 +633,28 @@ CulpritList RootCauseAnalyzer::analyze_drop(
     assign_location(culprit, sp.pattern.items);
     culprit.cause = CauseKind::kDrop;
     culprit.score = sp.score;
+    if (prov != nullptr) {
+      const std::string pattern_id = prov->graph->add_node(
+          obs::ProvenanceGraph::NodeKind::kPattern,
+          {{"pass", "drop"},
+           {"items", sequence_label(sp.pattern.items)},
+           {"support", sp.pattern.support},
+           {"score", sp.score}});
+      std::vector<std::uint32_t> covering;
+      for (const auto& [id, epoch_id] : epoch_ids) {
+        const net::SwitchPath* path = registry_->lookup(id);
+        if (path != nullptr &&
+            fsm::contains_pattern(*path, sp.pattern.items,
+                                  config_.mining.contiguous)) {
+          covering.push_back(id);
+        }
+      }
+      std::sort(covering.begin(), covering.end());
+      for (const std::uint32_t id : covering) {
+        prov->graph->add_edge(epoch_ids.at(id), pattern_id, "mined");
+      }
+      prov->contribute(culprit, pattern_id);
+    }
     raw.push_back(std::move(culprit));
   }
   return merge_and_rank(std::move(raw));

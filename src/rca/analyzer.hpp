@@ -15,6 +15,7 @@
 #include "control/controller.hpp"
 #include "control/path_registry.hpp"
 #include "fsm/miner.hpp"
+#include "obs/provenance.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 #include "parallel/thread_pool.hpp"
@@ -89,11 +90,29 @@ class RootCauseAnalyzer {
   /// the mars.rca.mine.{calls,patterns,nodes} counters.
   void set_metrics(obs::MetricsRegistry* metrics);
 
+  /// Attach a provenance graph (nullptr detaches): each analysis adds
+  /// epoch nodes (abnormal path groups), pattern nodes (mined + scored),
+  /// and suspect nodes (the final ranked list), chained session ->
+  /// epoch -> pattern -> suspect. Suspect nodes carry the canonical
+  /// provenance_key() so outcomes can be joined back to nodes.
+  void set_provenance(obs::ProvenanceGraph* provenance) {
+    provenance_ = provenance;
+  }
+
  private:
-  [[nodiscard]] CulpritList analyze_latency(
-      const control::DiagnosisData& data, fsm::MiningStats& mining) const;
-  [[nodiscard]] CulpritList analyze_drop(
-      const control::DiagnosisData& data, fsm::MiningStats& mining) const;
+  /// Per-analysis provenance scratch (defined in the .cpp); null when no
+  /// graph is attached.
+  struct ProvScratch;
+
+  [[nodiscard]] CulpritList analyze_latency(const control::DiagnosisData& data,
+                                            fsm::MiningStats& mining,
+                                            ProvScratch* prov) const;
+  [[nodiscard]] CulpritList analyze_drop(const control::DiagnosisData& data,
+                                         fsm::MiningStats& mining,
+                                         ProvScratch* prov) const;
+  /// Append one suspect node per final ranked culprit, linked to the
+  /// patterns that contributed its score.
+  void finish_provenance(ProvScratch* prov, const CulpritList& culprits) const;
   /// Run the configured miner, fold its stats into `mining`, and feed the
   /// attached tracer/metrics.
   [[nodiscard]] std::vector<fsm::Pattern> mine_abnormal(
@@ -114,6 +133,7 @@ class RootCauseAnalyzer {
   RcaConfig config_;
   const net::Topology* topology_;
   obs::SpanTracer* tracer_ = nullptr;
+  obs::ProvenanceGraph* provenance_ = nullptr;
   obs::Counter* mine_calls_ = nullptr;
   obs::Counter* mine_patterns_ = nullptr;
   obs::Counter* mine_nodes_ = nullptr;

@@ -23,4 +23,23 @@ std::string Culprit::describe() const {
   return out;
 }
 
+std::string provenance_key(const Culprit& culprit) {
+  std::string key = to_string(culprit.cause);
+  key += '|';
+  key += to_string(culprit.level);
+  key += '|';
+  for (std::size_t i = 0; i < culprit.location.size(); ++i) {
+    if (i) key += '-';
+    key += std::to_string(culprit.location[i]);
+  }
+  if (culprit.level == CulpritLevel::kPort) {
+    key += "|p" + std::to_string(culprit.port);
+  }
+  if (culprit.level == CulpritLevel::kFlow) {
+    key += "|f" + std::to_string(culprit.flow.source) + "-" +
+           std::to_string(culprit.flow.sink);
+  }
+  return key;
+}
+
 }  // namespace mars::rca

@@ -62,4 +62,12 @@ struct Culprit {
 /// Ranked output, highest score first.
 using CulpritList = std::vector<Culprit>;
 
+/// Canonical identity string for a culprit, normalized the same way
+/// merge_and_rank's dedup key is (port only at port level, flow only at
+/// flow level). This is the cross-layer join key the provenance graph
+/// stores on suspect nodes, so consumers that only see the exported JSON
+/// (scenario grading, trace tooling) can match culprits to nodes without
+/// linking against rca types.
+[[nodiscard]] std::string provenance_key(const Culprit& culprit);
+
 }  // namespace mars::rca

@@ -78,6 +78,7 @@ bool ShardedSimulator::plan_window(Time until) {
     // Simulator::run), and by the conservative lookahead bound.
     Time w = until + 1;
     bool stalled = false;
+    bool capped_by_global = false;
     if (t_l + config_.lookahead < w) {
       w = t_l + config_.lookahead;
       stalled = true;
@@ -85,10 +86,17 @@ bool ShardedSimulator::plan_window(Time until) {
     if (t_g < w) {
       w = t_g;
       stalled = false;
+      capped_by_global = true;
     }
     window_ = w;
     ++sync_.windows;
-    if (stalled) ++sync_.lookahead_stalls;
+    if (stalled) {
+      ++sync_.lookahead_stalls;
+    } else if (capped_by_global) {
+      ++sync_.windows_capped_by_global;
+    } else {
+      ++sync_.windows_to_end;
+    }
     return true;
   }
 }
@@ -102,8 +110,14 @@ void ShardedSimulator::run(Time until) {
           // Events strictly below window_ are independent across shards
           // (nothing scheduled at >= T_l can reach another shard before
           // T_l + lookahead >= window_).
+          const std::uint64_t before = s.sim.events_executed();
           s.sim.run(window_ - 1);
+          const std::uint64_t ran = s.sim.events_executed() - before;
           ++s.stats.windows;
+          if (ran > 0) ++s.stats.busy_windows;
+          s.stats.window_events += ran;
+          s.stats.max_window_events = std::max(s.stats.max_window_events, ran);
+          ++s.stats.window_event_hist[ShardStats::hist_bucket(ran)];
         },
         [this, until](std::uint64_t /*epoch*/) {
           return plan_window(until);

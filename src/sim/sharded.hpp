@@ -36,6 +36,7 @@
 // drains sort by (time, key) before scheduling. Fixed seed => the same
 // execution, bit for bit, at every shard count.
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -59,16 +60,49 @@ struct ShardedConfig {
   Time control_latency = 1 * kMillisecond;
 };
 
-/// Per-shard accounting, exposed as obs gauges per shard.
+/// Per-shard accounting, exposed as obs gauges per shard. The occupancy
+/// fields are the PDES profiler: how much real work each shard found in
+/// its parallel windows (an idle shard burns a barrier round for nothing,
+/// so low busy-fraction on one shard means the partition is lopsided).
 struct ShardStats {
-  std::uint64_t windows = 0;  ///< parallel windows this shard ran in
+  static constexpr std::size_t kHistBuckets = 16;
+
+  std::uint64_t windows = 0;       ///< parallel windows this shard ran in
+  std::uint64_t busy_windows = 0;  ///< windows with >= 1 event executed
+  std::uint64_t window_events = 0;      ///< events executed inside windows
+  std::uint64_t max_window_events = 0;  ///< densest single window
+  /// Events-per-window histogram, log2 buckets: [0] counts empty windows,
+  /// [k>0] counts windows with event count in [2^(k-1), 2^k). The last
+  /// bucket absorbs the tail.
+  std::array<std::uint64_t, kHistBuckets> window_event_hist{};
+
+  /// Log2 bucket index for one window's event count.
+  [[nodiscard]] static std::size_t hist_bucket(std::uint64_t events) {
+    std::size_t b = 0;
+    while (events > 0 && b + 1 < kHistBuckets) {
+      events >>= 1;
+      ++b;
+    }
+    return b;
+  }
+  /// Fraction of this shard's windows that executed at least one event.
+  [[nodiscard]] double busy_fraction() const {
+    return windows == 0
+               ? 0.0
+               : static_cast<double>(busy_windows) /
+                     static_cast<double>(windows);
+  }
 };
 
-/// Synchronization accounting for the whole run.
+/// Synchronization accounting for the whole run, with every window's end
+/// attributed to exactly one cap: the lookahead bound (a stall — shards
+/// wanted to run further), the next global event, or end-of-run.
 struct ShardSyncStats {
   std::uint64_t windows = 0;            ///< parallel windows executed
   std::uint64_t global_rounds = 0;      ///< global-queue sub-runs
   std::uint64_t lookahead_stalls = 0;   ///< windows clipped by lookahead
+  std::uint64_t windows_capped_by_global = 0;  ///< clipped by a global event
+  std::uint64_t windows_to_end = 0;     ///< ran unclipped to end-of-run
 };
 
 class ShardedSimulator {

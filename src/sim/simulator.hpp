@@ -67,6 +67,8 @@ class Simulator {
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] bool pending() const { return !queue_.empty(); }
+  /// Number of live scheduled events (the obs event-queue-depth gauge).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
   /// Time of the earliest pending event, if any. Non-const: surfacing the
   /// answer may discard cancelled tombstones at the top of the heap. The

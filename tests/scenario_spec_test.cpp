@@ -39,6 +39,13 @@ ScenarioSpec full_spec() {
   delay.kind = "delay";
   delay.at_s = 3.0;
   spec.faults.push_back(delay);
+  spec.obs.log_level = "debug";
+  spec.obs.log_rate_limit_per_s = 25.0;
+  spec.obs.log_rate_limit_burst = 8;
+  spec.obs.flight_recorder.enabled = true;
+  spec.obs.flight_recorder.capacity = 128;
+  spec.obs.flight_recorder.confidence_threshold = 0.9;
+  spec.obs.provenance = true;
   return spec;
 }
 
@@ -298,6 +305,87 @@ TEST(ScenarioSpecTest, TelemetryFaultKindsParseAndValidate) {
   const auto errors = pinned.validate();
   ASSERT_FALSE(errors.empty());
   EXPECT_NE(errors.front().find("control channel"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, ObsBlockRoundTripsAndLowers) {
+  ScenarioSpec spec;
+  spec.obs.log_level = "warn";
+  spec.obs.log_rate_limit_per_s = 10.0;
+  spec.obs.log_rate_limit_burst = 4;
+  spec.obs.flight_recorder.enabled = true;
+  spec.obs.flight_recorder.capacity = 64;
+  spec.obs.flight_recorder.confidence_threshold = 0.95;
+  spec.obs.provenance = true;
+  const ScenarioSpec reparsed = parse_scenario_spec(to_json(spec));
+  EXPECT_EQ(reparsed, spec);
+  EXPECT_TRUE(spec.validate().empty());
+
+  const ScenarioConfig cfg = spec.to_config();
+  EXPECT_EQ(cfg.obs.log_level, obs::LogLevel::kWarn);
+  EXPECT_DOUBLE_EQ(cfg.obs.log_rate_limit_per_s, 10.0);
+  EXPECT_EQ(cfg.obs.log_rate_limit_burst, 4u);
+  EXPECT_TRUE(cfg.obs.flight_recorder);
+  EXPECT_EQ(cfg.obs.flight_capacity, 64u);
+  EXPECT_DOUBLE_EQ(cfg.obs.flight_confidence_threshold, 0.95);
+  EXPECT_TRUE(cfg.obs.provenance);
+
+  // Unset keeps the inert defaults.
+  const ScenarioConfig plain = parse_scenario_spec("{}").to_config();
+  EXPECT_EQ(plain.obs.log_level, obs::LogLevel::kInfo);
+  EXPECT_FALSE(plain.obs.flight_recorder);
+  EXPECT_FALSE(plain.obs.provenance);
+}
+
+TEST(ScenarioSpecTest, ObsUnknownKeyNamesItsPath) {
+  try {
+    (void)parse_scenario_spec(R"({"obs": {"loglevel": "info"}})");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.obs"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("loglevel"), std::string::npos);
+  }
+  try {
+    (void)parse_scenario_spec(
+        R"({"obs": {"flight_recorder": {"cap": 64}}})");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.obs.flight_recorder"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cap"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecTest, ObsUnknownLogLevelIsPathNamed) {
+  ScenarioSpec spec;
+  spec.obs.log_level = "verbose";
+  const auto errors = spec.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors.front().find("spec.obs.log_level"), std::string::npos);
+  EXPECT_NE(errors.front().find("verbose"), std::string::npos);
+  EXPECT_THROW((void)spec.to_config(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, ObsOutOfRangeValuesArePathNamed) {
+  ScenarioSpec spec;
+  spec.obs.log_rate_limit_per_s = -1.0;
+  spec.obs.log_rate_limit_burst = 0;
+  spec.obs.flight_recorder.capacity = 0;
+  spec.obs.flight_recorder.confidence_threshold = 1.5;
+  const auto errors = spec.validate();
+  ASSERT_EQ(errors.size(), 4u);
+  const char* expected[] = {
+      "spec.obs.log_rate_limit_per_s",
+      "spec.obs.log_rate_limit_burst",
+      "spec.obs.flight_recorder.capacity",
+      "spec.obs.flight_recorder.confidence_threshold",
+  };
+  for (const char* path : expected) {
+    bool found = false;
+    for (const auto& e : errors) {
+      if (e.find(path) != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found) << "no error names " << path;
+  }
 }
 
 }  // namespace

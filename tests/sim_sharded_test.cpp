@@ -181,5 +181,67 @@ TEST(ShardedSimTest, EventsExecutedSumsShardsAndGlobal) {
   EXPECT_EQ(ssim.events_executed(), 3u);
 }
 
+TEST(ShardedSimTest, WindowEndAttributionSumsToWindows) {
+  // The profiler attributes every parallel window's end to exactly one
+  // cap: lookahead stall, a pending global event, or end-of-run.
+  parallel::ThreadPool pool(2);
+  ShardedSimulator ssim(pool, {.shards = 2, .lookahead = 1 * kMicrosecond});
+  for (int i = 1; i <= 8; ++i) {
+    ssim.shard(i % 2).schedule_at(i * 100 * kMicrosecond, [] {});
+  }
+  ssim.global().schedule_at(450 * kMicrosecond, [] {});
+  ssim.run(1 * kMillisecond);
+
+  const ShardSyncStats& sync = ssim.sync_stats();
+  EXPECT_GE(sync.lookahead_stalls, 1u);
+  EXPECT_EQ(sync.lookahead_stalls + sync.windows_capped_by_global +
+                sync.windows_to_end,
+            sync.windows);
+}
+
+TEST(ShardedSimTest, ShardOccupancyStatsAccountForEveryWindowEvent) {
+  parallel::ThreadPool pool(2);
+  ShardedSimulator ssim(pool, {.shards = 2, .lookahead = 1 * kMicrosecond});
+  // Shard 0 gets a dense burst plus stragglers; shard 1 stays empty — its
+  // windows must all count as idle (busy_fraction 0).
+  for (int i = 0; i < 12; ++i) {
+    ssim.shard(0).schedule_at((10 + i % 3) * kMicrosecond, [] {});
+  }
+  ssim.shard(0).schedule_at(500 * kMicrosecond, [] {});
+  ssim.run(1 * kMillisecond);
+
+  const ShardStats& busy = ssim.shard_stats(0);
+  const ShardStats& idle = ssim.shard_stats(1);
+  EXPECT_EQ(busy.windows, ssim.sync_stats().windows);
+  EXPECT_EQ(idle.windows, ssim.sync_stats().windows);
+  EXPECT_EQ(busy.window_events, 13u);  // every shard event ran in a window
+  EXPECT_GE(busy.max_window_events, 1u);
+  EXPECT_LE(busy.busy_windows, busy.windows);
+  EXPECT_GT(busy.busy_fraction(), 0.0);
+  EXPECT_EQ(idle.window_events, 0u);
+  EXPECT_EQ(idle.busy_windows, 0u);
+  EXPECT_EQ(idle.busy_fraction(), 0.0);
+
+  // The events-per-window histogram covers every window: bucket 0 holds
+  // the empty windows, the rest hold the busy ones.
+  std::uint64_t hist_total = 0;
+  for (const std::uint64_t n : busy.window_event_hist) hist_total += n;
+  EXPECT_EQ(hist_total, busy.windows);
+  EXPECT_EQ(busy.window_event_hist[0], busy.windows - busy.busy_windows);
+}
+
+TEST(ShardedSimTest, HistBucketIsLog2WithSaturation) {
+  EXPECT_EQ(ShardStats::hist_bucket(0), 0u);
+  EXPECT_EQ(ShardStats::hist_bucket(1), 1u);
+  EXPECT_EQ(ShardStats::hist_bucket(2), 2u);
+  EXPECT_EQ(ShardStats::hist_bucket(3), 2u);
+  EXPECT_EQ(ShardStats::hist_bucket(4), 3u);
+  EXPECT_EQ(ShardStats::hist_bucket(7), 3u);
+  EXPECT_EQ(ShardStats::hist_bucket(8), 4u);
+  // The last bucket absorbs the tail.
+  EXPECT_EQ(ShardStats::hist_bucket(~std::uint64_t{0}),
+            ShardStats::kHistBuckets - 1);
+}
+
 }  // namespace
 }  // namespace mars::sim

@@ -1,55 +1,149 @@
-// Fig. 9 — network bandwidth overhead of the four systems, split into
-// telemetry (in-band header bytes crossing links) and diagnosis (bytes
-// moved from the data plane to the control plane).
+// Fig. 9 extended — the bandwidth-vs-localization-accuracy frontier.
 //
-// Expected shape (paper): SyNDB has zero telemetry but enormous diagnosis
-// traffic; IntSight's 33B header dominates telemetry; SpiderMon is light
-// in-band but collects from ALL switches on demand; MARS is lightest
-// overall and smallest in diagnosis (edge-only collection).
+// The original Fig. 9 compared the four systems' byte overheads at one
+// operating point. With pluggable telemetry backends the interesting
+// question becomes a frontier: for each operating point (MARS under
+// postcard / int-md / histogram export, plus the three baselines), how
+// many in-band bytes per delivered packet does it spend, and what
+// Recall@1 / Recall@3 does that buy across the Table-1 fault suite?
 //
-// Every system's byte counters are read from the scenario's observability
-// registry (mars.* gauges from MarsSystem, {system}.* from each
-// baseline's register_metrics) — one snapshot feeds the whole table.
+// Expected shape: int-md pays the most in band (per-hop metadata stack)
+// for hop-exact evidence; postcard is the paper's operating point;
+// histogram undercuts postcard's in-band AND report-plane bytes at an
+// accuracy cost (quantized latency, no queue depths); SyNDB buys its
+// near-perfect recall with enormous diagnosis traffic.
+//
+// Output: a text table plus BENCH_telemetry_frontier.json (pass
+// --frontier-out FILE to redirect). MARS_TRIALS sets the per-cause trial
+// count (default 6; CI smoke uses 1).
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "mars/scenario.hpp"
 #include "mars/sweep.hpp"
+#include "metrics/ranking.hpp"
+#include "obs/json_writer.hpp"
+#include "parallel/thread_pool.hpp"
+#include "telemetry/backend.hpp"
 
 namespace {
 
 using namespace mars;
 
-struct Row {
-  const char* name;
-  const char* prefix;
+constexpr faults::FaultKind kCauses[] = {
+    faults::FaultKind::kMicroBurst, faults::FaultKind::kEcmpImbalance,
+    faults::FaultKind::kProcessRateDecrease, faults::FaultKind::kDelay,
+    faults::FaultKind::kDrop};
+
+int trials_per_cause() {
+  if (const char* env = std::getenv("MARS_TRIALS")) {
+    return std::max(1, std::atoi(env));
+  }
+  return 6;
+}
+
+/// One point on the frontier: a system (MARS under one backend, or a
+/// baseline) aggregated over the full fault suite.
+struct FrontierPoint {
+  std::string system;
+  std::string backend;  ///< empty for baselines
+  metrics::LocalizationStats stats;
+  std::uint64_t telemetry_bytes = 0;
+  std::uint64_t diagnosis_bytes = 0;
+  std::uint64_t delivered = 0;
+  int trials = 0;
+
+  [[nodiscard]] double inband_bytes_per_packet() const {
+    return delivered == 0 ? 0.0
+                          : static_cast<double>(telemetry_bytes) /
+                                static_cast<double>(delivered);
+  }
 };
 
-void print_rows(const char* label, const obs::MetricsSnapshot& snap,
-                std::uint64_t app_bytes) {
-  constexpr Row kRows[4] = {
-      {"MARS", "mars."},
-      {"SpiderMon", "spidermon."},
-      {"IntSight", "intsight."},
-      {"SyNDB", "syndb."},
-  };
-  std::printf(" %s (application bytes on wire: %.1f MB)\n", label,
-              static_cast<double>(app_bytes) / 1e6);
-  std::printf("  system    | telemetry KB | diagnosis KB | total KB | "
-              "%% of app traffic\n");
-  for (const auto& row : kRows) {
-    const std::string prefix = row.prefix;
-    const double telemetry = snap.gauge_or(prefix + "telemetry_bytes", 0.0);
-    const double diagnosis = snap.gauge_or(prefix + "diagnosis_bytes", 0.0);
-    const double total = telemetry + diagnosis;
-    std::printf("  %-9s | %12.1f | %12.1f | %8.1f | %6.3f%%\n", row.name,
-                telemetry / 1e3, diagnosis / 1e3, total / 1e3,
-                100.0 * total / static_cast<double>(app_bytes));
+std::vector<SweepPoint> suite_points(const std::vector<std::string>& systems,
+                                     telemetry::BackendKind backend,
+                                     int trials) {
+  std::vector<SweepPoint> points;
+  for (const auto cause : kCauses) {
+    for (int i = 0; i < trials; ++i) {
+      SweepPoint point;
+      point.config =
+          default_scenario(cause, 1000 + 37 * static_cast<std::uint64_t>(i));
+      point.config.systems = systems;
+      point.config.mars.pipeline.backend.kind = backend;
+      point.label = std::string(faults::short_name(cause)) +
+                    "/seed=" + std::to_string(point.config.seed);
+      points.push_back(std::move(point));
+    }
   }
+  return points;
+}
+
+void fold_trials(const SweepResult& sweep, const std::string& system,
+                 FrontierPoint& point) {
+  for (const auto& trial : sweep.trials) {
+    if (!trial.result.fault_injected) continue;
+    const SystemOutcome& outcome = trial.result.outcome(system);
+    point.stats.add(outcome.rank);
+    point.telemetry_bytes += outcome.telemetry_bytes;
+    point.diagnosis_bytes += outcome.diagnosis_bytes;
+    point.delivered += trial.result.net_stats.delivered;
+    ++point.trials;
+  }
+}
+
+void print_point(const FrontierPoint& p) {
+  const std::string label =
+      p.backend.empty() ? p.system : p.system + "/" + p.backend;
+  std::printf("  %-15s | %7.2f | %12.1f | %12.1f | %3.0f  %3.0f | %4d\n",
+              label.c_str(), p.inband_bytes_per_packet(),
+              static_cast<double>(p.telemetry_bytes) / 1e3,
+              static_cast<double>(p.diagnosis_bytes) / 1e3,
+              100 * p.stats.recall_at(1), 100 * p.stats.recall_at(3),
+              p.trials);
+}
+
+void write_frontier_json(const std::string& path,
+                         const std::vector<FrontierPoint>& points,
+                         int trials) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  obs::JsonWriter w(out, 2);
+  w.begin_object();
+  w.member("bench", "telemetry_frontier");
+  w.member("trials_per_cause", std::int64_t{trials});
+  w.key("causes").begin_array();
+  for (const auto cause : kCauses) w.value(faults::to_string(cause));
+  w.end_array();
+  w.key("points").begin_array();
+  for (const auto& p : points) {
+    w.begin_object();
+    w.member("system", p.system);
+    if (!p.backend.empty()) w.member("backend", p.backend);
+    w.member("inband_bytes_per_packet", p.inband_bytes_per_packet());
+    w.member("telemetry_bytes", p.telemetry_bytes);
+    w.member("diagnosis_bytes", p.diagnosis_bytes);
+    w.member("recall_at_1", p.stats.recall_at(1));
+    w.member("recall_at_3", p.stats.recall_at(3));
+    w.member("exam_score", p.stats.exam_score());
+    w.member("trials", std::int64_t{p.trials});
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
+  std::fprintf(stderr, "wrote %zu frontier points to %s\n", points.size(),
+               path.c_str());
 }
 
 void BM_ScenarioWithAllSystems(benchmark::State& state) {
@@ -64,26 +158,55 @@ BENCHMARK(BM_ScenarioWithAllSystems)->Unit(benchmark::kSecond)->Iterations(1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf("== Fig. 9: bandwidth overhead per system ==\n");
-  std::vector<SweepPoint> points;
-  for (const auto fault : {faults::FaultKind::kProcessRateDecrease,
-                           faults::FaultKind::kMicroBurst}) {
-    SweepPoint point;
-    point.config = default_scenario(fault, 7);
-    point.label = faults::to_string(fault);
+  std::string frontier_out = "BENCH_telemetry_frontier.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--frontier-out") == 0 && i + 1 < argc) {
+      frontier_out = argv[i + 1];
+      // Hide the flag pair from google-benchmark's parser.
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+
+  const int trials = trials_per_cause();
+  parallel::ThreadPool pool;
+  std::vector<FrontierPoint> points;
+
+  // MARS once per telemetry backend: same fault suite, same seeds — only
+  // the export mode moves, which is exactly the frontier's x axis.
+  for (const auto kind :
+       {telemetry::BackendKind::kPostcard, telemetry::BackendKind::kIntMd,
+        telemetry::BackendKind::kHistogram}) {
+    const auto sweep =
+        run_sweep(pool, suite_points({"mars"}, kind, trials));
+    FrontierPoint point;
+    point.system = "mars";
+    point.backend = telemetry::to_string(kind);
+    fold_trials(sweep, "mars", point);
     points.push_back(std::move(point));
   }
-  SweepOptions options;
-  options.collect_observability = true;
-  const auto sweep = run_sweep(points, options);
-  for (const auto& trial : sweep.trials) {
-    // Approximate application bytes: delivered packets x mean wire size.
-    const std::uint64_t app_bytes =
-        trial.result.net_stats.delivered * 590ull;
-    print_rows(trial.label.c_str(), trial.observability->snapshot,
-               app_bytes);
-    std::printf("\n");
+
+  // The baselines are backend-independent: one sweep covers all three.
+  {
+    const auto sweep = run_sweep(
+        pool, suite_points({"spidermon", "intsight", "syndb"},
+                           telemetry::BackendKind::kPostcard, trials));
+    for (const char* system : {"spidermon", "intsight", "syndb"}) {
+      FrontierPoint point;
+      point.system = system;
+      fold_trials(sweep, system, point);
+      points.push_back(std::move(point));
+    }
   }
+
+  std::printf("== Telemetry frontier: in-band bytes vs localization "
+              "accuracy (%d trials/cause) ==\n",
+              trials);
+  std::printf("  point           | B/pkt   | telemetry KB | diagnosis KB | "
+              "R@1  R@3 | trials\n");
+  for (const auto& point : points) print_point(point);
+  write_frontier_json(frontier_out, points, trials);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,20 +1,32 @@
 #!/usr/bin/env bash
-# Guard the zero-overhead-when-disabled contract: the recorded pairwise
-# ratio of BM_LeafSpine_HotPath_Instrumented to BM_LeafSpine_HotPath (an
-# idle MetricsRegistry + SpanTracer constructed but never attached) must
-# not regress more than 5% below the PR-2 reference of 0.976.
+# Two recorded-benchmark gates:
 #
-# Usage: bench/check_bench_regress.sh [report.json]
-#   Defaults to the committed BENCH_sim_hotpath.json. Pass a freshly
-#   refreshed report (bench/run_sim_hotpath.sh out.json) to gate a new
-#   measurement instead of the committed record.
+# 1. Zero-overhead-when-disabled: the recorded pairwise ratio of
+#    BM_LeafSpine_HotPath_Instrumented to BM_LeafSpine_HotPath (an idle
+#    MetricsRegistry + SpanTracer constructed but never attached) must not
+#    regress more than 5% below the PR-2 reference of 0.976.
+# 2. Telemetry frontier ordering: the histogram backend's raison d'être is
+#    undercutting postcard's in-band bytes per packet; a frontier report
+#    where it doesn't means the digest wire accounting regressed.
+#
+# Usage: bench/check_bench_regress.sh [report.json] [frontier.json]
+#   Defaults to the committed BENCH_sim_hotpath.json and
+#   BENCH_telemetry_frontier.json. Pass freshly refreshed reports
+#   (bench/run_sim_hotpath.sh out.json; bench_fig9_bandwidth
+#   --frontier-out out.json) to gate new measurements instead of the
+#   committed records.
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 report=${1:-$repo_root/BENCH_sim_hotpath.json}
+frontier=${2:-$repo_root/BENCH_telemetry_frontier.json}
 
 if [[ ! -f $report ]]; then
   echo "error: $report not found" >&2
+  exit 1
+fi
+if [[ ! -f $frontier ]]; then
+  echo "error: $frontier not found" >&2
   exit 1
 fi
 
@@ -41,4 +53,30 @@ if ratio < floor:
         f"error: instrumented hot-path ratio {ratio:.3f} regressed more "
         f"than {MAX_REGRESSION:.0%} below the {REFERENCE_RATIO:.3f} "
         "reference — instrumentation is leaking onto the packet hot path")
+EOF
+
+python3 - "$frontier" <<'EOF'
+import json
+import sys
+
+frontier_path = sys.argv[1]
+doc = json.load(open(frontier_path))
+
+per_backend = {
+    p["backend"]: p for p in doc.get("points", [])
+    if p.get("system") == "mars" and "backend" in p
+}
+missing = {"postcard", "int-md", "histogram"} - per_backend.keys()
+if missing:
+    sys.exit(f"error: {frontier_path} missing mars points for {missing}")
+
+hist = per_backend["histogram"]["inband_bytes_per_packet"]
+post = per_backend["postcard"]["inband_bytes_per_packet"]
+verdict = "ok" if hist < post else "REGRESSION"
+print(f"histogram in-band {hist:.2f} B/pkt vs postcard {post:.2f}: {verdict}")
+if hist >= post:
+    sys.exit(
+        f"error: histogram backend spends {hist:.2f} in-band bytes/packet, "
+        f"not below postcard's {post:.2f} — the compact-marker accounting "
+        "regressed and the backend no longer earns its accuracy cost")
 EOF

@@ -10,6 +10,8 @@
 //     --k <even n>            fat-tree arity      (default 4)
 //     --leaves <n> --spines <n>  leaf-spine shape
 //     --systems <a,b,...>     telemetry systems to deploy (default all)
+//     --backend <name>        MARS telemetry-export backend
+//                             (postcard|int-md|histogram, default postcard)
 //     --flows <n>             background flows    (scenario default)
 //     --pps <x>               per-flow rate       (scenario default)
 //     --duration <seconds>    simulated time      (default 5)
@@ -17,6 +19,7 @@
 //     --no-baselines          deploy MARS only
 //     --list-topologies       print registered topologies and exit
 //     --list-systems          print registered telemetry systems and exit
+//     --list-backends         print telemetry-export backends and exit
 //     --trace-out <file>      dump the workload as CSV
 //     --metrics-out <file>    metrics snapshot + sampled series (JSON)
 //     --spans-out <file>      Chrome/Perfetto trace-event JSON
@@ -45,6 +48,7 @@
 #include "mars/scenario_spec.hpp"
 #include "mars/system_registry.hpp"
 #include "obs/json_writer.hpp"
+#include "telemetry/backend.hpp"
 #include "workload/trace.hpp"
 
 namespace {
@@ -55,9 +59,10 @@ using namespace mars;
   std::fprintf(stderr,
                "usage: %s [--scenario FILE] [--fault F] [--seed N] "
                "[--topology NAME] [--k K] [--leaves N] [--spines N] "
-               "[--systems A,B,...] [--flows N] [--pps X] [--duration S] "
-               "[--fault-at S] [--no-baselines] [--list-topologies] "
-               "[--list-systems] [--trace-out FILE] [--metrics-out FILE] "
+               "[--systems A,B,...] [--backend NAME] [--flows N] [--pps X] "
+               "[--duration S] [--fault-at S] [--no-baselines] "
+               "[--list-topologies] [--list-systems] [--list-backends] "
+               "[--trace-out FILE] [--metrics-out FILE] "
                "[--spans-out FILE] [--log-out FILE] [--log-level LEVEL] "
                "[--provenance-out FILE] [--flight-out FILE] [--json]\n",
                argv0);
@@ -72,6 +77,27 @@ faults::FaultKind parse_fault(const std::string& arg) {
     std::exit(2);
   }
   return *kind;
+}
+
+telemetry::BackendKind parse_backend(const std::string& arg) {
+  const auto kind = telemetry::backend_from_name(arg);
+  if (kind) return *kind;
+  std::string names;
+  for (const auto& name : telemetry::known_backend_names()) {
+    if (!names.empty()) names += ", ";
+    names += name;
+  }
+  const std::string hint = telemetry::suggest_backend(arg);
+  if (hint.empty()) {
+    std::fprintf(stderr, "unknown telemetry backend '%s' (known: %s)\n",
+                 arg.c_str(), names.c_str());
+  } else {
+    std::fprintf(stderr,
+                 "unknown telemetry backend '%s' (known: %s); did you mean "
+                 "'%s'?\n",
+                 arg.c_str(), names.c_str(), hint.c_str());
+  }
+  std::exit(2);
 }
 
 std::vector<std::string> split_csv(const std::string& arg) {
@@ -144,6 +170,7 @@ int main(int argc, char** argv) {
   std::optional<double> pps, duration_s, fault_at_s;
   std::optional<std::string> topology;
   std::optional<std::vector<std::string>> systems;
+  std::optional<telemetry::BackendKind> backend;
   std::string scenario_file;
   bool baselines = true, json = false;
   std::string trace_out, metrics_out, spans_out;
@@ -172,6 +199,8 @@ int main(int argc, char** argv) {
       spines = std::atoi(next());
     } else if (arg == "--systems") {
       systems = split_csv(next());
+    } else if (arg == "--backend") {
+      backend = parse_backend(next());
     } else if (arg == "--flows") {
       flows = std::atoi(next());
     } else if (arg == "--pps") {
@@ -189,6 +218,11 @@ int main(int argc, char** argv) {
       return 0;
     } else if (arg == "--list-systems") {
       for (const auto& name : SystemRegistry::instance().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    } else if (arg == "--list-backends") {
+      for (const auto& name : telemetry::known_backend_names()) {
         std::printf("%s\n", name.c_str());
       }
       return 0;
@@ -263,6 +297,7 @@ int main(int argc, char** argv) {
   } else if (!baselines) {
     cfg.systems = {"mars"};
   }
+  if (backend) cfg.mars.pipeline.backend.kind = *backend;
 
   if (log_level) cfg.obs.log_level = *log_level;
   if (!provenance_out.empty()) cfg.obs.provenance = true;

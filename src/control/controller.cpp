@@ -166,7 +166,7 @@ void Controller::drain_round() {
         // Quarantined records still crossed the wire: their bytes count
         // toward diagnosis overhead even though they never reach the RCA
         // engine.
-        overheads_.diagnosis_bytes += telemetry::RtRecord::kWireBytes;
+        overheads_.diagnosis_bytes += pipeline_->record_wire_bytes();
         if (!plausible_record(rec, now)) {
           ++c.data.quality.records_quarantined;
           ++overheads_.records_quarantined;

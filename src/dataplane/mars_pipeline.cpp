@@ -8,10 +8,23 @@ namespace mars::dataplane {
 
 MarsPipeline::MarsPipeline(std::size_t switch_count, PipelineConfig config,
                            NotificationFn notify)
-    : config_(config), notify_fn_(std::move(notify)) {
+    : config_(config), notify_fn_(std::move(notify)),
+      backend_(telemetry::make_backend(config_.backend, switch_count,
+                                       config_.epoch_period,
+                                       config_.ring_capacity)) {
   state_.reserve(switch_count);
   for (std::size_t i = 0; i < switch_count; ++i) {
-    state_.emplace_back(config_.epoch_period, config_.ring_capacity);
+    state_.emplace_back(config_.epoch_period);
+  }
+}
+
+void MarsPipeline::observe_epoch(net::SwitchId sw, sim::Time now) {
+  const telemetry::EpochId epoch =
+      telemetry::epoch_of(now, config_.epoch_period);
+  telemetry::EpochId& last = state_[sw].last_epoch;
+  if (epoch > last) {
+    last = epoch;
+    backend_->on_epoch_rollover(sw, epoch, now);
   }
 }
 
@@ -40,6 +53,9 @@ PipelineOverheads MarsPipeline::overheads() const {
 }
 
 void MarsPipeline::on_ingress(net::SwitchContext& ctx, net::Packet& pkt) {
+  // Every switch observes local epoch advances here (the one callback all
+  // packets pass at every hop), driving backend rollover hooks.
+  observe_epoch(ctx.id, ctx.sim.now());
   if (ctx.id != pkt.flow.source) return;
   SwitchState& st = state_[ctx.id];
   const sim::Time now = ctx.sim.now();
@@ -49,7 +65,9 @@ void MarsPipeline::on_ingress(net::SwitchContext& ctx, net::Packet& pkt) {
   pkt.has_path_id = true;
   pkt.path_id = 0;
 
-  // Mark at most one telemetry packet per flow per epoch (§4.2.1).
+  // Mark at most one telemetry packet per flow per epoch (§4.2.1). The
+  // marked packet carries the common in-band fields for every backend so
+  // serialization timing stays backend-invariant (telemetry/backend.hpp).
   if (st.ingress.try_mark_telemetry(pkt.flow, now)) {
     net::IntHeader hdr;
     hdr.source_timestamp = now;
@@ -58,6 +76,7 @@ void MarsPipeline::on_ingress(net::SwitchContext& ctx, net::Packet& pkt) {
     hdr.epoch_id = telemetry::epoch_of(now, config_.epoch_period);
     pkt.telemetry = hdr;
     ++st.overheads.telemetry_packets_marked;
+    backend_->on_marked(ctx, pkt);
   }
 }
 
@@ -72,6 +91,7 @@ void MarsPipeline::on_enqueue(net::SwitchContext& ctx, net::Packet& pkt,
     // In-network aggregation: add this hop's queue depth (§4.2.1).
     pkt.telemetry->total_queue_depth += queue_depth;
   }
+  backend_->on_hop_enqueue(ctx, pkt, out, queue_depth);
 }
 
 void MarsPipeline::maybe_check_latency(net::SwitchContext& ctx,
@@ -167,10 +187,17 @@ void MarsPipeline::notify(net::SwitchContext& ctx, Notification n) {
 }
 
 void MarsPipeline::on_egress(net::SwitchContext& ctx, net::Packet& pkt,
-                             net::PortId /*out*/, sim::Time /*hop_latency*/) {
-  // Monitoring bytes occupy this link once per traversal (Fig. 9).
-  state_[ctx.id].overheads.telemetry_bytes += pkt.monitoring_overhead_bytes();
+                             net::PortId out, sim::Time hop_latency) {
+  // Monitoring bytes occupy this link once per traversal (Fig. 9); what
+  // they amount to is the backend's wire format.
+  state_[ctx.id].overheads.telemetry_bytes +=
+      backend_->on_hop_egress(ctx, pkt, out, hop_latency);
   maybe_check_latency(ctx, pkt, /*at_sink=*/false);
+}
+
+void MarsPipeline::on_drop(net::SwitchContext& ctx, const net::Packet& pkt,
+                           net::PortId /*out*/) {
+  backend_->on_drop(ctx, pkt);
 }
 
 void MarsPipeline::on_deliver(net::SwitchContext& ctx, net::Packet& pkt) {
@@ -239,7 +266,7 @@ void MarsPipeline::on_deliver(net::SwitchContext& ctx, net::Packet& pkt) {
   for (std::uint8_t i = 0; i < rec.path_count_n; ++i) {
     rec.path_counts[i] = per_path[i];
   }
-  st.ring.insert(rec);
+  backend_->on_sink_record(ctx, pkt, rec);
   if (latency_hist_ != nullptr && latency >= 0) {
     latency_hist_->record(static_cast<std::uint64_t>(latency));
   }

@@ -23,6 +23,7 @@
 #include "net/observer.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
+#include "telemetry/backend.hpp"
 #include "telemetry/path_id.hpp"
 #include "telemetry/tables.hpp"
 
@@ -30,6 +31,11 @@ namespace mars::dataplane {
 
 struct PipelineConfig {
   telemetry::PathIdConfig path_id;
+  /// Which export backend carries telemetry off the data plane (postcard
+  /// ring tables, INT-MD stacks, or in-switch histograms) — see
+  /// telemetry/backend.hpp. The common pipeline (tables, PathID, marking,
+  /// detection, notifications) is backend-invariant.
+  telemetry::BackendConfig backend;
   sim::Time epoch_period = telemetry::kDefaultEpochPeriod;
   /// A switch sends at most one notification per window (paper §4.2.2).
   /// Short enough that a congestion fault's HighLatency and Drop
@@ -94,15 +100,20 @@ class MarsPipeline : public net::PacketObserver {
       net::SwitchId sw) const {
     return state_[sw].egress;
   }
-  [[nodiscard]] const telemetry::RingTable& ring_table(
-      net::SwitchId sw) const {
-    return state_[sw].ring;
-  }
-  /// Drain a sink switch's Ring Table for diagnosis; leaves it intact
+  /// Drain a sink switch's export store for diagnosis; leaves it intact
   /// (reads are register reads, not resets).
   [[nodiscard]] std::vector<telemetry::RtRecord> ring_snapshot(
       net::SwitchId sw) const {
-    return state_[sw].ring.snapshot();
+    return backend_->drain(sw);
+  }
+  /// Wire bytes the control plane pays per drained record (backend
+  /// dependent; Fig. 9 diagnosis accounting).
+  [[nodiscard]] std::uint32_t record_wire_bytes() const {
+    return backend_->record_wire_bytes();
+  }
+  /// The export backend (occupancy gauges, backend-specific evidence).
+  [[nodiscard]] const telemetry::TelemetryBackend& backend() const {
+    return *backend_;
   }
 
   /// Merged across switches (counters are kept per switch so shard
@@ -127,13 +138,17 @@ class MarsPipeline : public net::PacketObserver {
   void on_egress(net::SwitchContext& ctx, net::Packet& pkt, net::PortId out,
                  sim::Time hop_latency) override;
   void on_deliver(net::SwitchContext& ctx, net::Packet& pkt) override;
+  void on_drop(net::SwitchContext& ctx, const net::Packet& pkt,
+               net::PortId out) override;
 
  private:
   struct SwitchState {
     telemetry::IngressTable ingress;
     telemetry::EgressTable egress;
-    telemetry::RingTable ring;
     sim::Time last_notification = -1;
+    /// Latest telemetry epoch this switch has locally observed; advances
+    /// drive TelemetryBackend::on_epoch_rollover.
+    telemetry::EpochId last_epoch = 0;
     /// Per-flow telemetry epoch last seen at this sink (epoch-gap check).
     std::unordered_map<net::FlowId, telemetry::EpochId> last_seen_epoch;
     /// Consecutive count-mismatch epochs per flow (drop persistence).
@@ -144,16 +159,18 @@ class MarsPipeline : public net::PacketObserver {
     /// Per-switch slice of the overhead counters (merged by overheads()).
     PipelineOverheads overheads;
 
-    SwitchState(sim::Time period, std::size_t ring_capacity)
-        : ingress(period), egress(period), ring(ring_capacity) {}
+    explicit SwitchState(sim::Time period) : ingress(period), egress(period) {}
   };
 
   void maybe_check_latency(net::SwitchContext& ctx, net::Packet& pkt,
                            bool at_sink);
   void notify(net::SwitchContext& ctx, Notification n);
+  /// Fire the backend rollover hook when `sw`'s local epoch advances.
+  void observe_epoch(net::SwitchId sw, sim::Time now);
 
   PipelineConfig config_;
   NotificationFn notify_fn_;
+  std::unique_ptr<telemetry::TelemetryBackend> backend_;
   std::vector<SwitchState> state_;
   telemetry::ControlMat mat_;
   std::unordered_map<net::FlowId, sim::Time> thresholds_;

@@ -114,8 +114,12 @@ MarsSystem::MarsSystem(net::Network& network, MarsConfig config)
 }
 
 MarsSystem::~MarsSystem() {
-  // The "mars." gauges capture `this`; they must not outlive us.
-  if (config_.metrics != nullptr) config_.metrics->remove_gauges("mars.");
+  // The "mars." and "telemetry." gauges capture `this`; they must not
+  // outlive us.
+  if (config_.metrics != nullptr) {
+    config_.metrics->remove_gauges("mars.");
+    config_.metrics->remove_gauges("telemetry.");
+  }
 }
 
 void MarsSystem::register_metrics(obs::MetricsRegistry& registry) {
@@ -181,19 +185,33 @@ void MarsSystem::register_metrics(obs::MetricsRegistry& registry) {
     return static_cast<double>(controller_->overheads().partial_sessions);
   });
   registry.gauge("mars.ring_occupancy", [this] {
-    // Mean edge-switch Ring Table fill fraction (the paper's Fig. 10
-    // memory argument made observable).
+    // Mean edge-switch export-store fill fraction (the paper's Fig. 10
+    // memory argument made observable; ring tables, INT-MD stores, and
+    // digest rings all report through the backend).
     const auto edges =
         network_->topology().switches_in_layer(net::Layer::kEdge);
     if (edges.empty()) return 0.0;
+    const auto& backend = pipeline_->backend();
+    const auto capacity = static_cast<double>(backend.store_capacity());
+    if (capacity <= 0.0) return 0.0;
     double sum = 0.0;
     for (const net::SwitchId sw : edges) {
-      const auto& ring = pipeline_->ring_table(sw);
-      sum += ring.capacity() > 0 ? static_cast<double>(ring.size()) /
-                                       static_cast<double>(ring.capacity())
-                                 : 0.0;
+      sum += static_cast<double>(backend.store_size(sw)) / capacity;
     }
     return sum / static_cast<double>(edges.size());
+  });
+  // Export-backend accounting (bandwidth-vs-accuracy frontier inputs).
+  registry.gauge("telemetry.backend.inband_bytes", [this] {
+    return static_cast<double>(pipeline_->backend().counters().inband_bytes);
+  });
+  registry.gauge("telemetry.backend.records", [this] {
+    return static_cast<double>(pipeline_->backend().counters().records);
+  });
+  registry.gauge("telemetry.backend.epochs", [this] {
+    return static_cast<double>(pipeline_->backend().counters().epochs);
+  });
+  registry.gauge("telemetry.backend.triggers", [this] {
+    return static_cast<double>(pipeline_->backend().counters().triggers);
   });
 }
 

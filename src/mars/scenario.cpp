@@ -126,6 +126,45 @@ std::vector<std::string> validate_scenario(const ScenarioConfig& config) {
         "mars.rca.mining.threads must be in [1, 64] (got " +
         std::to_string(config.mars.rca.mining.threads) + ")");
   }
+  const telemetry::BackendConfig& be = config.mars.pipeline.backend;
+  if (config.mars.pipeline.ring_capacity == 0) {
+    errors.push_back("telemetry.ring_capacity must be nonzero (an empty "
+                     "export store can never surface evidence)");
+  }
+  if (be.int_md.sample_every == 0) {
+    errors.push_back("telemetry.int_md.sample_every must be at least 1 "
+                     "(0 samples nothing)");
+  }
+  if (be.int_md.max_hops == 0) {
+    errors.push_back("telemetry.int_md.max_hops must be at least 1");
+  }
+  if (be.histogram.buckets < 8 || be.histogram.buckets > 4096) {
+    errors.push_back("telemetry.histogram.buckets must be in [8, 4096] "
+                     "(got " + std::to_string(be.histogram.buckets) + ")");
+  }
+  if (be.histogram.sub_bucket_bits > 8) {
+    errors.push_back(
+        "telemetry.histogram.sub_bucket_bits must be at most 8 (got " +
+        std::to_string(be.histogram.sub_bucket_bits) + ")");
+  }
+  if (be.histogram.marker_bytes == 0 || be.histogram.marker_bytes > 64) {
+    errors.push_back("telemetry.histogram.marker_bytes must be in [1, 64] "
+                     "(got " + std::to_string(be.histogram.marker_bytes) +
+                     ")");
+  }
+  if (be.histogram.tail_latency <= 0) {
+    errors.push_back("telemetry.histogram.tail_latency_ms must be positive");
+  }
+  check_prob(be.histogram.trigger_enter,
+             "telemetry.histogram.trigger_enter");
+  check_prob(be.histogram.trigger_exit, "telemetry.histogram.trigger_exit");
+  if (be.histogram.trigger_exit > be.histogram.trigger_enter) {
+    errors.push_back(
+        "telemetry.histogram.trigger_exit must be <= trigger_enter "
+        "(hysteresis re-arms below the firing level; got exit " +
+        std::to_string(be.histogram.trigger_exit) + " > enter " +
+        std::to_string(be.histogram.trigger_enter) + ")");
+  }
   for (std::size_t i = 0; i < config.systems.size(); ++i) {
     const std::string& name = config.systems[i];
     if (!SystemRegistry::instance().contains(name)) {
@@ -163,6 +202,14 @@ std::vector<std::string> validate_scenario(const ScenarioConfig& config) {
       errors.push_back("sharded simulation requires a perfect control "
                        "channel (mars.channel degradation knobs must all "
                        "be zero)");
+    }
+    if (be.kind != telemetry::BackendKind::kPostcard) {
+      errors.push_back(
+          std::string("sharded simulation supports only the 'postcard' "
+                      "telemetry backend (got '") +
+          telemetry::to_string(be.kind) +
+          "'; int-md and histogram keep cross-switch state that shard "
+          "threads may not share)");
     }
     for (const auto& event : config.faults.events) {
       if (faults::is_telemetry_fault(event.kind)) {

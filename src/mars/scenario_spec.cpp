@@ -7,6 +7,7 @@
 
 #include "obs/json_reader.hpp"
 #include "obs/json_writer.hpp"
+#include "telemetry/backend.hpp"
 
 namespace mars {
 
@@ -172,6 +173,46 @@ ScenarioConfig ScenarioSpec::to_config() const {
   if (channel.max_read_retries) {
     cfg.mars.controller.max_read_retries = *channel.max_read_retries;
   }
+  dataplane::PipelineConfig& pl = cfg.mars.pipeline;
+  if (telemetry.backend) {
+    const auto kind = telemetry::backend_from_name(*telemetry.backend);
+    if (!kind) {
+      std::string msg = "unknown telemetry backend '" + *telemetry.backend +
+                        "' (known:";
+      for (const auto& n : telemetry::known_backend_names()) msg += " " + n;
+      msg += ")";
+      const std::string hint = telemetry::suggest_backend(*telemetry.backend);
+      if (!hint.empty()) msg += "; did you mean '" + hint + "'?";
+      throw std::invalid_argument(msg);
+    }
+    pl.backend.kind = *kind;
+  }
+  if (telemetry.ring_capacity) pl.ring_capacity = *telemetry.ring_capacity;
+  if (telemetry.int_md.sample_every) {
+    pl.backend.int_md.sample_every = *telemetry.int_md.sample_every;
+  }
+  if (telemetry.int_md.max_hops) {
+    pl.backend.int_md.max_hops = *telemetry.int_md.max_hops;
+  }
+  if (telemetry.histogram.buckets) {
+    pl.backend.histogram.buckets = *telemetry.histogram.buckets;
+  }
+  if (telemetry.histogram.sub_bucket_bits) {
+    pl.backend.histogram.sub_bucket_bits = *telemetry.histogram.sub_bucket_bits;
+  }
+  if (telemetry.histogram.tail_latency_ms) {
+    pl.backend.histogram.tail_latency =
+        seconds_to_time(*telemetry.histogram.tail_latency_ms * 1e-3);
+  }
+  if (telemetry.histogram.trigger_enter) {
+    pl.backend.histogram.trigger_enter = *telemetry.histogram.trigger_enter;
+  }
+  if (telemetry.histogram.trigger_exit) {
+    pl.backend.histogram.trigger_exit = *telemetry.histogram.trigger_exit;
+  }
+  if (telemetry.histogram.digest_capacity) {
+    pl.backend.histogram.digest_capacity = *telemetry.histogram.digest_capacity;
+  }
   if (mining.threads) cfg.mars.rca.mining.threads = *mining.threads;
   if (obs.log_level) {
     const auto level = obs::level_from_name(*obs.log_level);
@@ -227,6 +268,16 @@ std::vector<std::string> ScenarioSpec::validate() const {
   if (sim.shards && (*sim.shards < 1 || *sim.shards > 64)) {
     errors.push_back("spec.sim.shards must be in [1, 64] (got " +
                      std::to_string(*sim.shards) + ")");
+  }
+  if (telemetry.backend &&
+      !telemetry::backend_from_name(*telemetry.backend)) {
+    std::string msg = "spec.telemetry.backend: unknown backend '" +
+                      *telemetry.backend + "' (known:";
+    for (const auto& n : telemetry::known_backend_names()) msg += " " + n;
+    msg += ")";
+    const std::string hint = telemetry::suggest_backend(*telemetry.backend);
+    if (!hint.empty()) msg += "; did you mean '" + hint + "'?";
+    errors.push_back(std::move(msg));
   }
   if (obs.log_level && !obs::level_from_name(*obs.log_level)) {
     errors.push_back("spec.obs.log_level: unknown level '" + *obs.log_level +
@@ -323,6 +374,40 @@ std::string to_json(const ScenarioSpec& spec, int indent) {
     }
     w.end_object();
   }
+  if (spec.telemetry.any_set()) {
+    const auto& te = spec.telemetry;
+    w.key("telemetry").begin_object();
+    if (te.backend) w.member("backend", *te.backend);
+    if (te.ring_capacity) {
+      w.member("ring_capacity", std::uint64_t{*te.ring_capacity});
+    }
+    if (te.int_md.any_set()) {
+      w.key("int_md").begin_object();
+      if (te.int_md.sample_every) {
+        w.member("sample_every", std::uint64_t{*te.int_md.sample_every});
+      }
+      if (te.int_md.max_hops) {
+        w.member("max_hops", std::uint64_t{*te.int_md.max_hops});
+      }
+      w.end_object();
+    }
+    if (te.histogram.any_set()) {
+      const auto& h = te.histogram;
+      w.key("histogram").begin_object();
+      if (h.buckets) w.member("buckets", std::uint64_t{*h.buckets});
+      if (h.sub_bucket_bits) {
+        w.member("sub_bucket_bits", std::uint64_t{*h.sub_bucket_bits});
+      }
+      if (h.tail_latency_ms) w.member("tail_latency_ms", *h.tail_latency_ms);
+      if (h.trigger_enter) w.member("trigger_enter", *h.trigger_enter);
+      if (h.trigger_exit) w.member("trigger_exit", *h.trigger_exit);
+      if (h.digest_capacity) {
+        w.member("digest_capacity", std::uint64_t{*h.digest_capacity});
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
   if (spec.mining.any_set()) {
     w.key("mining").begin_object();
     if (spec.mining.threads) {
@@ -403,7 +488,7 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
   reject_unknown_keys(doc,
                       {"name", "topology", "queue_capacity", "background",
                        "duration_s", "seed", "systems", "faults", "channel",
-                       "mining", "sim", "obs"},
+                       "telemetry", "mining", "sim", "obs"},
                       "spec");
 
   ScenarioSpec spec;
@@ -506,6 +591,65 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
     if (const auto* v = ch->find("max_read_retries")) {
       spec.channel.max_read_retries = static_cast<std::uint32_t>(
           as_uint(*v, "spec.channel.max_read_retries"));
+    }
+  }
+  if (const auto* te = doc.find("telemetry")) {
+    if (!te->is_object()) fail("spec.telemetry", "expected an object");
+    reject_unknown_keys(
+        *te, {"backend", "ring_capacity", "int_md", "histogram"},
+        "spec.telemetry");
+    if (const auto* v = te->find("backend")) {
+      spec.telemetry.backend = as_string(*v, "spec.telemetry.backend");
+    }
+    if (const auto* v = te->find("ring_capacity")) {
+      spec.telemetry.ring_capacity = static_cast<std::uint32_t>(
+          as_uint(*v, "spec.telemetry.ring_capacity"));
+    }
+    if (const auto* im = te->find("int_md")) {
+      if (!im->is_object()) fail("spec.telemetry.int_md", "expected an object");
+      reject_unknown_keys(*im, {"sample_every", "max_hops"},
+                          "spec.telemetry.int_md");
+      if (const auto* v = im->find("sample_every")) {
+        spec.telemetry.int_md.sample_every = static_cast<std::uint32_t>(
+            as_uint(*v, "spec.telemetry.int_md.sample_every"));
+      }
+      if (const auto* v = im->find("max_hops")) {
+        spec.telemetry.int_md.max_hops = static_cast<std::uint32_t>(
+            as_uint(*v, "spec.telemetry.int_md.max_hops"));
+      }
+    }
+    if (const auto* hi = te->find("histogram")) {
+      if (!hi->is_object()) {
+        fail("spec.telemetry.histogram", "expected an object");
+      }
+      reject_unknown_keys(*hi,
+                          {"buckets", "sub_bucket_bits", "tail_latency_ms",
+                           "trigger_enter", "trigger_exit", "digest_capacity"},
+                          "spec.telemetry.histogram");
+      if (const auto* v = hi->find("buckets")) {
+        spec.telemetry.histogram.buckets = static_cast<std::uint32_t>(
+            as_uint(*v, "spec.telemetry.histogram.buckets"));
+      }
+      if (const auto* v = hi->find("sub_bucket_bits")) {
+        spec.telemetry.histogram.sub_bucket_bits = static_cast<std::uint32_t>(
+            as_uint(*v, "spec.telemetry.histogram.sub_bucket_bits"));
+      }
+      if (const auto* v = hi->find("tail_latency_ms")) {
+        spec.telemetry.histogram.tail_latency_ms =
+            as_number(*v, "spec.telemetry.histogram.tail_latency_ms");
+      }
+      if (const auto* v = hi->find("trigger_enter")) {
+        spec.telemetry.histogram.trigger_enter =
+            as_number(*v, "spec.telemetry.histogram.trigger_enter");
+      }
+      if (const auto* v = hi->find("trigger_exit")) {
+        spec.telemetry.histogram.trigger_exit =
+            as_number(*v, "spec.telemetry.histogram.trigger_exit");
+      }
+      if (const auto* v = hi->find("digest_capacity")) {
+        spec.telemetry.histogram.digest_capacity = static_cast<std::uint32_t>(
+            as_uint(*v, "spec.telemetry.histogram.digest_capacity"));
+      }
     }
   }
   if (const auto* mining = doc.find("mining")) {

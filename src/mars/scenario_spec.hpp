@@ -86,6 +86,47 @@ struct ScenarioSpec {
   };
   Channel channel;
 
+  /// Telemetry-export backend block ("telemetry"). Unset runs the paper's
+  /// postcard ring tables; {"backend": "int-md"} or {"backend":
+  /// "histogram"} swaps the export mode behind the common
+  /// telemetry::TelemetryBackend interface (see DESIGN.md "Telemetry
+  /// backends"). Sub-blocks tune the named backend and are accepted even
+  /// when another backend is selected (they are simply inert).
+  struct Telemetry {
+    std::optional<std::string> backend;  ///< telemetry::backend_from_name
+    std::optional<std::uint32_t> ring_capacity;  ///< sink export store
+    struct IntMd {
+      std::optional<std::uint32_t> sample_every;
+      std::optional<std::uint32_t> max_hops;
+
+      [[nodiscard]] bool any_set() const { return sample_every || max_hops; }
+      friend bool operator==(const IntMd&, const IntMd&) = default;
+    };
+    IntMd int_md;
+    struct Histogram {
+      std::optional<std::uint32_t> buckets;
+      std::optional<std::uint32_t> sub_bucket_bits;
+      std::optional<double> tail_latency_ms;
+      std::optional<double> trigger_enter;
+      std::optional<double> trigger_exit;
+      std::optional<std::uint32_t> digest_capacity;
+
+      [[nodiscard]] bool any_set() const {
+        return buckets || sub_bucket_bits || tail_latency_ms ||
+               trigger_enter || trigger_exit || digest_capacity;
+      }
+      friend bool operator==(const Histogram&, const Histogram&) = default;
+    };
+    Histogram histogram;
+
+    [[nodiscard]] bool any_set() const {
+      return backend || ring_capacity || int_md.any_set() ||
+             histogram.any_set();
+    }
+    friend bool operator==(const Telemetry&, const Telemetry&) = default;
+  };
+  Telemetry telemetry;
+
   /// FSM mining engine knobs (§4.4.2 / Fig. 11). Unset keeps the default:
   /// threads = 1, i.e. fully sequential mining with no pool.
   struct Mining {

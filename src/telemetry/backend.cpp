@@ -1,0 +1,88 @@
+#include "telemetry/backend.hpp"
+
+#include <algorithm>
+
+#include "telemetry/histogram_backend.hpp"
+#include "telemetry/int_md_backend.hpp"
+#include "telemetry/postcard_backend.hpp"
+
+namespace mars::telemetry {
+
+namespace {
+
+constexpr BackendKind kAllKinds[] = {BackendKind::kPostcard,
+                                     BackendKind::kIntMd,
+                                     BackendKind::kHistogram};
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+}  // namespace
+
+const char* to_string(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kPostcard: return "postcard";
+    case BackendKind::kIntMd: return "int-md";
+    case BackendKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+std::optional<BackendKind> backend_from_name(std::string_view name) {
+  for (const BackendKind kind : kAllKinds) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& known_backend_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const BackendKind kind : kAllKinds) out.emplace_back(to_string(kind));
+    return out;
+  }();
+  return names;
+}
+
+std::string suggest_backend(std::string_view name) {
+  std::string best;
+  std::size_t best_dist = 4;  // past 3 edits a suggestion is noise
+  for (const std::string& known : known_backend_names()) {
+    const std::size_t dist = edit_distance(name, known);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = known;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<TelemetryBackend> make_backend(const BackendConfig& config,
+                                               std::size_t switch_count,
+                                               sim::Time epoch_period,
+                                               std::size_t ring_capacity) {
+  switch (config.kind) {
+    case BackendKind::kPostcard:
+      return std::make_unique<PostcardBackend>(switch_count, ring_capacity);
+    case BackendKind::kIntMd:
+      return std::make_unique<IntMdBackend>(config.int_md, switch_count,
+                                            ring_capacity);
+    case BackendKind::kHistogram:
+      return std::make_unique<HistogramBackend>(config.histogram, switch_count,
+                                                epoch_period, ring_capacity);
+  }
+  return nullptr;
+}
+
+}  // namespace mars::telemetry

@@ -50,6 +50,15 @@ void IntMdPipeline::on_deliver(net::SwitchContext& ctx, net::Packet& pkt) {
   record.hops = std::move(it->second.hops);
   record.hops.push_back(
       IntMdHop{ctx.id, pkt.ingress_port, net::kHostPort, 0, 0});
+  if (config_.max_records > 0 && records_.size() >= config_.max_records) {
+    // Retention cap between collects: evict the oldest half in one move
+    // (amortized O(1) per insert) rather than growing without bound.
+    const std::size_t keep = config_.max_records / 2;
+    const std::size_t evict = records_.size() - keep;
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<std::ptrdiff_t>(evict));
+    dropped_records_ += evict;
+  }
   records_.push_back(std::move(record));
   in_flight_.erase(it);
 }

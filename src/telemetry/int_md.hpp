@@ -39,6 +39,11 @@ struct IntMdConfig {
   /// Stop pushing metadata beyond this many hops (spec's Remaining Hop
   /// Count); deeper hops traverse without recording.
   std::uint32_t max_hops = 16;
+  /// Retention cap on sink-side records between collect() calls. A
+  /// long-lived run that never collects must not grow without bound; at
+  /// the cap the oldest half is evicted (ring-table discipline: newest
+  /// evidence wins).
+  std::size_t max_records = 4096;
 };
 
 /// Per-hop record sink-side, after the stack is popped.
@@ -53,9 +58,21 @@ class IntMdPipeline : public net::PacketObserver {
  public:
   explicit IntMdPipeline(IntMdConfig config = {});
 
-  /// Records extracted at sinks, in delivery order.
+  /// Records extracted at sinks since the last collect(), in delivery
+  /// order (bounded by IntMdConfig::max_records).
   [[nodiscard]] const std::vector<IntMdRecord>& records() const {
     return records_;
+  }
+  /// Drain retained records (the collector's read empties the store, like
+  /// a ring-table drain); delivery order, oldest first.
+  [[nodiscard]] std::vector<IntMdRecord> collect() {
+    std::vector<IntMdRecord> out;
+    out.swap(records_);
+    return out;
+  }
+  /// Records evicted because the retention cap was hit before a collect.
+  [[nodiscard]] std::uint64_t dropped_records() const {
+    return dropped_records_;
   }
   /// In-band bytes this mode put on the wire so far.
   [[nodiscard]] std::uint64_t telemetry_bytes() const {
@@ -89,6 +106,7 @@ class IntMdPipeline : public net::PacketObserver {
   std::vector<IntMdRecord> records_;
   std::uint64_t telemetry_bytes_ = 0;
   std::uint64_t sample_counter_ = 0;
+  std::uint64_t dropped_records_ = 0;
 };
 
 }  // namespace mars::telemetry

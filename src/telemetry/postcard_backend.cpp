@@ -1,0 +1,59 @@
+#include "telemetry/postcard_backend.hpp"
+
+namespace mars::telemetry {
+
+PostcardBackend::PostcardBackend(std::size_t switch_count,
+                                 std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity) {
+  state_.reserve(switch_count);
+  for (std::size_t i = 0; i < switch_count; ++i) {
+    state_.emplace_back(ring_capacity);
+  }
+}
+
+void PostcardBackend::on_marked(net::SwitchContext& /*ctx*/,
+                                const net::Packet& /*pkt*/) {}
+
+std::uint32_t PostcardBackend::on_hop_egress(net::SwitchContext& ctx,
+                                             const net::Packet& pkt,
+                                             net::PortId /*out*/,
+                                             sim::Time /*hop_latency*/) {
+  // The wire format is the packet's actual monitoring overhead.
+  const std::uint32_t bytes = pkt.monitoring_overhead_bytes();
+  state_[ctx.id].counters.inband_bytes += bytes;
+  return bytes;
+}
+
+void PostcardBackend::on_sink_record(net::SwitchContext& ctx,
+                                     const net::Packet& /*pkt*/,
+                                     const RtRecord& rec) {
+  SwitchSlice& st = state_[ctx.id];
+  st.ring.insert(rec);
+  ++st.counters.records;
+}
+
+void PostcardBackend::on_epoch_rollover(net::SwitchId sw, EpochId /*epoch*/,
+                                        sim::Time /*now*/) {
+  ++state_[sw].counters.epochs;
+}
+
+std::vector<RtRecord> PostcardBackend::drain(net::SwitchId sw) const {
+  return state_[sw].ring.snapshot();
+}
+
+std::size_t PostcardBackend::store_size(net::SwitchId sw) const {
+  return state_[sw].ring.size();
+}
+
+BackendCounters PostcardBackend::counters() const {
+  BackendCounters total;
+  for (const SwitchSlice& st : state_) {
+    total.inband_bytes += st.counters.inband_bytes;
+    total.records += st.counters.records;
+    total.epochs += st.counters.epochs;
+    total.triggers += st.counters.triggers;
+  }
+  return total;
+}
+
+}  // namespace mars::telemetry

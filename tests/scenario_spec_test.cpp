@@ -39,6 +39,16 @@ ScenarioSpec full_spec() {
   delay.kind = "delay";
   delay.at_s = 3.0;
   spec.faults.push_back(delay);
+  spec.telemetry.backend = "int-md";
+  spec.telemetry.ring_capacity = 512;
+  spec.telemetry.int_md.sample_every = 2;
+  spec.telemetry.int_md.max_hops = 8;
+  spec.telemetry.histogram.buckets = 64;
+  spec.telemetry.histogram.sub_bucket_bits = 3;
+  spec.telemetry.histogram.tail_latency_ms = 12.5;
+  spec.telemetry.histogram.trigger_enter = 0.2;
+  spec.telemetry.histogram.trigger_exit = 0.05;
+  spec.telemetry.histogram.digest_capacity = 256;
   spec.obs.log_level = "debug";
   spec.obs.log_rate_limit_per_s = 25.0;
   spec.obs.log_rate_limit_burst = 8;
@@ -386,6 +396,112 @@ TEST(ScenarioSpecTest, ObsOutOfRangeValuesArePathNamed) {
     }
     EXPECT_TRUE(found) << "no error names " << path;
   }
+}
+
+TEST(ScenarioSpecTest, TelemetryBlockRoundTripsAndLowers) {
+  ScenarioSpec spec;
+  spec.telemetry.backend = "histogram";
+  spec.telemetry.ring_capacity = 256;
+  spec.telemetry.histogram.buckets = 48;
+  spec.telemetry.histogram.tail_latency_ms = 12.5;
+  spec.telemetry.histogram.trigger_enter = 0.25;
+  const ScenarioSpec reparsed = parse_scenario_spec(to_json(spec));
+  EXPECT_EQ(reparsed, spec);
+
+  const ScenarioConfig cfg = spec.to_config();
+  EXPECT_EQ(cfg.mars.pipeline.backend.kind,
+            telemetry::BackendKind::kHistogram);
+  EXPECT_EQ(cfg.mars.pipeline.ring_capacity, 256u);
+  EXPECT_EQ(cfg.mars.pipeline.backend.histogram.buckets, 48u);
+  EXPECT_EQ(cfg.mars.pipeline.backend.histogram.tail_latency,
+            12'500 * sim::kMicrosecond);
+  EXPECT_DOUBLE_EQ(cfg.mars.pipeline.backend.histogram.trigger_enter, 0.25);
+  EXPECT_TRUE(spec.validate().empty());
+
+  // Unset keeps the paper's postcard rings.
+  EXPECT_EQ(parse_scenario_spec("{}").to_config().mars.pipeline.backend.kind,
+            telemetry::BackendKind::kPostcard);
+}
+
+TEST(ScenarioSpecTest, TelemetryIntMdFieldsLower) {
+  ScenarioSpec spec;
+  spec.telemetry.backend = "int-md";
+  spec.telemetry.int_md.sample_every = 4;
+  spec.telemetry.int_md.max_hops = 6;
+  const ScenarioConfig cfg = spec.to_config();
+  EXPECT_EQ(cfg.mars.pipeline.backend.kind, telemetry::BackendKind::kIntMd);
+  EXPECT_EQ(cfg.mars.pipeline.backend.int_md.sample_every, 4u);
+  EXPECT_EQ(cfg.mars.pipeline.backend.int_md.max_hops, 6u);
+  EXPECT_TRUE(spec.validate().empty());
+}
+
+TEST(ScenarioSpecTest, TelemetryUnknownBackendIsPathNamedWithSuggestion) {
+  ScenarioSpec spec;
+  spec.telemetry.backend = "histgram";
+  const auto errors = spec.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors.front().find("spec.telemetry.backend"),
+            std::string::npos);
+  EXPECT_NE(errors.front().find("did you mean 'histogram'"),
+            std::string::npos);
+  EXPECT_THROW((void)spec.to_config(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, TelemetryUnknownKeyNamesItsPath) {
+  try {
+    (void)parse_scenario_spec(
+        R"({"telemetry": {"histogram": {"bucketz": 10}}})");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.telemetry.histogram"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bucketz"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecTest, TelemetryOutOfRangeValuesArePathNamed) {
+  ScenarioSpec spec;
+  spec.telemetry.ring_capacity = 0;
+  spec.telemetry.int_md.sample_every = 0;
+  spec.telemetry.histogram.buckets = 4;        // below the [8, 4096] floor
+  spec.telemetry.histogram.sub_bucket_bits = 12;
+  spec.telemetry.histogram.tail_latency_ms = -1.0;
+  const auto errors = spec.validate();
+  const char* expected[] = {
+      "telemetry.ring_capacity",
+      "telemetry.int_md.sample_every",
+      "telemetry.histogram.buckets",
+      "telemetry.histogram.sub_bucket_bits",
+      "telemetry.histogram.tail_latency_ms",
+  };
+  EXPECT_GE(errors.size(), std::size(expected));
+  for (const char* path : expected) {
+    bool found = false;
+    for (const auto& e : errors) {
+      if (e.find(path) != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found) << "no error names " << path;
+  }
+}
+
+TEST(ScenarioSpecTest, TelemetryTriggerBandMustBeOrdered) {
+  ScenarioSpec spec;
+  spec.telemetry.histogram.trigger_enter = 0.05;
+  spec.telemetry.histogram.trigger_exit = 0.2;  // exit above enter: no band
+  const auto errors = spec.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors.front().find("trigger_exit"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, ShardedRunsRequirePostcardBackend) {
+  ScenarioSpec spec;
+  spec.sim.shards = 2;
+  spec.systems = std::vector<std::string>{"mars"};
+  spec.telemetry.backend = "histogram";
+  const auto errors = spec.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors.front().find("postcard"), std::string::npos)
+      << errors.front();
 }
 
 }  // namespace

@@ -105,6 +105,40 @@ TEST(IntMdTest, MeanHopLatencyLocalizesSlowSwitch) {
   }
 }
 
+TEST(IntMdTest, RetentionCapBoundsRecordGrowth) {
+  // Regression: records() used to grow without bound when nothing ever
+  // collected — a long-lived pipeline leaked one hop stack per telemetry
+  // packet. At the cap the oldest half is evicted, newest evidence wins.
+  IntMdConfig cfg;
+  cfg.max_records = 8;
+  Fixture f(cfg);
+  const net::FlowId flow{f.ft.edge[0], f.ft.edge[1]};
+  f.traffic(flow, 5, 30, 1_ms);
+  f.sim.run();
+  EXPECT_LE(f.pipeline.records().size(), 8u);
+  EXPECT_GT(f.pipeline.dropped_records(), 0u);
+  // The survivors are the newest half, still in delivery order.
+  ASSERT_GE(f.pipeline.records().size(), 2u);
+  EXPECT_LT(f.pipeline.records().front().sink_time,
+            f.pipeline.records().back().sink_time);
+}
+
+TEST(IntMdTest, CollectDrainsAndResetsRetention) {
+  Fixture f;
+  const net::FlowId flow{f.ft.edge[0], f.ft.edge[1]};
+  f.traffic(flow, 5, 10, 1_ms);
+  f.sim.run();
+  ASSERT_EQ(f.pipeline.records().size(), 10u);
+  const auto collected = f.pipeline.collect();
+  EXPECT_EQ(collected.size(), 10u);
+  EXPECT_TRUE(f.pipeline.records().empty())
+      << "collect() must hand off ownership, not copy";
+  // Post-collect traffic accumulates fresh records from zero.
+  f.traffic(flow, 5, 3, 1_ms);
+  f.sim.run();
+  EXPECT_EQ(f.pipeline.records().size(), 3u);
+}
+
 TEST(IntMdTest, DropCleansUpInFlightState) {
   Fixture f;
   const net::FlowId flow{f.ft.edge[0], f.ft.edge[1]};

@@ -1,0 +1,89 @@
+// LogLinearHistogram: bucket-boundary math (the HDR-style layout the
+// histogram telemetry backend models in-switch), floor inversion,
+// clamping, and the fraction_above tail query.
+
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mars::util {
+namespace {
+
+TEST(LogLinearHistogramTest, LinearRegionIsExact) {
+  // Below 2^sub_bits every value owns its own bucket: no quantization.
+  LogLinearHistogram h(2, 64);
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(h.bucket_of(v), v);
+    EXPECT_EQ(h.bucket_floor(v), v);
+  }
+}
+
+TEST(LogLinearHistogramTest, LogRegionBoundaries) {
+  LogLinearHistogram h(2, 64);
+  // Each half-open power-of-two range [2^e, 2^(e+1)) splits into
+  // 2^sub_bits equal sub-buckets.
+  EXPECT_EQ(h.bucket_of(4), 4u);
+  EXPECT_EQ(h.bucket_of(5), 5u);
+  EXPECT_EQ(h.bucket_of(7), 7u);
+  EXPECT_EQ(h.bucket_of(8), 8u);   // new range: width-2 sub-buckets
+  EXPECT_EQ(h.bucket_of(9), 8u);   // shares 8's bucket
+  EXPECT_EQ(h.bucket_of(10), 9u);
+  EXPECT_EQ(h.bucket_of(15), 11u);
+  EXPECT_EQ(h.bucket_of(16), 12u);  // next range: width-4 sub-buckets
+  EXPECT_EQ(h.bucket_of(19), 12u);
+  EXPECT_EQ(h.bucket_of(20), 13u);
+}
+
+TEST(LogLinearHistogramTest, BucketFloorInvertsBucketOf) {
+  LogLinearHistogram h(3, 128);
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 8ull, 9ull, 100ull, 1000ull,
+                          4097ull, 1ull << 20, (1ull << 40) + 12345}) {
+    const std::size_t bucket = h.bucket_of(v);
+    const std::uint64_t floor = h.bucket_floor(bucket);
+    EXPECT_LE(floor, v);
+    EXPECT_EQ(h.bucket_of(floor), bucket)
+        << "floor must land in its own bucket (v=" << v << ")";
+    if (bucket + 1 < h.buckets()) {
+      EXPECT_GT(h.bucket_floor(bucket + 1), v)
+          << "v must fall below the next bucket's floor";
+    }
+  }
+}
+
+TEST(LogLinearHistogramTest, OverflowClampsToLastBucket) {
+  LogLinearHistogram h(2, 8);
+  h.add(1u << 30);  // far past what 8 buckets span
+  h.add(3);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.count(7), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(LogLinearHistogramTest, FractionAboveCountsStrictlyHigherBuckets) {
+  LogLinearHistogram h(2, 64);
+  for (std::uint64_t v : {1ull, 2ull, 8ull, 9ull, 100ull, 200ull}) h.add(v);
+  // Threshold 8: its bucket also holds 9, so only {100, 200} count.
+  EXPECT_DOUBLE_EQ(h.fraction_above(8), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(h.fraction_above(1), 5.0 / 6.0);
+  EXPECT_DOUBLE_EQ(h.fraction_above(200), 0.0);
+}
+
+TEST(LogLinearHistogramTest, FractionAboveEmptyAndClamped) {
+  LogLinearHistogram h(2, 8);
+  EXPECT_DOUBLE_EQ(h.fraction_above(1), 0.0);  // empty histogram
+  h.add(5);
+  // Threshold past the clamp bucket: nothing can be strictly above.
+  EXPECT_DOUBLE_EQ(h.fraction_above(1u << 30), 0.0);
+}
+
+TEST(LogLinearHistogramTest, ClearResetsCountsAndTotal) {
+  LogLinearHistogram h(2, 16);
+  h.add_n(7, 5);
+  ASSERT_EQ(h.total(), 5u);
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+  for (std::size_t b = 0; b < h.buckets(); ++b) EXPECT_EQ(h.count(b), 0u);
+}
+
+}  // namespace
+}  // namespace mars::util

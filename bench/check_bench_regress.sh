@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Two recorded-benchmark gates:
+# Three recorded-benchmark gates:
 #
 # 1. Zero-overhead-when-disabled: the recorded pairwise ratio of
 #    BM_LeafSpine_HotPath_Instrumented to BM_LeafSpine_HotPath (an idle
@@ -8,18 +8,23 @@
 # 2. Telemetry frontier ordering: the histogram backend's raison d'être is
 #    undercutting postcard's in-band bytes per packet; a frontier report
 #    where it doesn't means the digest wire accounting regressed.
+# 3. Gray-failure accumulation: the evidence accumulator exists to keep
+#    flapping links localized; its Recall@3 on flap must stay at least at
+#    the single-window number and above an absolute floor.
 #
-# Usage: bench/check_bench_regress.sh [report.json] [frontier.json]
-#   Defaults to the committed BENCH_sim_hotpath.json and
-#   BENCH_telemetry_frontier.json. Pass freshly refreshed reports
-#   (bench/run_sim_hotpath.sh out.json; bench_fig9_bandwidth
-#   --frontier-out out.json) to gate new measurements instead of the
-#   committed records.
+# Usage: bench/check_bench_regress.sh [report.json] [frontier.json] [gray.json]
+#   Defaults to the committed BENCH_sim_hotpath.json,
+#   BENCH_telemetry_frontier.json and BENCH_robustness_gray.json. Pass
+#   freshly refreshed reports (bench/run_sim_hotpath.sh out.json;
+#   bench_fig9_bandwidth --frontier-out out.json; MARS_TRIALS=20
+#   bench_robustness --gray-out out.json) to gate new measurements
+#   instead of the committed records.
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 report=${1:-$repo_root/BENCH_sim_hotpath.json}
 frontier=${2:-$repo_root/BENCH_telemetry_frontier.json}
+gray=${3:-$repo_root/BENCH_robustness_gray.json}
 
 if [[ ! -f $report ]]; then
   echo "error: $report not found" >&2
@@ -27,6 +32,10 @@ if [[ ! -f $report ]]; then
 fi
 if [[ ! -f $frontier ]]; then
   echo "error: $frontier not found" >&2
+  exit 1
+fi
+if [[ ! -f $gray ]]; then
+  echo "error: $gray not found" >&2
   exit 1
 fi
 
@@ -79,4 +88,36 @@ if hist >= post:
         f"error: histogram backend spends {hist:.2f} in-band bytes/packet, "
         f"not below postcard's {post:.2f} — the compact-marker accounting "
         "regressed and the backend no longer earns its accuracy cost")
+EOF
+
+python3 - "$gray" <<'EOF'
+import json
+import sys
+
+FLAP_RECALL3_FLOOR = 0.90  # recorded 1.00 at 20 trials; allow seed noise
+
+gray_path = sys.argv[1]
+doc = json.load(open(gray_path))
+
+kinds = {k["kind"]: k for k in doc.get("kinds", [])}
+flap = kinds.get("flap")
+if flap is None:
+    sys.exit(f"error: {gray_path} has no flap record")
+
+accum = flap["recall3_accum"]
+single = flap["recall3_single"]
+ok = accum >= FLAP_RECALL3_FLOOR and accum >= single
+verdict = "ok" if ok else "REGRESSION"
+print(f"flap Recall@3 accumulated {accum:.2f} vs single-window {single:.2f} "
+      f"(floor {FLAP_RECALL3_FLOOR:.2f}): {verdict}")
+if accum < FLAP_RECALL3_FLOOR:
+    sys.exit(
+        f"error: flap Recall@3 with accumulation is {accum:.2f}, below the "
+        f"{FLAP_RECALL3_FLOOR:.2f} floor — the evidence accumulator no "
+        "longer keeps flapping links localized")
+if accum < single:
+    sys.exit(
+        f"error: accumulation ({accum:.2f}) ranks flapping links WORSE than "
+        f"single-window SBFL ({single:.2f}) — accumulated evidence is being "
+        "outvoted by ambient noise")
 EOF

@@ -4,7 +4,8 @@
 //   mars_cli [options]
 //     --scenario <file.json>  run a declarative ScenarioSpec (other
 //                             flags below override the spec)
-//     --fault <microburst|ecmp|rate|delay|drop>   (default rate)
+//     --fault <microburst|ecmp|rate|delay|drop|flap|slowdrain|asymloss|
+//              gateddelay>                        (default rate)
 //     --seed <n>                                  (default 1)
 //     --topology <name>       fabric from the registry (default fat-tree)
 //     --k <even n>            fat-tree arity      (default 4)
@@ -114,17 +115,22 @@ std::vector<std::string> split_csv(const std::string& arg) {
 }
 
 void print_outcome_text(const SystemOutcome& outcome) {
-  char conf[16];
+  char conf[16], pres[16];
   if (outcome.confidence) {
     std::snprintf(conf, sizeof(conf), "%.2f", *outcome.confidence);
   } else {
     std::snprintf(conf, sizeof(conf), "-");
   }
-  std::printf("%-10s rank=%-4s conf=%-4s telemetry=%-9llu diagnosis=%-9llu "
-              "top=[",
+  if (outcome.presence) {
+    std::snprintf(pres, sizeof(pres), "%.2f", *outcome.presence);
+  } else {
+    std::snprintf(pres, sizeof(pres), "-");
+  }
+  std::printf("%-10s rank=%-4s conf=%-4s presence=%-4s telemetry=%-9llu "
+              "diagnosis=%-9llu top=[",
               outcome.system.c_str(),
               outcome.rank ? std::to_string(*outcome.rank).c_str() : "-",
-              conf,
+              conf, pres,
               static_cast<unsigned long long>(outcome.telemetry_bytes),
               static_cast<unsigned long long>(outcome.diagnosis_bytes));
   for (std::size_t i = 0; i < outcome.culprits.size() && i < 3; ++i) {
@@ -146,6 +152,11 @@ void write_outcome_json(obs::JsonWriter& w, const SystemOutcome& outcome) {
     w.member("confidence", *outcome.confidence);
   } else {
     w.member_null("confidence");
+  }
+  if (outcome.presence) {
+    w.member("presence", *outcome.presence);
+  } else {
+    w.member_null("presence");
   }
   w.member("telemetry_bytes", outcome.telemetry_bytes);
   w.member("diagnosis_bytes", outcome.diagnosis_bytes);
@@ -407,7 +418,16 @@ int main(int argc, char** argv) {
     obs::JsonWriter w(std::cout);
     w.begin_object();
     w.key("truths").begin_array();
-    for (const auto& truth : result.truths) w.value(truth.describe());
+    for (const auto& truth : result.truths) {
+      w.begin_object();
+      w.member("describe", truth.describe());
+      if (truth.windows_total > 0) {
+        w.member("manifestation", truth.manifestation_ratio);
+        w.member("windows_active", std::uint64_t{truth.windows_active});
+        w.member("windows_total", std::uint64_t{truth.windows_total});
+      }
+      w.end_object();
+    }
     w.end_array();
     w.member("injected", result.net_stats.injected);
     w.member("delivered", result.net_stats.delivered);

@@ -58,7 +58,14 @@ rca::CulpritList SynDb::diagnose_with_hint(faults::FaultKind hint,
     case faults::FaultKind::kDelay:
       return query_latency_per_switch(now, rca::CauseKind::kDelay);
     case faults::FaultKind::kDrop:
+    case faults::FaultKind::kLinkFlap:
+    case faults::FaultKind::kAsymmetricLoss:
       return query_drop(now);
+    case faults::FaultKind::kSlowDrain:
+      return query_latency_per_switch(now,
+                                      rca::CauseKind::kProcessRateDecrease);
+    case faults::FaultKind::kLoadGatedDelay:
+      return query_latency_per_switch(now, rca::CauseKind::kDelay);
     case faults::FaultKind::kNotificationLoss:
     case faults::FaultKind::kReadOutage:
       return {};  // channel chaos is not a queryable network incident

@@ -34,6 +34,62 @@ std::vector<std::string> FaultSchedule::validate(sim::Time horizon) const {
                        ": telemetry faults degrade the control channel, "
                        "not a switch; drop the pinned target");
     }
+    if (e.gray.any_set() && !is_gray_fault(e.kind)) {
+      errors.push_back(where +
+                       ": gray parameters only apply to gray kinds "
+                       "(flap, slowdrain, asymloss, gateddelay)");
+    }
+    if (is_gray_fault(e.kind)) {
+      const auto& g = e.gray;
+      auto wrong_kind = [&](const char* param, FaultKind needs) {
+        errors.push_back(where + ": gray." + param + " only applies to " +
+                         std::string(short_name(needs)));
+      };
+      if (e.kind != FaultKind::kLinkFlap) {
+        if (g.flap_mean_up_ms) wrong_kind("mean_up_ms", FaultKind::kLinkFlap);
+        if (g.flap_mean_down_ms) {
+          wrong_kind("mean_down_ms", FaultKind::kLinkFlap);
+        }
+        if (g.flap_fanout) wrong_kind("fanout", FaultKind::kLinkFlap);
+      }
+      if (e.kind != FaultKind::kAsymmetricLoss) {
+        if (g.loss_fwd) wrong_kind("loss_fwd", FaultKind::kAsymmetricLoss);
+        if (g.loss_rev) wrong_kind("loss_rev", FaultKind::kAsymmetricLoss);
+      }
+      if (e.kind != FaultKind::kSlowDrain && g.drain_us_per_pkt) {
+        wrong_kind("drain_us_per_pkt", FaultKind::kSlowDrain);
+      }
+      if (e.kind != FaultKind::kLoadGatedDelay) {
+        if (g.gate_depth) wrong_kind("gate_depth", FaultKind::kLoadGatedDelay);
+        if (g.gate_delay_ms) {
+          wrong_kind("gate_delay_ms", FaultKind::kLoadGatedDelay);
+        }
+      }
+      if (g.flap_mean_up_ms && *g.flap_mean_up_ms <= 0.0) {
+        errors.push_back(where + ": gray.mean_up_ms must be positive");
+      }
+      if (g.flap_mean_down_ms && *g.flap_mean_down_ms <= 0.0) {
+        errors.push_back(where + ": gray.mean_down_ms must be positive");
+      }
+      if (g.flap_fanout && *g.flap_fanout < 1) {
+        errors.push_back(where + ": gray.fanout must be at least 1");
+      }
+      if (g.loss_fwd && (*g.loss_fwd <= 0.0 || *g.loss_fwd > 1.0)) {
+        errors.push_back(where + ": gray.loss_fwd must be in (0, 1]");
+      }
+      if (g.loss_rev && (*g.loss_rev < 0.0 || *g.loss_rev > 1.0)) {
+        errors.push_back(where + ": gray.loss_rev must be in [0, 1]");
+      }
+      if (g.drain_us_per_pkt && *g.drain_us_per_pkt <= 0.0) {
+        errors.push_back(where + ": gray.drain_us_per_pkt must be positive");
+      }
+      if (g.gate_depth && *g.gate_depth < 2) {
+        errors.push_back(where + ": gray.gate_depth must be at least 2");
+      }
+      if (g.gate_delay_ms && *g.gate_delay_ms <= 0.0) {
+        errors.push_back(where + ": gray.gate_delay_ms must be positive");
+      }
+    }
   }
   return errors;
 }
@@ -47,6 +103,10 @@ const char* short_name(FaultKind kind) {
     case FaultKind::kDrop: return "drop";
     case FaultKind::kNotificationLoss: return "notifloss";
     case FaultKind::kReadOutage: return "readoutage";
+    case FaultKind::kLinkFlap: return "flap";
+    case FaultKind::kSlowDrain: return "slowdrain";
+    case FaultKind::kAsymmetricLoss: return "asymloss";
+    case FaultKind::kLoadGatedDelay: return "gateddelay";
   }
   return "?";
 }
@@ -69,11 +129,22 @@ std::optional<FaultKind> kind_from_name(std::string_view name) {
   if (name == "readoutage" || name == "read-outage") {
     return FaultKind::kReadOutage;
   }
+  if (name == "flap" || name == "link-flap") return FaultKind::kLinkFlap;
+  if (name == "slowdrain" || name == "slow-drain") {
+    return FaultKind::kSlowDrain;
+  }
+  if (name == "asymloss" || name == "asymmetric-loss") {
+    return FaultKind::kAsymmetricLoss;
+  }
+  if (name == "gateddelay" || name == "load-gated-delay") {
+    return FaultKind::kLoadGatedDelay;
+  }
   return std::nullopt;
 }
 
 const char* known_kind_names() {
-  return "microburst, ecmp, rate, delay, drop, notifloss, readoutage";
+  return "microburst, ecmp, rate, delay, drop, notifloss, readoutage, "
+         "flap, slowdrain, asymloss, gateddelay";
 }
 
 }  // namespace mars::faults

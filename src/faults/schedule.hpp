@@ -32,6 +32,9 @@ struct FaultEvent {
   /// Pin the culprit egress port (port faults only; requires
   /// target_switch).
   std::optional<net::PortId> target_port;
+  /// Gray-kind parameter overrides (the spec's per-fault "gray" block).
+  /// Setting any field on a non-gray kind is a validation error.
+  GrayParams gray;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
@@ -68,10 +71,11 @@ struct FaultSchedule {
                          const FaultSchedule&) = default;
 };
 
-/// Short spec/CLI names: microburst | ecmp | rate | delay | drop.
+/// Short spec/CLI names: microburst | ecmp | rate | delay | drop |
+/// notifloss | readoutage | flap | slowdrain | asymloss | gateddelay.
 [[nodiscard]] const char* short_name(FaultKind kind);
 [[nodiscard]] std::optional<FaultKind> kind_from_name(std::string_view name);
-/// "microburst, ecmp, rate, delay, drop" — for error messages.
+/// Comma-separated list of every short name — for error messages.
 [[nodiscard]] const char* known_kind_names();
 
 }  // namespace mars::faults

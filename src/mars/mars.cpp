@@ -8,7 +8,8 @@
 namespace mars {
 
 MarsSystem::MarsSystem(net::Network& network, MarsConfig config)
-    : network_(&network), config_(config) {
+    : network_(&network), config_(config),
+      accumulator_(config.rca.accumulator) {
   const bool sharded = network.is_sharded();
   config_.pipeline.sharded = sharded;
   registry_ = std::make_unique<control::PathRegistry>(
@@ -63,6 +64,15 @@ MarsSystem::MarsSystem(net::Network& network, MarsConfig config)
     diagnoses_.push_back(
         Diagnosis{d, std::move(analysis.culprits), analysis.mining});
     const auto& diag = diagnoses_.back();
+    if (accumulator_.config().enabled) {
+      // Stamp the window with the session's TRIGGER time, not the (later)
+      // collection time: ranked(fault_start) must see exactly the
+      // sessions the union-merge grades — a session triggered by
+      // pre-fault ambient noise whose collection happens to finish after
+      // fault onset would otherwise leak loud spurious suspects (sparse
+      // pre-incident stats make SBFL ratios spike) into the graded range.
+      accumulator_.observe(diag.culprits, d.trigger.when);
+    }
     if (config_.tracer != nullptr) {
       // Close the virtual-time causal chain: trigger -> diagnosis.
       obs::SpanArgs args{
@@ -152,6 +162,11 @@ void MarsSystem::register_metrics(obs::MetricsRegistry& registry) {
   });
   registry.gauge("mars.confidence",
                  [this] { return confidence().value_or(1.0); });
+  registry.gauge("mars.presence",
+                 [this] { return presence().value_or(1.0); });
+  registry.gauge("mars.accumulator.windows", [this] {
+    return static_cast<double>(accumulator_.window_count(0));
+  });
   if (channel_ != nullptr) {
     registry.gauge("mars.channel.notifications_dropped", [this] {
       return static_cast<double>(channel_->stats().notifications_dropped);
@@ -221,10 +236,43 @@ std::optional<double> MarsSystem::confidence() const {
   for (const auto& d : diagnoses_) {
     worst = std::min(worst, d.session.quality.confidence());
   }
+  // Flap-aware calibration: evidence completeness says how good each
+  // window was; presence says how many windows the suspect showed up in.
+  // Both discount independently.
+  if (const auto p = presence()) worst *= *p;
   return worst;
 }
 
+std::optional<double> MarsSystem::presence() const {
+  if (!accumulator_.config().enabled || accumulator_.window_count(0) == 0) {
+    return std::nullopt;
+  }
+  return accumulator_.top_presence(0);
+}
+
 rca::CulpritList MarsSystem::culprits_for(sim::Time fault_start) const {
+  // Intermittency-hardened path: with the accumulator enabled, the graded
+  // list is the decayed multi-epoch ranking — a culprit seen in several
+  // windows outranks a one-window ambient suspect even if any single
+  // window scored the latter higher.
+  if (accumulator_.config().enabled &&
+      accumulator_.window_count(fault_start) > 0) {
+    rca::CulpritList out = accumulator_.ranked(fault_start);
+    if (out.size() > 20) out.resize(20);
+    return out;
+  }
+  // Baseline/ablation path: true single-window SBFL — the newest
+  // post-fault session's ranking alone, no cross-session merging. This is
+  // what the gray-failure benchmark grades as "single" so the accumulator
+  // is measured against the per-epoch ranking it actually replaces, not
+  // against the union-merge below (itself a multi-window strategy).
+  if (config_.rca.single_window) {
+    for (auto it = diagnoses_.rbegin(); it != diagnoses_.rend(); ++it) {
+      if (it->session.trigger.when >= fault_start) return it->culprits;
+    }
+    if (diagnoses_.empty()) return {};
+    return diagnoses_.back().culprits;
+  }
   // A fault can surface across several diagnosis sessions (e.g. a stalled
   // queue's loss evidence arrives during the fault, its latency evidence
   // when the queue flushes). The operator-facing answer is the union of

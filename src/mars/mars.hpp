@@ -84,8 +84,17 @@ class MarsSystem final : public systems::TelemetrySystem {
 
   /// Worst-case evidence completeness over the graded diagnoses: the
   /// minimum session confidence, or nullopt before any diagnosis. 1.0
-  /// exactly when no observable degradation touched any session.
+  /// exactly when no observable degradation touched any session. With the
+  /// evidence accumulator enabled, additionally scaled by the top
+  /// suspect's presence — the fraction of diagnosis windows it appeared
+  /// in — so an intermittent (flapping) culprit reports proportionally
+  /// lower confidence than an always-on one.
   [[nodiscard]] std::optional<double> confidence() const override;
+
+  /// Fraction of diagnosis windows the top accumulated suspect appeared
+  /// in; nullopt unless the evidence accumulator is enabled and has
+  /// observed at least one diagnosis.
+  [[nodiscard]] std::optional<double> presence() const override;
 
   /// The channel every notification and Ring-Table read crosses;
   /// telemetry FaultKinds schedule their degradation windows here.
@@ -128,6 +137,8 @@ class MarsSystem final : public systems::TelemetrySystem {
   std::unique_ptr<control::Controller> controller_;
   std::unique_ptr<rca::RootCauseAnalyzer> analyzer_;
   std::vector<Diagnosis> diagnoses_;
+  /// Multi-epoch evidence (rca.accumulator.enabled); passive when off.
+  rca::EvidenceAccumulator accumulator_;
 };
 
 }  // namespace mars

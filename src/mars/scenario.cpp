@@ -126,6 +126,16 @@ std::vector<std::string> validate_scenario(const ScenarioConfig& config) {
         "mars.rca.mining.threads must be in [1, 64] (got " +
         std::to_string(config.mars.rca.mining.threads) + ")");
   }
+  if (config.mars.rca.accumulator.half_life <= 0) {
+    errors.push_back("mars.rca.accumulator.half_life_s must be positive");
+  }
+  if (config.mars.rca.accumulator.max_windows == 0) {
+    errors.push_back("mars.rca.accumulator.max_windows must be nonzero "
+                     "(zero windows can accumulate no evidence)");
+  }
+  if (config.injector.manifestation_window <= 0) {
+    errors.push_back("injector manifestation_window must be positive");
+  }
   const telemetry::BackendConfig& be = config.mars.pipeline.backend;
   if (config.mars.pipeline.ring_capacity == 0) {
     errors.push_back("telemetry.ring_capacity must be nonzero (an empty "
@@ -289,6 +299,21 @@ void configure_obs(const ScenarioConfig& config, Observability* obs) {
 void attribute_faults(obs::ProvenanceGraph& graph,
                       const ScenarioResult& result,
                       const std::vector<std::string>& fault_nodes) {
+  // Gray faults: fault nodes gain their post-run manifestation accounting
+  // (the probe counts only exist once the simulation finished).
+  for (std::size_t t = 0; t < result.truths.size() && t < fault_nodes.size();
+       ++t) {
+    const faults::GroundTruth& truth = result.truths[t];
+    if (!faults::is_gray_fault(truth.kind) || truth.windows_total == 0) {
+      continue;
+    }
+    graph.annotate(fault_nodes[t],
+                   {"manifestation", truth.manifestation_ratio});
+    graph.annotate(fault_nodes[t],
+                   {"windows_active", std::uint64_t{truth.windows_active}});
+    graph.annotate(fault_nodes[t],
+                   {"windows_total", std::uint64_t{truth.windows_total}});
+  }
   const SystemOutcome* mars = result.find("mars");
   if (mars == nullptr) return;
   using NodeKind = obs::ProvenanceGraph::NodeKind;
@@ -352,6 +377,7 @@ ScenarioResult assemble_result(
     outcome.culprits = system.diagnose(query);
     outcome.triggered = system.triggered();
     outcome.confidence = system.confidence();
+    outcome.presence = system.presence();
     const auto oh = system.overheads();
     outcome.telemetry_bytes = oh.telemetry_bytes;
     outcome.diagnosis_bytes = oh.diagnosis_bytes;
@@ -525,6 +551,9 @@ ScenarioResult run_sharded_scenario(const ScenarioConfig& config) {
       run_span->arg({"events", ssim.events_executed()});
     }
   }
+  // Gray manifestation accounting is filled in by the injector's probes
+  // during the run; re-read the final ground truths (same order).
+  truths = injector.injected();
 
   if (obs != nullptr) {
     for (int i = 0; i < ssim.shard_count(); ++i) {
@@ -662,6 +691,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       run_span->arg({"events", simulator.events_executed()});
     }
   }
+  // Gray manifestation accounting is filled in by the injector's probes
+  // during the run; re-read the final ground truths (same order).
+  truths = injector.injected();
 
   if (obs != nullptr) {
     sampler->stop();

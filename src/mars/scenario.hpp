@@ -160,6 +160,10 @@ struct SystemOutcome {
   /// observed telemetry degradation; nullopt when the system never
   /// diagnosed (or does not model a degradable channel).
   std::optional<double> confidence;
+  /// Fraction of diagnosis windows the top suspect appeared in (multi-
+  /// epoch accumulation only — nullopt otherwise). Below 1 flags an
+  /// intermittent culprit; confidence is already discounted by it.
+  std::optional<double> presence;
   /// The trial's provenance DAG (points into the caller's Observability
   /// bundle; non-null only for systems that produce provenance — MARS —
   /// when ScenarioConfig::obs.provenance is on).

@@ -86,7 +86,8 @@ ScenarioSpec::Fault parse_fault(const obs::JsonValue& v,
                                 const std::string& path) {
   if (!v.is_object()) fail(path, "expected a fault object");
   reject_unknown_keys(
-      v, {"kind", "at_s", "duration_s", "target_switch", "target_port"},
+      v,
+      {"kind", "at_s", "duration_s", "target_switch", "target_port", "gray"},
       path);
   ScenarioSpec::Fault fault;
   if (const auto* kind = v.find("kind")) {
@@ -105,6 +106,41 @@ ScenarioSpec::Fault parse_fault(const obs::JsonValue& v,
   if (const auto* port = v.find("target_port")) {
     fault.target_port =
         static_cast<net::PortId>(as_uint(*port, path + ".target_port"));
+  }
+  if (const auto* gray = v.find("gray")) {
+    const std::string gpath = path + ".gray";
+    if (!gray->is_object()) fail(gpath, "expected an object");
+    reject_unknown_keys(*gray,
+                        {"mean_up_ms", "mean_down_ms", "fanout", "loss_fwd",
+                         "loss_rev", "drain_us_per_pkt", "gate_depth",
+                         "gate_delay_ms"},
+                        gpath);
+    if (const auto* g = gray->find("mean_up_ms")) {
+      fault.gray.mean_up_ms = as_number(*g, gpath + ".mean_up_ms");
+    }
+    if (const auto* g = gray->find("mean_down_ms")) {
+      fault.gray.mean_down_ms = as_number(*g, gpath + ".mean_down_ms");
+    }
+    if (const auto* g = gray->find("fanout")) {
+      fault.gray.fanout = as_count(*g, gpath + ".fanout");
+    }
+    if (const auto* g = gray->find("loss_fwd")) {
+      fault.gray.loss_fwd = as_number(*g, gpath + ".loss_fwd");
+    }
+    if (const auto* g = gray->find("loss_rev")) {
+      fault.gray.loss_rev = as_number(*g, gpath + ".loss_rev");
+    }
+    if (const auto* g = gray->find("drain_us_per_pkt")) {
+      fault.gray.drain_us_per_pkt =
+          as_number(*g, gpath + ".drain_us_per_pkt");
+    }
+    if (const auto* g = gray->find("gate_depth")) {
+      fault.gray.gate_depth =
+          static_cast<std::uint32_t>(as_uint(*g, gpath + ".gate_depth"));
+    }
+    if (const auto* g = gray->find("gate_delay_ms")) {
+      fault.gray.gate_delay_ms = as_number(*g, gpath + ".gate_delay_ms");
+    }
   }
   return fault;
 }
@@ -214,6 +250,19 @@ ScenarioConfig ScenarioSpec::to_config() const {
     pl.backend.histogram.digest_capacity = *telemetry.histogram.digest_capacity;
   }
   if (mining.threads) cfg.mars.rca.mining.threads = *mining.threads;
+  if (rca.accumulator.enabled) {
+    cfg.mars.rca.accumulator.enabled = *rca.accumulator.enabled;
+  }
+  if (rca.accumulator.half_life_s) {
+    cfg.mars.rca.accumulator.half_life =
+        seconds_to_time(*rca.accumulator.half_life_s);
+  }
+  if (rca.accumulator.max_windows) {
+    cfg.mars.rca.accumulator.max_windows = *rca.accumulator.max_windows;
+  }
+  if (rca.single_window) {
+    cfg.mars.rca.single_window = *rca.single_window;
+  }
   if (obs.log_level) {
     const auto level = obs::level_from_name(*obs.log_level);
     if (!level) {
@@ -258,6 +307,14 @@ ScenarioConfig ScenarioSpec::to_config() const {
     if (fault.duration_s) event.duration = seconds_to_time(*fault.duration_s);
     event.target_switch = fault.target_switch;
     event.target_port = fault.target_port;
+    event.gray.flap_mean_up_ms = fault.gray.mean_up_ms;
+    event.gray.flap_mean_down_ms = fault.gray.mean_down_ms;
+    event.gray.flap_fanout = fault.gray.fanout;
+    event.gray.loss_fwd = fault.gray.loss_fwd;
+    event.gray.loss_rev = fault.gray.loss_rev;
+    event.gray.drain_us_per_pkt = fault.gray.drain_us_per_pkt;
+    event.gray.gate_depth = fault.gray.gate_depth;
+    event.gray.gate_delay_ms = fault.gray.gate_delay_ms;
     cfg.faults.add(event);
   }
   return cfg;
@@ -415,6 +472,21 @@ std::string to_json(const ScenarioSpec& spec, int indent) {
     }
     w.end_object();
   }
+  if (spec.rca.any_set()) {
+    const auto& acc = spec.rca.accumulator;
+    w.key("rca").begin_object();
+    w.key("accumulator").begin_object();
+    if (acc.enabled) w.member("enabled", *acc.enabled);
+    if (acc.half_life_s) w.member("half_life_s", *acc.half_life_s);
+    if (acc.max_windows) {
+      w.member("max_windows", std::uint64_t{*acc.max_windows});
+    }
+    w.end_object();
+    if (spec.rca.single_window) {
+      w.member("single_window", *spec.rca.single_window);
+    }
+    w.end_object();
+  }
   if (spec.sim.any_set()) {
     w.key("sim").begin_object();
     if (spec.sim.shards) w.member("shards", std::int64_t{*spec.sim.shards});
@@ -468,6 +540,21 @@ std::string to_json(const ScenarioSpec& spec, int indent) {
     if (fault.target_port) {
       w.member("target_port", std::uint64_t{*fault.target_port});
     }
+    if (fault.gray.any_set()) {
+      const auto& g = fault.gray;
+      w.key("gray").begin_object();
+      if (g.mean_up_ms) w.member("mean_up_ms", *g.mean_up_ms);
+      if (g.mean_down_ms) w.member("mean_down_ms", *g.mean_down_ms);
+      if (g.fanout) w.member("fanout", std::int64_t{*g.fanout});
+      if (g.loss_fwd) w.member("loss_fwd", *g.loss_fwd);
+      if (g.loss_rev) w.member("loss_rev", *g.loss_rev);
+      if (g.drain_us_per_pkt) {
+        w.member("drain_us_per_pkt", *g.drain_us_per_pkt);
+      }
+      if (g.gate_depth) w.member("gate_depth", std::uint64_t{*g.gate_depth});
+      if (g.gate_delay_ms) w.member("gate_delay_ms", *g.gate_delay_ms);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -488,7 +575,7 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
   reject_unknown_keys(doc,
                       {"name", "topology", "queue_capacity", "background",
                        "duration_s", "seed", "systems", "faults", "channel",
-                       "telemetry", "mining", "sim", "obs"},
+                       "telemetry", "mining", "rca", "sim", "obs"},
                       "spec");
 
   ScenarioSpec spec;
@@ -658,6 +745,32 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
     if (const auto* v = mining->find("threads")) {
       spec.mining.threads =
           static_cast<std::uint32_t>(as_uint(*v, "spec.mining.threads"));
+    }
+  }
+  if (const auto* rca = doc.find("rca")) {
+    if (!rca->is_object()) fail("spec.rca", "expected an object");
+    reject_unknown_keys(*rca, {"accumulator", "single_window"}, "spec.rca");
+    if (const auto* acc = rca->find("accumulator")) {
+      if (!acc->is_object()) {
+        fail("spec.rca.accumulator", "expected an object");
+      }
+      reject_unknown_keys(*acc, {"enabled", "half_life_s", "max_windows"},
+                          "spec.rca.accumulator");
+      if (const auto* v = acc->find("enabled")) {
+        spec.rca.accumulator.enabled =
+            as_bool(*v, "spec.rca.accumulator.enabled");
+      }
+      if (const auto* v = acc->find("half_life_s")) {
+        spec.rca.accumulator.half_life_s =
+            as_number(*v, "spec.rca.accumulator.half_life_s");
+      }
+      if (const auto* v = acc->find("max_windows")) {
+        spec.rca.accumulator.max_windows = static_cast<std::uint32_t>(
+            as_uint(*v, "spec.rca.accumulator.max_windows"));
+      }
+    }
+    if (const auto* v = rca->find("single_window")) {
+      spec.rca.single_window = as_bool(*v, "spec.rca.single_window");
     }
   }
   if (const auto* sim = doc.find("sim")) {

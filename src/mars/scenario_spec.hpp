@@ -55,6 +55,26 @@ struct ScenarioSpec {
     std::optional<double> duration_s;  ///< unset = injector default
     std::optional<net::SwitchId> target_switch;
     std::optional<net::PortId> target_port;
+    /// Gray-kind parameter block ("gray"). Only valid on flap / slowdrain
+    /// / asymloss / gateddelay events; unset fields keep the injector
+    /// defaults. Maps 1:1 onto faults::GrayParams.
+    struct Gray {
+      std::optional<double> mean_up_ms;    ///< flap: mean healthy dwell
+      std::optional<double> mean_down_ms;  ///< flap: mean down-burst dwell
+      std::optional<int> fanout;           ///< flap: correlated port count
+      std::optional<double> loss_fwd;      ///< asymloss: forward drop prob
+      std::optional<double> loss_rev;      ///< asymloss: reverse drop prob
+      std::optional<double> drain_us_per_pkt;  ///< slowdrain penalty
+      std::optional<std::uint32_t> gate_depth;  ///< gateddelay threshold
+      std::optional<double> gate_delay_ms;      ///< gateddelay latency
+
+      [[nodiscard]] bool any_set() const {
+        return mean_up_ms || mean_down_ms || fanout || loss_fwd ||
+               loss_rev || drain_us_per_pkt || gate_depth || gate_delay_ms;
+      }
+      friend bool operator==(const Gray&, const Gray&) = default;
+    };
+    Gray gray;
 
     friend bool operator==(const Fault&, const Fault&) = default;
   };
@@ -136,6 +156,34 @@ struct ScenarioSpec {
     friend bool operator==(const Mining&, const Mining&) = default;
   };
   Mining mining;
+
+  /// RCA hardening block ("rca"). The accumulator turns on multi-epoch
+  /// evidence accumulation (DESIGN.md "Gray failures") — off by default,
+  /// so specs without this block grade exactly as before.
+  struct Rca {
+    struct Accumulator {
+      std::optional<bool> enabled;
+      std::optional<double> half_life_s;
+      std::optional<std::uint32_t> max_windows;
+
+      [[nodiscard]] bool any_set() const {
+        return enabled || half_life_s || max_windows;
+      }
+      friend bool operator==(const Accumulator&,
+                             const Accumulator&) = default;
+    };
+    Accumulator accumulator;
+    /// Grade only the newest post-fault diagnosis session (true
+    /// single-window SBFL) — the baseline the accumulator is measured
+    /// against. Ignored when the accumulator is enabled.
+    std::optional<bool> single_window;
+
+    [[nodiscard]] bool any_set() const {
+      return accumulator.any_set() || single_window.has_value();
+    }
+    friend bool operator==(const Rca&, const Rca&) = default;
+  };
+  Rca rca;
 
   /// Sharded-simulation block ("sim"). Unset runs the classic
   /// single-queue engine; {"shards": N} runs N topology shards with

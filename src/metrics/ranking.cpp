@@ -14,6 +14,18 @@ rca::CauseKind cause_of(faults::FaultKind kind) {
       return rca::CauseKind::kProcessRateDecrease;
     case faults::FaultKind::kDelay: return rca::CauseKind::kDelay;
     case faults::FaultKind::kDrop: return rca::CauseKind::kDrop;
+    // Gray kinds manifest through the same observable symptoms as their
+    // clean counterparts — the RCA has no separate "intermittent" cause.
+    case faults::FaultKind::kLinkFlap:
+    case faults::FaultKind::kAsymmetricLoss:
+      return rca::CauseKind::kDrop;
+    case faults::FaultKind::kSlowDrain:
+      return rca::CauseKind::kProcessRateDecrease;
+    // Extra latency only above a queue-depth threshold is observationally
+    // a service-rate problem (latency tracks occupancy), not a constant
+    // propagation delay — grade it against the rate-decrease signature.
+    case faults::FaultKind::kLoadGatedDelay:
+      return rca::CauseKind::kProcessRateDecrease;
     case faults::FaultKind::kNotificationLoss:
     case faults::FaultKind::kReadOutage:
       break;  // unreachable: culprit_matches rejects telemetry faults first
@@ -30,7 +42,19 @@ bool culprit_matches(const rca::Culprit& culprit,
   // there is no culprit location to rank, so nothing ever matches them.
   if (faults::is_telemetry_fault(truth.kind)) return false;
   if (options.require_cause && culprit.cause != cause_of(truth.kind)) {
-    return false;
+    // Load-dependent service degradation has no single signature: the
+    // same slow-drain port classifies as rate-decrease in a congested
+    // window, plain delay in a quiet one, and drop once its queue
+    // overflows. Each is an actionable diagnosis of the same element
+    // (location still has to match exactly), so the grader accepts all
+    // three for these kinds.
+    const bool degradation_family =
+        (truth.kind == faults::FaultKind::kSlowDrain ||
+         truth.kind == faults::FaultKind::kLoadGatedDelay) &&
+        (culprit.cause == rca::CauseKind::kDelay ||
+         culprit.cause == rca::CauseKind::kProcessRateDecrease ||
+         culprit.cause == rca::CauseKind::kDrop);
+    if (!degradation_family) return false;
   }
   if (truth.kind == faults::FaultKind::kMicroBurst) {
     return culprit.level == rca::CulpritLevel::kFlow &&

@@ -45,11 +45,15 @@ void Switch::enqueue(Packet&& pkt, PortId out) {
   PortState& port = ports_[out];
   const auto& observers = net_.observers();
 
+  // p >= 1 (a flapped-down link) short-circuits the RNG draw: certain
+  // drops must not consume the stream that probabilistic faults replay.
   const bool fault_drop =
-      port.drop_probability > 0.0 && rng_.chance(port.drop_probability);
+      port.drop_probability > 0.0 &&
+      (port.drop_probability >= 1.0 || rng_.chance(port.drop_probability));
   const bool tail_drop = port.queue.size() >= queue_capacity_;
   if (fault_drop || tail_drop) {
     ++port.counters.drops;
+    if (fault_drop) ++port.counters.fault_drops;
     net_.count_drop(id_);
     if (!observers.empty()) {
       SwitchContext ctx{sim, *this, id_, layer_};
@@ -79,6 +83,13 @@ void Switch::start_service(PortId out) {
   auto service = static_cast<sim::Time>(std::ceil(bits / gbps));
   service = std::max(service, port.service_floor);
   service = std::max<sim::Time>(service, 1);
+  if (port.drain_per_pkt > 0 && port.queue.size() > 1) {
+    // Slow-drain: occupancy-proportional penalty (packets waiting behind
+    // the head), so an unloaded port services at the healthy rate.
+    service +=
+        port.drain_per_pkt * static_cast<sim::Time>(port.queue.size() - 1);
+    ++port.counters.drain_penalties;
+  }
   port.counters.busy_time += service;
   auto done = [this, out] { finish_service(out); };
   static_assert(sim::event_fn_fits_inline<decltype(done)>,
@@ -104,7 +115,12 @@ void Switch::finish_service(PortId out) {
     for (auto* obs : observers) obs->on_egress(ctx, pkt, out, hop_latency);
   }
 
-  net_.forward_to_neighbor(id_, out, std::move(pkt), port.extra_delay);
+  sim::Time extra = port.extra_delay;
+  if (port.gated_delay > 0 && port.queue.size() >= port.gate_depth) {
+    extra += port.gated_delay;
+    ++port.counters.gated_delays;
+  }
+  net_.forward_to_neighbor(id_, out, std::move(pkt), extra);
   port.queue.drop_front_moved();
 
   if (!port.queue.empty()) {
@@ -132,11 +148,24 @@ void Switch::set_drop_probability(PortId port, double p) {
   ports_[port].drop_probability = p;
 }
 
+void Switch::set_slow_drain(PortId port, sim::Time per_pkt) {
+  ports_[port].drain_per_pkt = per_pkt;
+}
+
+void Switch::set_gated_delay(PortId port, sim::Time delay,
+                             std::uint32_t min_depth) {
+  ports_[port].gated_delay = delay;
+  ports_[port].gate_depth = min_depth;
+}
+
 void Switch::clear_faults() {
   for (auto& port : ports_) {
     port.service_floor = 0;
     port.extra_delay = 0;
     port.drop_probability = 0.0;
+    port.drain_per_pkt = 0;
+    port.gated_delay = 0;
+    port.gate_depth = 0;
   }
 }
 

@@ -4,7 +4,12 @@
 // Each inter-switch port has a FIFO queue drained at
 // min(link rate, configured packet rate). Fault knobs cover the paper's
 // injection scenarios (§5.2): `max_pps` (process-rate decrease),
-// `extra_delay` (delay outside the queue), `drop_probability` (drop).
+// `extra_delay` (delay outside the queue), `drop_probability` (drop) —
+// plus the gray-failure family (DESIGN.md "Gray failures"): `slow_drain`
+// (service slows with instantaneous queue occupancy, so the fault only
+// bites under load) and `gated_delay` (extra latency only above a queue-
+// depth threshold). Gray knobs cost two zero-compares on the healthy
+// service path and draw no RNG.
 //
 // All of a switch's event scheduling goes through its Lane, bound by the
 // Network right after construction: a plain lane on the single simulator
@@ -33,6 +38,12 @@ struct PortCounters {
   std::uint64_t tx_bytes = 0;
   std::uint64_t drops = 0;
   sim::Time busy_time = 0;  ///< cumulative serialization time
+  // Fault-attributable perturbations, separated from ambient behavior so
+  // the injector's manifestation probes can tell "fault actually touched
+  // traffic this window" apart from tail drops / plain queueing.
+  std::uint64_t fault_drops = 0;      ///< drops from drop_probability
+  std::uint64_t drain_penalties = 0;  ///< services slowed by slow_drain
+  std::uint64_t gated_delays = 0;     ///< packets delayed by gated_delay
 };
 
 class Switch {
@@ -52,6 +63,14 @@ class Switch {
   void set_max_pps(PortId port, double pps);
   void set_extra_delay(PortId port, sim::Time delay);
   void set_drop_probability(PortId port, double p);
+  /// Slow-drain: every service takes `per_pkt` extra ns per packet
+  /// WAITING behind the head (zero penalty at depth <= 1), so the fault
+  /// is invisible on an idle port and self-reinforcing under load.
+  void set_slow_drain(PortId port, sim::Time per_pkt);
+  /// Load-gated delay: packets leaving while the queue holds at least
+  /// `min_depth` packets (counting the departing head) gain `delay` ns of
+  /// post-service latency; below the threshold the port is healthy.
+  void set_gated_delay(PortId port, sim::Time delay, std::uint32_t min_depth);
   /// Reset every fault knob on every port to the healthy default.
   void clear_faults();
 
@@ -89,6 +108,10 @@ class Switch {
     sim::Time service_floor = 0;
     sim::Time extra_delay = 0;
     double drop_probability = 0.0;
+    // gray-failure knobs (0 = healthy)
+    sim::Time drain_per_pkt = 0;   ///< slow-drain ns per queued packet
+    sim::Time gated_delay = 0;     ///< load-gated extra latency
+    std::uint32_t gate_depth = 0;  ///< queue depth arming gated_delay
     PortCounters counters;
   };
 

@@ -1,0 +1,228 @@
+#include "rca/accumulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+namespace mars::rca {
+namespace {
+
+/// Identity key for accumulation: everything that names the suspect, not
+/// its score. Distinct causes at one location accumulate independently —
+/// a port that is both dropping and delaying is two hypotheses. The one
+/// exception is the latency family: the same degraded port classifies as
+/// kProcessRateDecrease in congested windows and kDelay in quiet ones, so
+/// keeping those separate splits one suspect's evidence into two entries
+/// that each lose to persistent ambient noise. They name one hypothesis —
+/// "this element serves slowly" — and accumulate as one.
+const char* cause_token(CauseKind cause) {
+  if (cause == CauseKind::kDelay || cause == CauseKind::kProcessRateDecrease) {
+    return "latency";
+  }
+  return to_string(cause);
+}
+
+/// Element identity: the thing an operator would go look at, causes
+/// aside. ranked() fuses evidence per element so a fault that manifests
+/// through several symptom classes accumulates as one suspect.
+std::string element_key(const Culprit& c) {
+  std::string key = to_string(c.level);
+  key += '|';
+  for (const net::SwitchId sw : c.location) {
+    key += std::to_string(sw);
+    key += ',';
+  }
+  key += '|';
+  key += std::to_string(c.port);
+  key += '|';
+  key += net::to_string(c.flow);
+  return key;
+}
+
+std::string identity_key(const Culprit& c) {
+  std::string key = element_key(c);
+  key += '|';
+  key += cause_token(c.cause);
+  return key;
+}
+
+}  // namespace
+
+void EvidenceAccumulator::observe(const CulpritList& culprits,
+                                  sim::Time when) {
+  windows_.push_back(Window{when, culprits});
+  if (windows_.size() > config_.max_windows) {
+    windows_.erase(windows_.begin(),
+                   windows_.begin() +
+                       static_cast<std::ptrdiff_t>(windows_.size() -
+                                                   config_.max_windows));
+  }
+}
+
+std::size_t EvidenceAccumulator::window_count(sim::Time since) const {
+  std::size_t n = 0;
+  for (const Window& w : windows_) {
+    if (w.when >= since) ++n;
+  }
+  return n;
+}
+
+CulpritList EvidenceAccumulator::ranked(sim::Time since) const {
+  struct Entry {
+    Culprit rep;        ///< the element's loudest sighting (display + cause)
+    double best = 0.0;  ///< strongest single-window evidence, undecayed
+    sim::Time last_seen = 0;
+    std::size_t appearances = 0;  ///< windows the element appeared in
+    double weighted_appearances = 0.0;  ///< Σ window_peak / global peak
+    /// Per symptom class (cause token): the strongest normalized sighting.
+    std::vector<std::pair<const char*, double>> symptom_best;
+    std::size_t order = 0;  ///< first-seen index, deterministic tiebreak
+  };
+  std::unordered_map<std::string, Entry> entries;
+
+  sim::Time last = since;
+  for (const Window& w : windows_) {
+    if (w.when >= since) last = std::max(last, w.when);
+  }
+
+  const double half_life =
+      static_cast<double>(std::max<sim::Time>(config_.half_life, 1));
+  // Normalize by the GLOBAL peak across the whole range, not per window:
+  // per-window normalization hands every quiet window's strongest ambient
+  // suspect a full 1.0, so enough noise-only epochs outvote a true
+  // culprit that only manifests occasionally. Against the global peak, a
+  // quiet window's evidence counts for what it is — weak.
+  double peak = 0.0;
+  for (const Window& w : windows_) {
+    if (w.when < since) continue;
+    for (const Culprit& c : w.culprits) peak = std::max(peak, c.score);
+  }
+  if (peak <= 0.0) peak = 1.0;
+
+  std::size_t next_order = 0;
+  for (const Window& w : windows_) {
+    if (w.when < since || w.culprits.empty()) continue;
+    double window_peak = 0.0;
+    for (const Culprit& c : w.culprits) {
+      window_peak = std::max(window_peak, c.score);
+    }
+    for (const Culprit& c : w.culprits) {
+      auto [it, inserted] = entries.try_emplace(element_key(c));
+      Entry& entry = it->second;
+      if (inserted) entry.order = next_order++;
+      const double normalized = c.score / peak;
+      if (inserted || normalized > entry.best) {
+        entry.best = normalized;
+        entry.rep = c;
+      }
+      if (inserted || entry.last_seen != w.when) {
+        ++entry.appearances;
+        entry.weighted_appearances += window_peak / peak;
+      }
+      entry.last_seen = w.when;
+      const char* token = cause_token(c.cause);
+      const auto st = std::find_if(
+          entry.symptom_best.begin(), entry.symptom_best.end(),
+          [token](const auto& kv) { return kv.first == token; });
+      if (st == entry.symptom_best.end()) {
+        entry.symptom_best.emplace_back(token, normalized);
+      } else {
+        st->second = std::max(st->second, normalized);
+      }
+    }
+  }
+
+  struct Scored {
+    Entry entry;
+    double score = 0.0;
+  };
+  std::vector<Scored> flat;
+  flat.reserve(entries.size());
+  for (auto& [key, entry] : entries) {
+    // Magnitude first, recurrence second, decay last. Summing decayed
+    // per-window support sounds right and fails in practice: a fault's
+    // collateral damage (congestion spreading from a slow-drain port
+    // lights up OTHER ports) is re-reported by every subsequent epoch at
+    // near-constant strength, so a sum rewards the echo over the source,
+    // and decay additionally punishes a root cause whose loudest window
+    // came early — the onset IS the most diagnostic moment. So: a
+    // suspect's score is its single best (undecayed) sighting, recurrence
+    // multiplies it gently (10% per extra window — enough to break
+    // near-ties for a culprit that keeps reappearing, never enough to
+    // overturn a decisively louder one), and evidence only starts
+    // decaying after a full half-life of silence. Suspects are elements
+    // (level/location/port/flow), not (element, cause) pairs: a genuinely
+    // sick element tends to manifest through more than one symptom class
+    // over time — a slow-drain port first reports latency-family evidence,
+    // then drops once its queue overflows — while collateral congestion on
+    // healthy ports echoes a single symptom. The element's magnitude is
+    // the SUM of its per-symptom bests (mirroring the cross-session
+    // drop-fold refinement in MarsSystem's union-merge: the loss is the
+    // congestion's shadow, one fault): single-symptom echoes gain
+    // nothing, corroborated suspects can as much as double. The element
+    // is displayed as its loudest sighting.
+    // Recurrence counts appearances weighted by how loud each window was
+    // overall (window peak over global peak): reappearing in strong,
+    // diagnostic windows is corroboration; reappearing in quiet windows
+    // is the ambient background being re-measured, and must not build a
+    // score a genuinely loud suspect can't match.
+    const double stale =
+        static_cast<double>(last - entry.last_seen) / half_life;
+    const double freshness = stale <= 1.0 ? 1.0 : std::exp2(-(stale - 1.0));
+    const double recurrence =
+        1.0 + 0.1 * std::max(0.0, entry.weighted_appearances - 1.0);
+    double magnitude = 0.0;
+    for (const auto& [token, best] : entry.symptom_best) magnitude += best;
+    const double score = magnitude * recurrence * freshness;
+    flat.push_back(Scored{std::move(entry), score});
+  }
+  // Exact ties are common: SBFL hands symmetric suspects (e.g. the two
+  // halves of an ECMP pair) identical per-window scores. Break them by
+  // weight of evidence — more windows first, then the fresher sighting —
+  // before falling back to deterministic first-seen order.
+  std::sort(flat.begin(), flat.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.entry.appearances != b.entry.appearances) {
+      return a.entry.appearances > b.entry.appearances;
+    }
+    if (a.entry.last_seen != b.entry.last_seen) {
+      return a.entry.last_seen > b.entry.last_seen;
+    }
+    return a.entry.order < b.entry.order;
+  });
+
+  CulpritList out;
+  out.reserve(flat.size());
+  for (Scored& s : flat) {
+    s.entry.rep.score = s.score;
+    out.push_back(std::move(s.entry.rep));
+  }
+  return out;
+}
+
+double EvidenceAccumulator::presence_of(const Culprit& culprit,
+                                        sim::Time since) const {
+  const std::string key = identity_key(culprit);
+  std::size_t total = 0, seen = 0;
+  for (const Window& w : windows_) {
+    if (w.when < since) continue;
+    ++total;
+    for (const Culprit& c : w.culprits) {
+      if (identity_key(c) == key) {
+        ++seen;
+        break;
+      }
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(seen) / static_cast<double>(total);
+}
+
+double EvidenceAccumulator::top_presence(sim::Time since) const {
+  const CulpritList top = ranked(since);
+  if (top.empty()) return 1.0;
+  return presence_of(top.front(), since);
+}
+
+}  // namespace mars::rca

@@ -1,0 +1,116 @@
+#pragma once
+// Multi-epoch evidence accumulator (DESIGN.md "Gray failures &
+// intermittency-hardened RCA").
+//
+// Single-window SBFL ranks each diagnosis session from scratch, so a
+// culprit that only manifests in some collection windows (a flapping
+// link, a slow-drain port that needs load) is re-ranked against fresh
+// ambient noise every epoch and can fall out of the top-k even though it
+// keeps reappearing. The accumulator keeps a sliding window of per-epoch
+// culprit lists and scores each suspect (an *element*: level, location,
+// port, flow — causes fused) magnitude-first:
+//
+//   score(e) = (sum over symptom classes of the element's loudest
+//               normalized sighting in that class)
+//              * (1 + 0.1 * max(0, weighted_appearances - 1))
+//              * freshness(t_last - t_last_seen) // decay after silence
+//
+// where weighted_appearances sums, over the windows the element appears
+// in, that window's peak score relative to the global peak — so
+// recurrence in strong, diagnostic windows is corroboration while
+// recurrence in quiet windows (the ambient background being re-measured)
+// builds almost nothing,
+//
+// where freshness is 1.0 within one half-life of the newest retained
+// window and 2^-(dt/half_life - 1) beyond it. Magnitude is primary
+// because epochs are NOT independent evidence: a fault's collateral
+// damage (congestion spreading from a slow-drain port lights up other
+// ports) is re-reported by every later epoch at near-constant strength,
+// so summing per-window support rewards the echo over the source, and
+// plain exponential decay punishes a root cause whose loudest window
+// came at fault onset — the most diagnostic moment. Recurrence breaks
+// near-ties in favour of a culprit that keeps reappearing (a flapping
+// link) without ever overturning a decisively louder suspect, and stale
+// suspects fade only after a full half-life of silence. Summing across
+// symptom classes (drop vs latency-family) — but never within one —
+// rewards corroboration: a genuinely sick element tends to manifest
+// through several symptoms over time — a slow-drain port reports
+// latency-family evidence first, then drops once its queue overflows —
+// while a healthy port echoing collateral congestion shows one. The
+// normalizer is the peak score across ALL retained windows (not per
+// window): quiet epochs contribute their ambient suspects at their true,
+// weak magnitude instead of being inflated to parity with
+// strongly-manifesting epochs. It also exposes per-suspect *presence* —
+// the fraction of observed windows in which the suspect appeared at all —
+// which MarsSystem folds into its confidence (an always-on fault keeps
+// presence 1.0 and is unaffected; a fault seen in 3 of 10 windows reports
+// proportionally lower confidence).
+//
+// The accumulator is passive bookkeeping: no RNG, no simulator access, no
+// effect on any diagnosis unless RcaConfig::accumulator.enabled is set.
+
+#include <cstdint>
+#include <vector>
+
+#include "rca/types.hpp"
+#include "sim/time.hpp"
+
+namespace mars::rca {
+
+struct AccumulatorConfig {
+  /// Off by default: existing single-window ranking (and every golden
+  /// fingerprint built on it) is untouched unless a scenario opts in.
+  bool enabled = false;
+  /// Decay half-life for old epochs' evidence. Sized to exceed the
+  /// longest credible quiet stretch WITHIN one incident: gray faults sit
+  /// silent for seconds at a time, and onset evidence — the most
+  /// diagnostic sighting — must survive to the post-incident grading
+  /// query instead of being halved away while the fault idles.
+  sim::Time half_life = 4 * sim::kSecond;
+  /// Sliding-window bound on retained epochs (oldest evicted first).
+  std::size_t max_windows = 64;
+};
+
+class EvidenceAccumulator {
+ public:
+  explicit EvidenceAccumulator(AccumulatorConfig config = {})
+      : config_(config) {}
+
+  [[nodiscard]] const AccumulatorConfig& config() const { return config_; }
+
+  /// Record one diagnosis session's ranked list as one evidence window.
+  void observe(const CulpritList& culprits, sim::Time when);
+
+  /// Number of windows observed at or after `since`.
+  [[nodiscard]] std::size_t window_count(sim::Time since) const;
+
+  /// Decay-weighted accumulated ranking over windows at or after `since`
+  /// (highest score first; suspects are elements with causes fused, and
+  /// each entry's non-score fields come from the element's loudest
+  /// sighting). Empty when no window qualifies.
+  [[nodiscard]] CulpritList ranked(sim::Time since) const;
+
+  /// Fraction of windows at or after `since` in which `culprit` appeared
+  /// (identity: level/location/port/flow/cause, with kDelay and
+  /// kProcessRateDecrease treated as one latency-family cause). 0 when no
+  /// windows.
+  [[nodiscard]] double presence_of(const Culprit& culprit,
+                                   sim::Time since) const;
+
+  /// presence_of the top entry of ranked(since); 1.0 when there is no
+  /// evidence yet (nothing to discount confidence by).
+  [[nodiscard]] double top_presence(sim::Time since) const;
+
+  void clear() { windows_.clear(); }
+
+ private:
+  struct Window {
+    sim::Time when = 0;
+    CulpritList culprits;  ///< as observed (scores un-normalized)
+  };
+
+  AccumulatorConfig config_;
+  std::vector<Window> windows_;
+};
+
+}  // namespace mars::rca

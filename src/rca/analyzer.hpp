@@ -19,6 +19,7 @@
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
 #include "parallel/thread_pool.hpp"
+#include "rca/accumulator.hpp"
 #include "rca/sbfl.hpp"
 #include "rca/signatures.hpp"
 #include "rca/traffic_estimator.hpp"
@@ -49,6 +50,15 @@ struct RcaConfig {
   /// operator's short list anyway).
   std::size_t max_patterns = 16;
   std::size_t max_culprits = 20;
+  /// Multi-epoch evidence accumulation for intermittent (gray) faults —
+  /// consumed by MarsSystem, not by the single-session analyzer itself.
+  AccumulatorConfig accumulator;
+  /// Baseline/ablation knob (consumed by MarsSystem): grade only the
+  /// newest post-fault diagnosis session — true single-window SBFL, what
+  /// an operator sees with no cross-epoch merging at all. Ignored when
+  /// the accumulator is enabled. Off by default: the default reporting
+  /// path stays the cross-session union-merge.
+  bool single_window = false;
 };
 
 /// One diagnosis session's output plus the aggregate cost of its FSM

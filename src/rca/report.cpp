@@ -67,6 +67,14 @@ std::string render_report(const control::DiagnosisData& session,
                       session.quality.records_quarantined));
     out += buf;
   }
+  if (options.presence && *options.presence < 1.0) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "evidence  : INTERMITTENT — top suspect present in %.0f%% "
+                  "of diagnosis windows (gray-failure signature)\n",
+                  *options.presence * 100.0);
+    out += buf;
+  }
   if (mining != nullptr) {
     char buf[128];
     std::snprintf(buf, sizeof(buf),
@@ -114,6 +122,9 @@ std::string render_json(const control::DiagnosisData& session,
   out += "\"confidence\":" + std::to_string(session.quality.confidence()) +
          ",";
   out += "\"coverage\":" + std::to_string(session.quality.coverage()) + ",";
+  if (options.presence) {
+    out += "\"presence\":" + std::to_string(*options.presence) + ",";
+  }
   out += "\"quarantined\":" +
          std::to_string(session.quality.records_quarantined) + ",";
   if (mining != nullptr) {

@@ -6,6 +6,7 @@
 // with per-cause remediation hints — and as machine-readable JSON for
 // ticketing integrations.
 
+#include <optional>
 #include <string>
 
 #include "control/controller.hpp"
@@ -17,6 +18,10 @@ namespace mars::rca {
 struct ReportOptions {
   std::size_t max_culprits = 5;
   bool include_remediation = true;
+  /// Top-suspect presence from the multi-epoch evidence accumulator
+  /// (MarsSystem::presence()). Below 1 adds an INTERMITTENT line to the
+  /// text report and a "presence" field to the JSON; unset omits both.
+  std::optional<double> presence;
 };
 
 /// Short remediation hint per cause kind (extendable alongside the

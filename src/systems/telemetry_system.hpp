@@ -76,6 +76,13 @@ class TelemetrySystem {
     return std::nullopt;
   }
 
+  /// Fraction of diagnosis windows this system's top suspect appeared in,
+  /// in [0, 1] — below 1 signals an intermittent (gray) fault. nullopt
+  /// when the system does not track multi-epoch evidence.
+  [[nodiscard]] virtual std::optional<double> presence() const {
+    return std::nullopt;
+  }
+
   /// The degradable control channel this system reads telemetry through,
   /// if it models one (scheduled telemetry faults attach here). Default:
   /// none.

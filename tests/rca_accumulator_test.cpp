@@ -1,0 +1,166 @@
+// EvidenceAccumulator: magnitude-first multi-epoch SBFL support and
+// per-suspect presence. The properties pinned here are the ones the
+// gray-failure confidence calibration depends on: presence is the exact
+// fraction of windows a suspect appears in, recurrence breaks near-ties
+// for repeat offenders but never outvotes decisively louder evidence,
+// and suspects unseen for over a half-life decay away.
+
+#include "rca/accumulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mars::rca {
+namespace {
+
+Culprit port_culprit(net::SwitchId sw, net::PortId port, double score,
+                     CauseKind cause = CauseKind::kDrop) {
+  Culprit c;
+  c.level = CulpritLevel::kPort;
+  c.cause = cause;
+  c.location = {sw};
+  c.port = port;
+  c.score = score;
+  return c;
+}
+
+TEST(EvidenceAccumulatorTest, PresenceIsFractionOfWindows) {
+  EvidenceAccumulator acc;
+  const Culprit flaky = port_culprit(3, 1, 10.0);
+  const Culprit steady = port_culprit(5, 0, 8.0);
+  acc.observe({steady, flaky}, 1 * sim::kSecond);
+  acc.observe({steady}, 2 * sim::kSecond);
+  acc.observe({steady, flaky}, 3 * sim::kSecond);
+  acc.observe({steady}, 4 * sim::kSecond);
+  EXPECT_EQ(acc.window_count(0), 4u);
+  EXPECT_DOUBLE_EQ(acc.presence_of(steady, 0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.presence_of(flaky, 0), 0.5);
+  // The `since` cut restricts the denominator.
+  EXPECT_EQ(acc.window_count(3 * sim::kSecond), 2u);
+  EXPECT_DOUBLE_EQ(acc.presence_of(flaky, 3 * sim::kSecond), 0.5);
+}
+
+TEST(EvidenceAccumulatorTest, RepeatOffenderOutranksNearTieTransients) {
+  EvidenceAccumulator acc;
+  // Each window's transient edges out the repeat offender slightly, but
+  // the repeat offender shows up every time; recurrence must break the
+  // near-tie in its favour.
+  const Culprit repeat = port_culprit(3, 1, 8.5);
+  for (int w = 0; w < 4; ++w) {
+    const Culprit transient = port_culprit(
+        static_cast<net::SwitchId>(10 + w), 0, 9.0);
+    acc.observe({transient, repeat}, (1 + w) * sim::kSecond);
+  }
+  const CulpritList ranked = acc.ranked(0);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front().location.front(), 3u);
+  EXPECT_EQ(ranked.front().port, 1u);
+}
+
+TEST(EvidenceAccumulatorTest, RecurrenceNeverOutvotesDecisiveEvidence) {
+  EvidenceAccumulator acc;
+  // An ambient suspect re-reported every epoch (a fault's collateral
+  // congestion echoes at near-constant strength) must not accumulate past
+  // a decisively louder one-window root cause.
+  const Culprit echo = port_culprit(5, 0, 5.0);
+  const Culprit source = port_culprit(3, 1, 9.0);
+  acc.observe({echo}, 1 * sim::kSecond);
+  acc.observe({source, echo}, 2 * sim::kSecond);
+  acc.observe({echo}, 3 * sim::kSecond);
+  acc.observe({echo}, 4 * sim::kSecond);
+  const CulpritList ranked = acc.ranked(0);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked.front().location.front(), 3u);
+  EXPECT_EQ(ranked.front().port, 1u);
+}
+
+TEST(EvidenceAccumulatorTest, DecayForgetsStaleEvidence) {
+  AccumulatorConfig cfg;
+  cfg.half_life = 1 * sim::kSecond;
+  EvidenceAccumulator acc(cfg);
+  // Old culprit dominates early windows; new culprit owns the last one.
+  const Culprit old_c = port_culprit(2, 0, 9.0);
+  const Culprit new_c = port_culprit(7, 1, 9.0);
+  acc.observe({old_c}, 1 * sim::kSecond);
+  acc.observe({old_c}, 2 * sim::kSecond);
+  // Ten half-lives later: the old evidence is worth ~2^-10 of a window.
+  acc.observe({new_c}, 12 * sim::kSecond);
+  const CulpritList ranked = acc.ranked(0);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked.front().location.front(), 7u);
+}
+
+TEST(EvidenceAccumulatorTest, MaxWindowsEvictsOldest) {
+  AccumulatorConfig cfg;
+  cfg.max_windows = 2;
+  EvidenceAccumulator acc(cfg);
+  const Culprit evicted = port_culprit(1, 0, 5.0);
+  acc.observe({evicted}, 1 * sim::kSecond);
+  acc.observe({port_culprit(2, 0, 5.0)}, 2 * sim::kSecond);
+  acc.observe({port_culprit(3, 0, 5.0)}, 3 * sim::kSecond);
+  EXPECT_EQ(acc.window_count(0), 2u);
+  EXPECT_DOUBLE_EQ(acc.presence_of(evicted, 0), 0.0);
+}
+
+TEST(EvidenceAccumulatorTest, TopPresenceIsOneWithoutEvidence) {
+  EvidenceAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.top_presence(0), 1.0);
+  acc.observe({port_culprit(3, 1, 4.0)}, 1 * sim::kSecond);
+  acc.observe({}, 2 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(acc.top_presence(0), 0.5);
+}
+
+// ranked() fuses causes per element and rewards cross-symptom
+// corroboration: an element reported for BOTH latency-family and drop
+// evidence (the slow-drain signature — service degrades, then its queue
+// overflows) must outrank a slightly-louder single-symptom echo.
+TEST(EvidenceAccumulatorTest, CrossSymptomCorroborationBeatsEcho) {
+  EvidenceAccumulator acc;
+  const Culprit sick_latency =
+      port_culprit(2, 1, 8.0, CauseKind::kProcessRateDecrease);
+  const Culprit sick_drop = port_culprit(2, 1, 7.0, CauseKind::kDrop);
+  const Culprit echo = port_culprit(9, 0, 8.6, CauseKind::kDrop);
+  acc.observe({echo, sick_latency}, 1 * sim::kSecond);
+  acc.observe({echo, sick_drop}, 2 * sim::kSecond);
+  const CulpritList ranked = acc.ranked(0);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked.front().location.front(), 2u);
+  EXPECT_EQ(ranked.front().port, 1u);
+  // The fused element is displayed as its loudest sighting.
+  EXPECT_EQ(ranked.front().cause, CauseKind::kProcessRateDecrease);
+}
+
+TEST(EvidenceAccumulatorTest, CauseIsPartOfSuspectIdentity) {
+  EvidenceAccumulator acc;
+  const Culprit as_drop = port_culprit(4, 2, 5.0, CauseKind::kDrop);
+  const Culprit as_delay = port_culprit(4, 2, 5.0, CauseKind::kDelay);
+  acc.observe({as_drop}, 1 * sim::kSecond);
+  acc.observe({as_delay}, 2 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(acc.presence_of(as_drop, 0), 0.5);
+  EXPECT_DOUBLE_EQ(acc.presence_of(as_delay, 0), 0.5);
+}
+
+// A load-dependent port classifies as rate-decrease under congestion and
+// plain delay when quiet; both sightings must feed one suspect or the
+// split evidence loses to persistent ambient noise.
+TEST(EvidenceAccumulatorTest, LatencyFamilyCausesAccumulateTogether) {
+  EvidenceAccumulator acc;
+  const Culprit as_delay = port_culprit(4, 2, 5.0, CauseKind::kDelay);
+  const Culprit as_rate =
+      port_culprit(4, 2, 5.0, CauseKind::kProcessRateDecrease);
+  acc.observe({as_delay}, 1 * sim::kSecond);
+  acc.observe({as_rate}, 2 * sim::kSecond);
+  EXPECT_DOUBLE_EQ(acc.presence_of(as_delay, 0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.presence_of(as_rate, 0), 1.0);
+  ASSERT_EQ(acc.ranked(0).size(), 1u);
+}
+
+TEST(EvidenceAccumulatorTest, ClearResets) {
+  EvidenceAccumulator acc;
+  acc.observe({port_culprit(3, 1, 4.0)}, 1 * sim::kSecond);
+  acc.clear();
+  EXPECT_EQ(acc.window_count(0), 0u);
+  EXPECT_TRUE(acc.ranked(0).empty());
+}
+
+}  // namespace
+}  // namespace mars::rca

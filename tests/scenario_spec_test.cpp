@@ -493,6 +493,104 @@ TEST(ScenarioSpecTest, TelemetryTriggerBandMustBeOrdered) {
   EXPECT_NE(errors.front().find("trigger_exit"), std::string::npos);
 }
 
+TEST(ScenarioSpecTest, GrayFaultBlockRoundTripsAndLowers) {
+  ScenarioSpec spec;
+  spec.faults.emplace_back();
+  spec.faults.back().kind = "flap";
+  spec.faults.back().at_s = 2.0;
+  spec.faults.back().gray.mean_up_ms = 90.0;
+  spec.faults.back().gray.mean_down_ms = 45.0;
+  spec.faults.back().gray.fanout = 3;
+  spec.rca.accumulator.enabled = true;
+  spec.rca.accumulator.half_life_s = 1.5;
+  EXPECT_EQ(parse_scenario_spec(to_json(spec)), spec);
+  EXPECT_TRUE(spec.validate().empty());
+  const ScenarioConfig cfg = spec.to_config();
+  ASSERT_EQ(cfg.faults.size(), 1u);
+  EXPECT_EQ(cfg.faults.events.front().kind, faults::FaultKind::kLinkFlap);
+  EXPECT_EQ(cfg.faults.events.front().gray.flap_mean_up_ms, 90.0);
+  EXPECT_EQ(cfg.faults.events.front().gray.flap_fanout, 3);
+  EXPECT_TRUE(cfg.mars.rca.accumulator.enabled);
+  EXPECT_EQ(cfg.mars.rca.accumulator.half_life,
+            static_cast<sim::Time>(1.5 * sim::kSecond));
+}
+
+TEST(ScenarioSpecTest, GrayUnknownKeyNamesItsPath) {
+  try {
+    (void)parse_scenario_spec(
+        R"({"faults": [{"kind": "flap", "gray": {"mean_up": 50.0}}]})");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.faults[0].gray"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("mean_up"), std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecTest, GrayOutOfRangeParametersArePathNamed) {
+  // Out-of-range flap dwell, loss probability, and gate threshold are
+  // each rejected with the event named in the error.
+  ScenarioSpec flap;
+  flap.faults.emplace_back();
+  flap.faults.back().kind = "flap";
+  flap.faults.back().gray.mean_down_ms = -10.0;
+  auto errors = flap.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("mean_down_ms"), std::string::npos)
+      << errors.front();
+
+  ScenarioSpec loss;
+  loss.faults.emplace_back();
+  loss.faults.back().kind = "asymloss";
+  loss.faults.back().gray.loss_fwd = 1.2;
+  errors = loss.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("loss_fwd"), std::string::npos);
+
+  ScenarioSpec gate;
+  gate.faults.emplace_back();
+  gate.faults.back().kind = "gateddelay";
+  gate.faults.back().gray.gate_depth = 1;
+  errors = gate.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("gate_depth"), std::string::npos);
+
+  // A gray block on a clean kind is an error naming the offending param.
+  ScenarioSpec clean;
+  clean.faults.emplace_back();
+  clean.faults.back().kind = "drop";
+  clean.faults.back().gray.drain_us_per_pkt = 200.0;
+  errors = clean.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("gray"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, RcaAccumulatorOutOfRangeIsRejected) {
+  ScenarioSpec spec;
+  spec.rca.accumulator.half_life_s = 0.0;
+  auto errors = spec.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("half_life"), std::string::npos)
+      << errors.front();
+
+  ScenarioSpec windows;
+  windows.rca.accumulator.max_windows = 0;
+  errors = windows.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("max_windows"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, RcaUnknownKeyNamesItsPath) {
+  try {
+    (void)parse_scenario_spec(R"({"rca": {"accum": {"enabled": true}}})");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.rca"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("accum"), std::string::npos);
+  }
+}
+
 TEST(ScenarioSpecTest, ShardedRunsRequirePostcardBackend) {
   ScenarioSpec spec;
   spec.sim.shards = 2;

@@ -11,20 +11,28 @@
 # 3. Gray-failure accumulation: the evidence accumulator exists to keep
 #    flapping links localized; its Recall@3 on flap must stay at least at
 #    the single-window number and above an absolute floor.
+# 4. PathID audit: the collision grid is deterministic, so every count in
+#    a fresh report must exactly match the committed reference — any drift
+#    means enumeration order, the hash, or the separation pass changed
+#    behaviour. The recorded reference_8core construction run must show
+#    the parallel K=16 build beating the sequential one; a fresh report's
+#    timing is gated only when it actually ran multi-threaded.
 #
-# Usage: bench/check_bench_regress.sh [report.json] [frontier.json] [gray.json]
+# Usage: bench/check_bench_regress.sh [report.json] [frontier.json] [gray.json] [pathid.json]
 #   Defaults to the committed BENCH_sim_hotpath.json,
-#   BENCH_telemetry_frontier.json and BENCH_robustness_gray.json. Pass
-#   freshly refreshed reports (bench/run_sim_hotpath.sh out.json;
-#   bench_fig9_bandwidth --frontier-out out.json; MARS_TRIALS=20
-#   bench_robustness --gray-out out.json) to gate new measurements
-#   instead of the committed records.
+#   BENCH_telemetry_frontier.json, BENCH_robustness_gray.json and
+#   BENCH_pathid_audit.json. Pass freshly refreshed reports
+#   (bench/run_sim_hotpath.sh out.json; bench_fig9_bandwidth
+#   --frontier-out out.json; MARS_TRIALS=20 bench_robustness --gray-out
+#   out.json; bench/run_pathid_audit.sh out.json) to gate new
+#   measurements instead of the committed records.
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 report=${1:-$repo_root/BENCH_sim_hotpath.json}
 frontier=${2:-$repo_root/BENCH_telemetry_frontier.json}
 gray=${3:-$repo_root/BENCH_robustness_gray.json}
+pathid=${4:-$repo_root/BENCH_pathid_audit.json}
 
 if [[ ! -f $report ]]; then
   echo "error: $report not found" >&2
@@ -36,6 +44,10 @@ if [[ ! -f $frontier ]]; then
 fi
 if [[ ! -f $gray ]]; then
   echo "error: $gray not found" >&2
+  exit 1
+fi
+if [[ ! -f $pathid ]]; then
+  echo "error: $pathid not found" >&2
   exit 1
 fi
 
@@ -120,4 +132,84 @@ if accum < single:
         f"error: accumulation ({accum:.2f}) ranks flapping links WORSE than "
         f"single-window SBFL ({single:.2f}) — accumulated evidence is being "
         "outvoted by ambient noise")
+EOF
+
+python3 - "$pathid" "$repo_root/BENCH_pathid_audit.json" <<'EOF'
+import json
+import sys
+
+pathid_path, committed_path = sys.argv[1:3]
+doc = json.load(open(pathid_path))
+committed = json.load(open(committed_path))
+
+reference = committed.get("reference_8core")
+current = doc.get("current")
+if reference is None or current is None:
+    sys.exit(f"error: {pathid_path} is missing the reference_8core/current "
+             "sections (regenerate with bench/run_pathid_audit.sh)")
+
+# The collision census is deterministic by construction: the parallel
+# build replays the sequential insertion order, so counts never depend on
+# host, thread count, or timing. Exact-match every row.
+EXACT = ("paths", "id_space", "initial_collisions", "residual_collisions",
+         "mat_entries", "rounds", "pigeonhole_infeasible", "conflict_free")
+ref_grid = {(r["k"], r["hash"], r["width_bits"]): r
+            for r in reference["grid"]}
+drift = []
+for row in current["grid"]:
+    key = (row["k"], row["hash"], row["width_bits"])
+    ref = ref_grid.get(key)
+    if ref is None:
+        drift.append(f"unexpected grid row {key}")
+        continue
+    for field in EXACT:
+        if row[field] != ref[field]:
+            drift.append(f"K={key[0]} {key[1]}/{key[2]}b {field}: "
+                         f"{row[field]} != recorded {ref[field]}")
+verdict = "ok" if not drift else "REGRESSION"
+print(f"pathid collision grid: {len(current['grid'])} rows exact-matched "
+      f"against reference: {verdict}")
+if drift:
+    sys.exit("error: PathID collision grid drifted from the committed "
+             "record — the audit pass is no longer deterministic or the "
+             "hash/separation behaviour changed:\n  " + "\n  ".join(drift))
+
+# Construction speedup: the acceptance record lives in reference_8core.
+ref_con = reference["construction"]
+seq, par = ref_con["sequential_seconds"], ref_con["parallel_seconds"]
+verdict = "ok" if par < seq else "REGRESSION"
+print(f"pathid K={ref_con['k']} reference build: parallel {par:.3f}s "
+      f"({ref_con['parallel_threads']} threads) vs sequential {seq:.3f}s: "
+      f"{verdict}")
+if par >= seq:
+    sys.exit(
+        f"error: recorded reference parallel build ({par:.3f}s) is not "
+        f"faster than sequential ({seq:.3f}s) — the parallel registry "
+        "construction lost its reason to exist")
+
+# A fresh report's timing only means something when it ran with cores to
+# spend; single-core refreshes degenerate to the sequential build.
+cur_con = current["construction"]
+if cur_con["parallel_threads"] >= 2:
+    seq, par = cur_con["sequential_seconds"], cur_con["parallel_seconds"]
+    if par >= seq * 1.10:  # 10% tolerance for small fabrics / noisy hosts
+        sys.exit(
+            f"error: fresh parallel build ({par:.3f}s on "
+            f"{cur_con['parallel_threads']} threads) is slower than "
+            f"sequential ({seq:.3f}s) — parallel construction regressed")
+    print(f"pathid K={cur_con['k']} fresh build: parallel {par:.3f}s vs "
+          f"sequential {seq:.3f}s: ok")
+else:
+    print(f"pathid K={cur_con['k']} fresh build: single-core host, timing "
+          "gate skipped (counts were still exact-matched)")
+
+hit = cur_con["cache_hit_seconds"]
+cold = cur_con["cache_cold_seconds"]
+if hit * 100 > max(cold, 1e-3):
+    sys.exit(
+        f"error: registry cache hit ({hit * 1e6:.0f} us) is within 100x of "
+        f"the cold build ({cold:.3f}s) — the cache is rebuilding instead "
+        "of sharing")
+print(f"pathid registry cache: hit {hit * 1e6:.0f} us vs cold build "
+      f"{cold:.3f}s: ok")
 EOF

@@ -29,6 +29,11 @@
 //     --provenance-out <file> diagnosis provenance DAG (JSON)
 //     --flight-out <file>     flight-recorder dumps (JSON; arms the
 //                             recorder)
+//     --path-id-hash <name>   PathID hash generator (crc16|crc32)
+//     --path-id-bits <n>      PathID width carried in the header, [1, 32]
+//     --path-audit            build the PathID registry for the configured
+//                             topology, print the collision audit, and exit
+//                             0 if conflict-free / 1 if not (no simulation)
 //     --json                  machine-readable result summary
 //
 // Unknown fault / topology / system names exit nonzero with the list of
@@ -45,9 +50,11 @@
 #include <string>
 #include <vector>
 
+#include "control/path_registry_cache.hpp"
 #include "mars/scenario.hpp"
 #include "mars/scenario_spec.hpp"
 #include "mars/system_registry.hpp"
+#include "net/routing.hpp"
 #include "obs/json_writer.hpp"
 #include "telemetry/backend.hpp"
 #include "workload/trace.hpp"
@@ -65,7 +72,9 @@ using namespace mars;
                "[--list-topologies] [--list-systems] [--list-backends] "
                "[--trace-out FILE] [--metrics-out FILE] "
                "[--spans-out FILE] [--log-out FILE] [--log-level LEVEL] "
-               "[--provenance-out FILE] [--flight-out FILE] [--json]\n",
+               "[--provenance-out FILE] [--flight-out FILE] "
+               "[--path-id-hash NAME] [--path-id-bits N] [--path-audit] "
+               "[--json]\n",
                argv0);
   std::exit(2);
 }
@@ -187,6 +196,9 @@ int main(int argc, char** argv) {
   std::string trace_out, metrics_out, spans_out;
   std::string log_out, provenance_out, flight_out;
   std::optional<obs::LogLevel> log_level;
+  std::optional<telemetry::HashKind> path_id_hash;
+  std::optional<std::uint32_t> path_id_bits;
+  bool path_audit = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -259,6 +271,19 @@ int main(int argc, char** argv) {
       provenance_out = next();
     } else if (arg == "--flight-out") {
       flight_out = next();
+    } else if (arg == "--path-id-hash") {
+      const std::string name = next();
+      path_id_hash = telemetry::hash_from_name(name);
+      if (!path_id_hash) {
+        std::fprintf(stderr,
+                     "unknown path_id hash '%s' (known: crc16, crc32)\n",
+                     name.c_str());
+        return 2;
+      }
+    } else if (arg == "--path-id-bits") {
+      path_id_bits = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--path-audit") {
+      path_audit = true;
     } else if (arg == "--json") {
       json = true;
     } else {
@@ -309,10 +334,87 @@ int main(int argc, char** argv) {
     cfg.systems = {"mars"};
   }
   if (backend) cfg.mars.pipeline.backend.kind = *backend;
+  if (path_id_hash) cfg.mars.pipeline.path_id.hash = *path_id_hash;
+  if (path_id_bits) cfg.mars.pipeline.path_id.width_bits = *path_id_bits;
 
   if (log_level) cfg.obs.log_level = *log_level;
   if (!provenance_out.empty()) cfg.obs.provenance = true;
   if (!flight_out.empty()) cfg.obs.flight_recorder = true;
+
+  if (path_audit) {
+    // Audit only: build the registry for the configured topology and
+    // PathID shape, report, and exit — deliberately before full scenario
+    // validation, because auditing a non-conflict-free shape (which
+    // validation rejects when MARS is deployed) is the flag's purpose.
+    if (const auto errors =
+            net::TopologyRegistry::instance().validate(cfg.topology);
+        !errors.empty()) {
+      for (const auto& error : errors) {
+        std::fprintf(stderr, "invalid topology: %s\n", error.c_str());
+      }
+      return 2;
+    }
+    const telemetry::PathIdConfig& pid = cfg.mars.pipeline.path_id;
+    if (pid.width_bits < 1 || pid.width_bits > 32) {
+      std::fprintf(stderr,
+                   "telemetry.path_id.width_bits must be in [1, 32] "
+                   "(got %u)\n",
+                   pid.width_bits);
+      return 2;
+    }
+    const auto fabric = net::TopologyRegistry::instance().build(cfg.topology);
+    const net::RoutingTable routing(fabric.topology);
+    const auto registry = control::PathRegistryCache::instance().get_or_build(
+        fabric.topology, routing, pid, /*threads=*/0);
+    const control::PathAuditReport& a = registry->audit();
+    if (json) {
+      obs::JsonWriter w(std::cout);
+      w.begin_object();
+      w.member("topology", cfg.topology.name);
+      w.member("hash", telemetry::hash_name(a.config.hash));
+      w.member("width_bits", std::uint64_t{a.config.width_bits});
+      w.member("paths", std::uint64_t{a.path_count});
+      w.member("hops", std::uint64_t{a.hop_count});
+      w.member("id_space", std::uint64_t{a.id_space});
+      w.member("initial_collisions", std::uint64_t{a.initial_collisions});
+      w.member("residual_collisions", std::uint64_t{a.residual_collisions});
+      w.member("ambiguous_ids", std::uint64_t{a.ambiguous_ids});
+      w.member("mat_entries", std::uint64_t{a.mat_entries});
+      w.member("mat_overwrites", std::uint64_t{a.mat_overwrites});
+      w.member("rounds", std::uint64_t{static_cast<std::uint64_t>(a.rounds)});
+      w.member("pigeonhole_infeasible", a.pigeonhole_infeasible);
+      w.member("conflict_free", a.conflict_free);
+      w.member("mars_memory_bytes", std::uint64_t{a.mars_memory_bytes});
+      w.member("intsight_memory_bytes",
+               std::uint64_t{a.intsight_memory_bytes});
+      w.member("build_threads", std::uint64_t{a.build_threads});
+      w.member("build_seconds", a.build_seconds);
+      w.end_object();
+      std::cout << "\n";
+    } else {
+      std::printf("topology %s: %zu paths, %zu hops, %s/%u bits "
+                  "(id space %zu)\n",
+                  cfg.topology.name.c_str(), a.path_count, a.hop_count,
+                  telemetry::hash_name(a.config.hash), a.config.width_bits,
+                  a.id_space);
+      std::printf("collisions: %zu initial -> %zu residual "
+                  "(%zu ambiguous ids) in %d rounds%s\n",
+                  a.initial_collisions, a.residual_collisions,
+                  a.ambiguous_ids, a.rounds,
+                  a.pigeonhole_infeasible
+                      ? " [pigeonhole: more paths than id values]"
+                      : "");
+      std::printf("mat: %zu entries (%zu overwrites), %zu bytes "
+                  "(IntSight-equivalent %zu bytes)\n",
+                  a.mat_entries, a.mat_overwrites, a.mars_memory_bytes,
+                  a.intsight_memory_bytes);
+      std::printf("build: %.3fs on %zu threads\n", a.build_seconds,
+                  a.build_threads);
+      std::printf("verdict: %s\n",
+                  a.conflict_free ? "conflict-free" : "NOT conflict-free");
+    }
+    return a.conflict_free ? 0 : 1;
+  }
 
   if (const auto errors = validate_scenario(cfg); !errors.empty()) {
     for (const auto& error : errors) {

@@ -1,20 +1,84 @@
 #include "control/path_registry.hpp"
 
 #include <cassert>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "obs/event_log.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace mars::control {
 
+namespace {
+
+// Below this many paths the fork/join overhead dwarfs the work; the small
+// registries used by unit tests and k=4 scenarios stay on the calling
+// thread even when a pool exists.
+constexpr std::size_t kMinParallelPaths = 4096;
+// Replay is ~30 ns per path; keep per-task slices coarse enough that the
+// pool's queue mutex never becomes the bottleneck.
+constexpr std::size_t kMinChunk = 1024;
+
+}  // namespace
+
 PathRegistry::PathRegistry(const net::Topology& topology,
                            const net::RoutingTable& routing,
-                           telemetry::PathIdConfig config)
+                           telemetry::PathIdConfig config, std::size_t threads)
     : topology_(&topology), config_(config) {
-  for (auto& switches : routing.enumerate_edge_paths()) {
-    RegisteredPath path;
-    path.switches = std::move(switches);
-    build_hops(path);
-    paths_.push_back(std::move(path));
+  const auto start = std::chrono::steady_clock::now();
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  resolve_conflicts();
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<parallel::ThreadPool>(threads);
+
+  enumerate(routing, pool.get());
+  const Groups groups = resolve_conflicts(pool.get());
+  finalize(groups);
+
+  audit_.config = config_;
+  audit_.path_count = paths_.size();
+  for (const auto& p : paths_) audit_.hop_count += p.hops.size();
+  audit_.id_space = static_cast<std::size_t>(config_.mask()) + 1;
+  audit_.mat_entries = mat_.size();
+  audit_.mars_memory_bytes = mars_memory_bytes();
+  audit_.intsight_memory_bytes = intsight_memory_bytes();
+  audit_.build_threads = threads;
+  audit_.build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+}
+
+void PathRegistry::enumerate(const net::RoutingTable& routing,
+                             parallel::ThreadPool* pool) {
+  // Per-root task splitting (fsm::Engine's pattern): every source edge
+  // switch enumerates into its own buffer, and the buffers concatenate in
+  // source order — exactly RoutingTable::enumerate_edge_paths(), so the
+  // path table is identical at every thread count.
+  const auto roots = topology_->switches_in_layer(net::Layer::kEdge);
+  std::vector<std::vector<RegisteredPath>> per_root(roots.size());
+  const auto build_root = [&](std::size_t r) {
+    std::vector<RegisteredPath>& out = per_root[r];
+    for (auto& switches : routing.enumerate_edge_paths_from(roots[r])) {
+      RegisteredPath path;
+      path.switches = std::move(switches);
+      build_hops(path);
+      out.push_back(std::move(path));
+    }
+  };
+  if (pool != nullptr && roots.size() > 1) {
+    parallel::parallel_for(*pool, 0, roots.size(), build_root);
+  } else {
+    for (std::size_t r = 0; r < roots.size(); ++r) build_root(r);
+  }
+  std::size_t total = 0;
+  for (const auto& buf : per_root) total += buf.size();
+  paths_.reserve(total);
+  for (auto& buf : per_root) {
+    for (auto& path : buf) paths_.push_back(std::move(path));
+  }
 }
 
 void PathRegistry::build_hops(RegisteredPath& path) const {
@@ -50,7 +114,66 @@ std::uint32_t PathRegistry::replay(const RegisteredPath& path) const {
   return id;
 }
 
-void PathRegistry::resolve_conflicts() {
+void PathRegistry::replay_all(parallel::ThreadPool* pool) {
+  // Each path's id depends only on its own hops and the (frozen) MAT, so
+  // the replays are embarrassingly parallel and write disjoint slots.
+  const auto do_one = [&](std::size_t i) {
+    paths_[i].path_id = replay(paths_[i]);
+  };
+  if (pool != nullptr && paths_.size() >= kMinParallelPaths) {
+    parallel::parallel_for(*pool, 0, paths_.size(), do_one, kMinChunk);
+  } else {
+    for (std::size_t i = 0; i < paths_.size(); ++i) do_one(i);
+  }
+}
+
+PathRegistry::Groups PathRegistry::group_paths(
+    parallel::ThreadPool* pool) const {
+  // Sequential reference: insert ids in path-index order. The parallel
+  // version groups contiguous index chunks independently, then merges the
+  // chunk results in chunk order, replaying each chunk's first-seen key
+  // sequence. Because chunk c's indices all precede chunk c+1's, the
+  // merged sequence of *successful* key insertions — and every group's
+  // member order — is exactly the sequential one, so the map (and with it
+  // the resolution pass that iterates it) is bit-identical at every
+  // thread count.
+  Groups groups;
+  if (pool == nullptr || paths_.size() < kMinParallelPaths) {
+    for (std::size_t i = 0; i < paths_.size(); ++i) {
+      groups[paths_[i].path_id].push_back(i);
+    }
+    return groups;
+  }
+
+  struct ChunkGroups {
+    std::vector<std::uint32_t> first_seen;
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> members;
+  };
+  const std::vector<std::size_t> sizes = parallel::detail::chunk_sizes(
+      paths_.size(), kMinChunk, pool->size() * 4);
+  std::vector<std::size_t> bounds{0};
+  for (const std::size_t size : sizes) bounds.push_back(bounds.back() + size);
+  std::vector<ChunkGroups> chunks(sizes.size());
+  parallel::parallel_for(*pool, 0, chunks.size(), [&](std::size_t c) {
+    ChunkGroups& chunk = chunks[c];
+    for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+      const auto [it, fresh] = chunk.members.try_emplace(paths_[i].path_id);
+      if (fresh) chunk.first_seen.push_back(paths_[i].path_id);
+      it->second.push_back(i);
+    }
+  });
+  for (const ChunkGroups& chunk : chunks) {
+    for (const std::uint32_t id : chunk.first_seen) {
+      const std::vector<std::size_t>& members = chunk.members.at(id);
+      std::vector<std::size_t>& out = groups[id];
+      out.insert(out.end(), members.begin(), members.end());
+    }
+  }
+  return groups;
+}
+
+PathRegistry::Groups PathRegistry::resolve_conflicts(
+    parallel::ThreadPool* pool) {
   // Iteratively: recompute all ids; for every group of paths sharing an
   // id, keep the first and pin a fresh control value for each of the
   // others at the first hop where their running keys diverge from the
@@ -58,22 +181,47 @@ void PathRegistry::resolve_conflicts() {
   // geometrically, so even dense tables (K=8: ~15k paths in 16 bits)
   // settle in a handful of rounds.
   constexpr int kMaxRounds = 64;
-  for (int round = 0; round < kMaxRounds; ++round) {
-    id_to_path_.clear();
-    std::unordered_map<std::uint32_t, std::vector<std::size_t>> groups;
-    for (std::size_t i = 0; i < paths_.size(); ++i) {
-      paths_[i].path_id = replay(paths_[i]);
-      groups[paths_[i].path_id].push_back(i);
-      id_to_path_.try_emplace(paths_[i].path_id, i);
-    }
+  const auto count_conflicts = [](const Groups& groups) {
     std::size_t conflicts = 0;
     for (const auto& [id, members] : groups) {
       if (members.size() > 1) conflicts += members.size() - 1;
     }
-    if (round == 0) initial_collisions_ = conflicts;
+    return conflicts;
+  };
+
+  // Pigeonhole: with more paths than PathID values no MAT assignment can
+  // be injective, so 64 rounds of separation would only churn. Record the
+  // raw collision census and stop — validation rejects the config.
+  if (paths_.size() > static_cast<std::size_t>(config_.mask()) + 1) {
+    replay_all(pool);
+    Groups groups = group_paths(pool);
+    audit_.initial_collisions = count_conflicts(groups);
+    audit_.residual_collisions = audit_.initial_collisions;
+    audit_.pigeonhole_infeasible = true;
+    audit_.conflict_free = false;
+    audit_.rounds = 0;
+    return groups;
+  }
+
+  for (int round = 0; round < kMaxRounds; ++round) {
+    replay_all(pool);
+    Groups groups = group_paths(pool);
+    const std::size_t conflicts = count_conflicts(groups);
+    if (round == 0) audit_.initial_collisions = conflicts;
     if (conflicts == 0) {
-      conflict_free_ = true;
-      return;
+      audit_.conflict_free = true;
+      audit_.residual_collisions = 0;
+      audit_.rounds = round + 1;
+      return groups;
+    }
+    if (round + 1 == kMaxRounds) {
+      // Give up *with the map consistent*: the ids and groups reflect the
+      // final MAT (no separation whose effect was never re-checked), and
+      // the residual census is what validation reports.
+      audit_.conflict_free = false;
+      audit_.residual_collisions = conflicts;
+      audit_.rounds = kMaxRounds;
+      return groups;
     }
 
     for (const auto& [id, members] : groups) {
@@ -84,7 +232,8 @@ void PathRegistry::resolve_conflicts() {
       }
     }
   }
-  conflict_free_ = false;  // gave up after kMaxRounds
+  assert(false);  // unreachable: the loop returns on its last round
+  return {};
 }
 
 void PathRegistry::separate(const RegisteredPath& a, const RegisteredPath& b) {
@@ -95,9 +244,12 @@ void PathRegistry::separate(const RegisteredPath& a, const RegisteredPath& b) {
   // path families and thrashes; the deepest key is the most specific.
   std::uint32_t id_a = 0, id_b = 0;
   std::optional<telemetry::HopKey> target;
+  std::vector<telemetry::HopKey> keys;
+  keys.reserve(b.hops.size());
   for (std::size_t h = 0; h < b.hops.size(); ++h) {
     const auto& hb = b.hops[h];
     const telemetry::HopKey kb{id_b, hb.sw, hb.in_port, hb.out_port};
+    keys.push_back(kb);
     bool differs = true;
     if (h < a.hops.size()) {
       const auto& ha = a.hops[h];
@@ -114,24 +266,70 @@ void PathRegistry::separate(const RegisteredPath& a, const RegisteredPath& b) {
     mat_.emplace(*target, next_control_++);
     return;
   }
-  // Identical hop keys throughout would mean identical paths; as a last
-  // resort bump the control on b's sink hop with a fresh value.
-  const auto& hb = b.hops.back();
-  // Recompute b's id entering the sink hop.
-  std::uint32_t id = 0;
-  for (std::size_t h = 0; h + 1 < b.hops.size(); ++h) {
-    id = telemetry::update_path_id_with_mat(config_, mat_, id, b.hops[h].sw,
-                                            b.hops[h].in_port,
-                                            b.hops[h].out_port);
+  // No differing MAT-free hop. Re-rolling ANY hop of b re-hashes it (a
+  // shares the key, so a re-rolls identically up to the fresh control's
+  // avalanche), so take the deepest hop whose key is still free rather
+  // than clobber an installed entry — overwriting un-resolves whichever
+  // previously separated pair that entry was pinned for.
+  for (std::size_t h = keys.size(); h-- > 0;) {
+    if (mat_.find(keys[h]) == mat_.end()) {
+      mat_.emplace(keys[h], next_control_++);
+      return;
+    }
   }
-  mat_[telemetry::HopKey{id, hb.sw, hb.in_port, hb.out_port}] =
-      next_control_++;
+  // Every hop of b already carries an entry. Overwriting one would
+  // un-resolve whichever previously separated pair that entry was pinned
+  // for — the silent-clobber bug this pass exists to prevent — so leave b
+  // alone this round. Other separations re-hash the table, which usually
+  // frees a key by the next round; if not, the give-up path records b in
+  // the residual census and validation rejects the config.
+}
+
+void PathRegistry::finalize(const Groups& groups) {
+  id_to_path_.reserve(groups.size());
+  for (const auto& [id, members] : groups) {
+    if (members.size() == 1) {
+      id_to_path_.emplace(id, members.front());
+    } else {
+      ambiguous_.insert(id);
+    }
+  }
+  audit_.ambiguous_ids = ambiguous_.size();
 }
 
 const net::SwitchPath* PathRegistry::lookup(std::uint32_t path_id) const {
+  if (ambiguous_.count(path_id) > 0) {
+    // Decompressing an ambiguous id to an arbitrary survivor would feed
+    // the analyzer a wrong switch sequence; refuse and count instead.
+    ambiguous_lookups_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   const auto it = id_to_path_.find(path_id);
   if (it == id_to_path_.end()) return nullptr;
   return &paths_[it->second].switches;
+}
+
+void PathRegistry::log_audit(obs::EventLog& log, sim::Time at) const {
+  log.log(obs::LogLevel::kInfo, at, "pathid", "audit",
+          {{"paths", std::uint64_t{audit_.path_count}},
+           {"hops", std::uint64_t{audit_.hop_count}},
+           {"hash", telemetry::hash_name(config_.hash)},
+           {"width_bits", std::uint64_t{config_.width_bits}},
+           {"initial_collisions", std::uint64_t{audit_.initial_collisions}},
+           {"mat_entries", std::uint64_t{audit_.mat_entries}},
+           {"rounds", std::uint64_t{static_cast<std::uint64_t>(audit_.rounds)}},
+           {"build_threads", std::uint64_t{audit_.build_threads}},
+           {"conflict_free", std::uint64_t{audit_.conflict_free ? 1u : 0u}}});
+  if (!audit_.conflict_free) {
+    log.log(obs::LogLevel::kError, at, "pathid", "unresolved_collisions",
+            {{"residual_collisions",
+              std::uint64_t{audit_.residual_collisions}},
+             {"ambiguous_ids", std::uint64_t{audit_.ambiguous_ids}},
+             {"pigeonhole_infeasible",
+              std::uint64_t{audit_.pigeonhole_infeasible ? 1u : 0u}},
+             {"rounds",
+              std::uint64_t{static_cast<std::uint64_t>(audit_.rounds)}}});
+  }
 }
 
 std::size_t PathRegistry::intsight_memory_bytes() const {

@@ -9,15 +9,37 @@
 //       reports, and
 //   (b) the conflict MAT the data plane needs, whose entry count is the
 //       switch-memory cost compared against IntSight in §5.5.
+//
+// Construction is a parallel pass over the `src/parallel` thread pool:
+// path enumeration splits per source edge switch (the same per-root task
+// pattern as fsm::Engine), PathID replay and collision grouping split
+// over contiguous path-index chunks. The hard contract is that the MAT,
+// the path order, and every collision count are bit-identical at every
+// thread count — the sequential build is just the 1-thread special case.
+//
+// A registry that fails to resolve every collision is a *diagnosed*
+// condition, not a silent one: ambiguous PathIDs decompress to nullptr
+// (never to an arbitrary first-wins path), the PathAuditReport carries
+// the residual counts, and scenario validation rejects the configuration.
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/routing.hpp"
 #include "net/topology.hpp"
 #include "telemetry/path_id.hpp"
+
+namespace mars::obs {
+class EventLog;
+}
+
+namespace mars::parallel {
+class ThreadPool;
+}
 
 namespace mars::control {
 
@@ -34,14 +56,53 @@ struct RegisteredPath {
   std::vector<Hop> hops;
 };
 
+/// Everything scenario validation, the CLI `--path-audit` view, and the
+/// collision-rate bench need to judge a built registry. All counts are
+/// deterministic; `build_seconds` is the one wall-clock field.
+struct PathAuditReport {
+  telemetry::PathIdConfig config;
+  std::size_t path_count = 0;
+  std::size_t hop_count = 0;
+  std::size_t id_space = 0;  ///< 2^width_bits (distinct PathID values)
+  std::size_t initial_collisions = 0;
+  std::size_t residual_collisions = 0;  ///< 0 iff conflict_free
+  std::size_t ambiguous_ids = 0;  ///< PathIDs shared by >1 path after build
+  std::size_t mat_entries = 0;
+  std::size_t mat_overwrites = 0;  ///< last-resort clobbers (expected 0)
+  int rounds = 0;                  ///< resolution rounds actually run
+  /// More paths than PathID values: resolution is skipped because no MAT
+  /// can make the mapping injective (pigeonhole).
+  bool pigeonhole_infeasible = false;
+  bool conflict_free = false;
+  std::size_t mars_memory_bytes = 0;
+  std::size_t intsight_memory_bytes = 0;
+  std::size_t build_threads = 1;
+  double build_seconds = 0.0;  ///< wall clock; nondeterministic
+};
+
 class PathRegistry {
  public:
   /// Enumerates all shortest edge-to-edge paths and resolves conflicts.
+  /// `threads`: 1 = sequential (the default, and the reference the
+  /// parallel build must reproduce bit-for-bit), 0 = hardware
+  /// concurrency, N = a private N-thread pool for the build only.
   PathRegistry(const net::Topology& topology, const net::RoutingTable& routing,
-               telemetry::PathIdConfig config);
+               telemetry::PathIdConfig config, std::size_t threads = 1);
 
-  /// Decompress a PathID into its switch sequence; nullptr if unknown.
+  /// Decompress a PathID into its switch sequence. nullptr if unknown
+  /// *or ambiguous* — an ambiguous id (only possible when the registry is
+  /// not conflict_free()) must never decompress to an arbitrary survivor,
+  /// so it counts in ambiguous_lookups() and returns nothing.
   [[nodiscard]] const net::SwitchPath* lookup(std::uint32_t path_id) const;
+
+  /// True when `path_id` is shared by more than one registered path.
+  [[nodiscard]] bool is_ambiguous(std::uint32_t path_id) const {
+    return ambiguous_.count(path_id) > 0;
+  }
+  /// How many lookup() calls hit an ambiguous id (thread-safe counter).
+  [[nodiscard]] std::uint64_t ambiguous_lookups() const {
+    return ambiguous_lookups_.load(std::memory_order_relaxed);
+  }
 
   /// The conflict-resolution MAT to install in the data plane.
   [[nodiscard]] const telemetry::ControlMat& mat() const { return mat_; }
@@ -53,10 +114,17 @@ class PathRegistry {
   }
   /// Collisions seen before any MAT entry was installed.
   [[nodiscard]] std::size_t initial_collisions() const {
-    return initial_collisions_;
+    return audit_.initial_collisions;
   }
   /// True if every registered path maps to a distinct PathID.
-  [[nodiscard]] bool conflict_free() const { return conflict_free_; }
+  [[nodiscard]] bool conflict_free() const { return audit_.conflict_free; }
+
+  /// The full construction audit (counts are deterministic).
+  [[nodiscard]] const PathAuditReport& audit() const { return audit_; }
+
+  /// Emit the audit as structured events: one info summary, plus an error
+  /// event when collisions survived resolution.
+  void log_audit(obs::EventLog& log, sim::Time at) const;
 
   // ---- §5.5 switch-memory accounting ----
   /// MARS: one ~10-byte MAT entry per unresolved hash conflict.
@@ -70,18 +138,25 @@ class PathRegistry {
   static constexpr std::size_t kIntSightMatEntryBytes = 7;
 
  private:
+  using Groups = std::unordered_map<std::uint32_t, std::vector<std::size_t>>;
+
+  void enumerate(const net::RoutingTable& routing, parallel::ThreadPool* pool);
   void build_hops(RegisteredPath& path) const;
   [[nodiscard]] std::uint32_t replay(const RegisteredPath& path) const;
-  void resolve_conflicts();
+  void replay_all(parallel::ThreadPool* pool);
+  [[nodiscard]] Groups group_paths(parallel::ThreadPool* pool) const;
+  [[nodiscard]] Groups resolve_conflicts(parallel::ThreadPool* pool);
   void separate(const RegisteredPath& a, const RegisteredPath& b);
+  void finalize(const Groups& groups);
 
   const net::Topology* topology_;
   telemetry::PathIdConfig config_;
   std::vector<RegisteredPath> paths_;
   telemetry::ControlMat mat_;
   std::unordered_map<std::uint32_t, std::size_t> id_to_path_;
-  std::size_t initial_collisions_ = 0;
-  bool conflict_free_ = false;
+  std::unordered_set<std::uint32_t> ambiguous_;
+  mutable std::atomic<std::uint64_t> ambiguous_lookups_{0};
+  PathAuditReport audit_;
   std::uint32_t next_control_ = 1;
 };
 

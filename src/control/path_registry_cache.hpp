@@ -1,0 +1,74 @@
+#pragma once
+// Process-wide PathRegistry cache.
+//
+// Registry construction is the dominant setup cost at scale (k=16:
+// ~990k paths, ~5M hops replayed per resolution round), yet its output
+// depends only on the topology's wiring and the PathIdConfig — not on
+// link capacities, ECMP weights, seeds, or anything else a sweep varies
+// between trials. Caching on (structural fingerprint, hash, width) turns
+// run_sweep's N identical builds, validate-then-run double construction,
+// and repeated bench sections into a single build.
+//
+// Entries are shared immutable snapshots (shared_ptr<const PathRegistry>)
+// so a trial can outlive a clear(). The only mutable state on a cached
+// registry is the relaxed ambiguous_lookups() counter, and validated
+// scenarios never take that branch (non-conflict-free registries are
+// rejected before deployment).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "control/path_registry.hpp"
+
+namespace mars::control {
+
+struct PathRegistryCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class PathRegistryCache {
+ public:
+  static PathRegistryCache& instance();
+
+  /// Return the cached registry for (topology structure, config), building
+  /// it on first use. `threads` only affects a cache miss: 0 = hardware
+  /// concurrency for the build (the result is bit-identical either way —
+  /// see PathRegistry's determinism contract, which is what makes the
+  /// cache sound). Concurrent first builds of the same key serialize.
+  std::shared_ptr<const PathRegistry> get_or_build(
+      const net::Topology& topology, const net::RoutingTable& routing,
+      telemetry::PathIdConfig config, std::size_t threads = 0);
+
+  [[nodiscard]] PathRegistryCacheStats stats() const;
+
+  /// Drop all entries (tests; long-lived processes cycling topologies).
+  /// Outstanding shared_ptrs keep their registries alive.
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t fingerprint = 0;
+    telemetry::HashKind hash = telemetry::HashKind::kCrc16;
+    std::uint32_t width_bits = 16;
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      std::size_t h = static_cast<std::size_t>(k.fingerprint);
+      h = h * 1000003u ^ static_cast<std::size_t>(k.hash);
+      h = h * 1000003u ^ k.width_bits;
+      return h;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const PathRegistry>, KeyHash>
+      entries_;
+  PathRegistryCacheStats stats_;
+};
+
+}  // namespace mars::control

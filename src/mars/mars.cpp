@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "control/path_registry_cache.hpp"
 #include "sim/sharded.hpp"
 
 namespace mars {
@@ -12,8 +13,22 @@ MarsSystem::MarsSystem(net::Network& network, MarsConfig config)
       accumulator_(config.rca.accumulator) {
   const bool sharded = network.is_sharded();
   config_.pipeline.sharded = sharded;
-  registry_ = std::make_unique<control::PathRegistry>(
+  registry_ = control::PathRegistryCache::instance().get_or_build(
       network.topology(), network.routing(), config_.pipeline.path_id);
+  if (config_.log != nullptr) {
+    registry_->log_audit(*config_.log, 0);
+  }
+  if (config_.provenance != nullptr) {
+    const auto& audit = registry_->audit();
+    config_.provenance->add_node(
+        obs::ProvenanceGraph::NodeKind::kRegistry,
+        {{"paths", std::uint64_t{audit.path_count}},
+         {"hash", telemetry::hash_name(audit.config.hash)},
+         {"width_bits", std::uint64_t{audit.config.width_bits}},
+         {"initial_collisions", std::uint64_t{audit.initial_collisions}},
+         {"mat_entries", std::uint64_t{audit.mat_entries}},
+         {"conflict_free", std::uint64_t{audit.conflict_free ? 1u : 0u}}});
+  }
 
   if (sharded) {
     // Notifications cross shards as control mail: posted from the sending
@@ -133,6 +148,12 @@ MarsSystem::~MarsSystem() {
 }
 
 void MarsSystem::register_metrics(obs::MetricsRegistry& registry) {
+  registry.gauge("mars.pathid.ambiguous_lookups", [this] {
+    return static_cast<double>(registry_->ambiguous_lookups());
+  });
+  registry.gauge("mars.pathid.mat_entries", [this] {
+    return static_cast<double>(registry_->mat_entry_count());
+  });
   registry.gauge("mars.telemetry_bytes", [this] {
     return static_cast<double>(overheads().telemetry_bytes);
   });

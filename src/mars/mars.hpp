@@ -131,7 +131,9 @@ class MarsSystem final : public systems::TelemetrySystem {
  private:
   net::Network* network_;
   MarsConfig config_;
-  std::unique_ptr<control::PathRegistry> registry_;
+  /// Shared immutable snapshot from the process-wide PathRegistryCache:
+  /// sweeps and repeated trials over one topology build it exactly once.
+  std::shared_ptr<const control::PathRegistry> registry_;
   std::unique_ptr<dataplane::MarsPipeline> pipeline_;
   std::unique_ptr<control::ControlChannel> channel_;
   std::unique_ptr<control::Controller> controller_;

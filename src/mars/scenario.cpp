@@ -4,8 +4,10 @@
 #include <memory>
 #include <optional>
 
+#include "control/path_registry_cache.hpp"
 #include "mars/system_registry.hpp"
 #include "net/partition.hpp"
+#include "net/routing.hpp"
 #include "obs/net_scrape.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/sharded.hpp"
@@ -253,6 +255,42 @@ std::vector<std::string> validate_scenario(const ScenarioConfig& config) {
               "' has a zero-delay boundary link)");
         }
       }
+    }
+  }
+  const telemetry::PathIdConfig& pid = config.mars.pipeline.path_id;
+  if (pid.width_bits < 1 || pid.width_bits > 32) {
+    errors.push_back("telemetry.path_id.width_bits must be in [1, 32] (got " +
+                     std::to_string(pid.width_bits) + ")");
+  } else if (std::find(config.systems.begin(), config.systems.end(),
+                       "mars") != config.systems.end() &&
+             net::TopologyRegistry::instance()
+                 .validate(config.topology)
+                 .empty()) {
+    // An unresolved PathID collision decompresses diagnosis reports to the
+    // wrong switch sequence, silently corrupting localization — so a
+    // registry that cannot resolve every collision is a configuration
+    // error, not a runtime condition. The build is cached by (topology
+    // structure, PathIdConfig); deployment reuses this exact registry.
+    const net::BuiltFabric fabric =
+        net::TopologyRegistry::instance().build(config.topology);
+    const net::RoutingTable routing(fabric.topology);
+    const auto registry = control::PathRegistryCache::instance().get_or_build(
+        fabric.topology, routing, pid);
+    if (!registry->conflict_free()) {
+      const control::PathAuditReport& audit = registry->audit();
+      errors.push_back(
+          "PathID registry for topology '" + config.topology.name +
+          "' is not conflict-free at " +
+          std::string(telemetry::hash_name(pid.hash)) + "/" +
+          std::to_string(pid.width_bits) + " bits: " +
+          std::to_string(audit.residual_collisions) + " of " +
+          std::to_string(audit.path_count) + " paths remain ambiguous" +
+          (audit.pigeonhole_infeasible
+               ? std::string(" (pigeonhole: more paths than PathID values)")
+               : " after " + std::to_string(audit.rounds) +
+                     " resolution rounds") +
+          " — widen telemetry.path_id (e.g. crc32 / 32 bits) or shrink "
+          "the topology");
     }
   }
   return errors;

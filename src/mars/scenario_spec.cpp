@@ -8,6 +8,7 @@
 #include "obs/json_reader.hpp"
 #include "obs/json_writer.hpp"
 #include "telemetry/backend.hpp"
+#include "telemetry/path_id.hpp"
 
 namespace mars {
 
@@ -249,6 +250,18 @@ ScenarioConfig ScenarioSpec::to_config() const {
   if (telemetry.histogram.digest_capacity) {
     pl.backend.histogram.digest_capacity = *telemetry.histogram.digest_capacity;
   }
+  if (telemetry.path_id.hash) {
+    const auto kind = telemetry::hash_from_name(*telemetry.path_id.hash);
+    if (!kind) {
+      throw std::invalid_argument("unknown path_id hash '" +
+                                  *telemetry.path_id.hash +
+                                  "' (known: crc16, crc32)");
+    }
+    pl.path_id.hash = *kind;
+  }
+  if (telemetry.path_id.width_bits) {
+    pl.path_id.width_bits = *telemetry.path_id.width_bits;
+  }
   if (mining.threads) cfg.mars.rca.mining.threads = *mining.threads;
   if (rca.accumulator.enabled) {
     cfg.mars.rca.accumulator.enabled = *rca.accumulator.enabled;
@@ -335,6 +348,17 @@ std::vector<std::string> ScenarioSpec::validate() const {
     const std::string hint = telemetry::suggest_backend(*telemetry.backend);
     if (!hint.empty()) msg += "; did you mean '" + hint + "'?";
     errors.push_back(std::move(msg));
+  }
+  if (telemetry.path_id.hash &&
+      !telemetry::hash_from_name(*telemetry.path_id.hash)) {
+    errors.push_back("spec.telemetry.path_id.hash: unknown hash '" +
+                     *telemetry.path_id.hash + "' (known: crc16, crc32)");
+  }
+  if (telemetry.path_id.width_bits && (*telemetry.path_id.width_bits < 1 ||
+                                       *telemetry.path_id.width_bits > 32)) {
+    errors.push_back("spec.telemetry.path_id.width_bits must be in [1, 32] "
+                     "(got " + std::to_string(*telemetry.path_id.width_bits) +
+                     ")");
   }
   if (obs.log_level && !obs::level_from_name(*obs.log_level)) {
     errors.push_back("spec.obs.log_level: unknown level '" + *obs.log_level +
@@ -460,6 +484,14 @@ std::string to_json(const ScenarioSpec& spec, int indent) {
       if (h.trigger_exit) w.member("trigger_exit", *h.trigger_exit);
       if (h.digest_capacity) {
         w.member("digest_capacity", std::uint64_t{*h.digest_capacity});
+      }
+      w.end_object();
+    }
+    if (te.path_id.any_set()) {
+      w.key("path_id").begin_object();
+      if (te.path_id.hash) w.member("hash", *te.path_id.hash);
+      if (te.path_id.width_bits) {
+        w.member("width_bits", std::uint64_t{*te.path_id.width_bits});
       }
       w.end_object();
     }
@@ -683,7 +715,7 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
   if (const auto* te = doc.find("telemetry")) {
     if (!te->is_object()) fail("spec.telemetry", "expected an object");
     reject_unknown_keys(
-        *te, {"backend", "ring_capacity", "int_md", "histogram"},
+        *te, {"backend", "ring_capacity", "int_md", "histogram", "path_id"},
         "spec.telemetry");
     if (const auto* v = te->find("backend")) {
       spec.telemetry.backend = as_string(*v, "spec.telemetry.backend");
@@ -736,6 +768,21 @@ ScenarioSpec parse_scenario_spec(std::string_view json) {
       if (const auto* v = hi->find("digest_capacity")) {
         spec.telemetry.histogram.digest_capacity = static_cast<std::uint32_t>(
             as_uint(*v, "spec.telemetry.histogram.digest_capacity"));
+      }
+    }
+    if (const auto* pid = te->find("path_id")) {
+      if (!pid->is_object()) {
+        fail("spec.telemetry.path_id", "expected an object");
+      }
+      reject_unknown_keys(*pid, {"hash", "width_bits"},
+                          "spec.telemetry.path_id");
+      if (const auto* v = pid->find("hash")) {
+        spec.telemetry.path_id.hash =
+            as_string(*v, "spec.telemetry.path_id.hash");
+      }
+      if (const auto* v = pid->find("width_bits")) {
+        spec.telemetry.path_id.width_bits = static_cast<std::uint32_t>(
+            as_uint(*v, "spec.telemetry.path_id.width_bits"));
       }
     }
   }

@@ -138,10 +138,21 @@ struct ScenarioSpec {
       friend bool operator==(const Histogram&, const Histogram&) = default;
     };
     Histogram histogram;
+    /// PathID field shape (§4.1): hash generator + carried width. Wider
+    /// ids collide less but cost header bytes; scenario validation
+    /// rejects shapes whose collisions cannot be resolved.
+    struct PathId {
+      std::optional<std::string> hash;  ///< telemetry::hash_from_name
+      std::optional<std::uint32_t> width_bits;
+
+      [[nodiscard]] bool any_set() const { return hash || width_bits; }
+      friend bool operator==(const PathId&, const PathId&) = default;
+    };
+    PathId path_id;
 
     [[nodiscard]] bool any_set() const {
       return backend || ring_capacity || int_md.any_set() ||
-             histogram.any_set();
+             histogram.any_set() || path_id.any_set();
     }
     friend bool operator==(const Telemetry&, const Telemetry&) = default;
   };

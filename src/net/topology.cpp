@@ -46,4 +46,27 @@ std::vector<SwitchId> Topology::neighbors(SwitchId sw) const {
   return out;
 }
 
+std::uint64_t structural_fingerprint(const Topology& topology) {
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h = (h ^ (v & 0xFF)) * kPrime;
+      v >>= 8;
+    }
+  };
+  mix(topology.switch_count());
+  for (SwitchId sw = 0; sw < topology.switch_count(); ++sw) {
+    mix(static_cast<std::uint64_t>(topology.layer(sw)));
+    mix(topology.port_count(sw));
+    for (PortId p = 0; p < topology.port_count(sw); ++p) {
+      const auto& peer = topology.peer(sw, p);
+      mix(peer.neighbor);
+      mix(peer.neighbor_port);
+    }
+  }
+  return h;
+}
+
 }  // namespace mars::net

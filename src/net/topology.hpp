@@ -74,4 +74,11 @@ class Topology {
   std::vector<std::vector<PortPeer>> ports_;  // per switch, per port
 };
 
+/// FNV-1a hash of the structural graph: switch count, per-switch layer,
+/// and per-port peer wiring. Two topologies with the same fingerprint
+/// enumerate the same shortest paths, so it (plus the PathIdConfig) keys
+/// the control plane's PathRegistry cache. Link capacities and delays are
+/// deliberately excluded — path enumeration never reads them.
+[[nodiscard]] std::uint64_t structural_fingerprint(const Topology& topology);
+
 }  // namespace mars::net

@@ -17,6 +17,7 @@ const char* ProvenanceGraph::kind_name(NodeKind kind) {
     case NodeKind::kEpoch: return "epoch";
     case NodeKind::kPattern: return "pattern";
     case NodeKind::kSuspect: return "suspect";
+    case NodeKind::kRegistry: return "registry";
   }
   return "?";
 }

@@ -45,8 +45,9 @@ class ProvenanceGraph {
     kEpoch = 3,
     kPattern = 4,
     kSuspect = 5,
+    kRegistry = 6,  ///< PathID registry audit snapshot (one per deployment)
   };
-  static constexpr std::size_t kNodeKinds = 6;
+  static constexpr std::size_t kNodeKinds = 7;
 
   [[nodiscard]] static const char* kind_name(NodeKind kind);
 

@@ -6,6 +6,16 @@
 
 namespace mars::telemetry {
 
+const char* hash_name(HashKind kind) {
+  return kind == HashKind::kCrc16 ? "crc16" : "crc32";
+}
+
+std::optional<HashKind> hash_from_name(std::string_view name) {
+  if (name == "crc16") return HashKind::kCrc16;
+  if (name == "crc32") return HashKind::kCrc32;
+  return std::nullopt;
+}
+
 std::uint32_t update_path_id(const PathIdConfig& config,
                              std::uint32_t path_id, net::SwitchId sw,
                              net::PortId in_port, net::PortId out_port,

@@ -15,6 +15,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <string_view>
 #include <unordered_map>
 
 #include "net/types.hpp"
@@ -23,6 +25,10 @@ namespace mars::telemetry {
 
 /// Which Tofino hash generator the deployment uses.
 enum class HashKind : std::uint8_t { kCrc16, kCrc32 };
+
+[[nodiscard]] const char* hash_name(HashKind kind);
+/// Parse "crc16" / "crc32" (nullopt if unknown).
+[[nodiscard]] std::optional<HashKind> hash_from_name(std::string_view name);
 
 /// PathIDs are carried in a fixed-width reserved IP field; narrower widths
 /// save header bytes but collide more often (resolved with MAT entries).

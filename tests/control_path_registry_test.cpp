@@ -5,6 +5,7 @@
 #include <set>
 
 #include "net/fat_tree.hpp"
+#include "obs/event_log.hpp"
 
 namespace mars::control {
 namespace {
@@ -74,6 +75,101 @@ TEST(PathRegistryTest, MemoryAccountingMatchesPaperShape) {
   EXPECT_GT(reg.intsight_memory_bytes(), reg.mars_memory_bytes());
   // Our ordered-pair census: 16*3 + 192*5 = 1008 hops at 7B each.
   EXPECT_EQ(reg.intsight_memory_bytes(), 1008u * 7u);
+}
+
+TEST(PathRegistryTest, AmbiguousLookupReturnsNullAndCounts) {
+  Built b;
+  // 208 paths into 1 bit: two PathID values, so almost every id is shared
+  // by many paths and can never be resolved (pigeonhole).
+  const PathRegistry reg(b.ft.topology, b.routing,
+                         {telemetry::HashKind::kCrc16, 1});
+  EXPECT_FALSE(reg.conflict_free());
+  ASSERT_GT(reg.audit().ambiguous_ids, 0u);
+  EXPECT_EQ(reg.ambiguous_lookups(), 0u);
+  std::uint64_t expected = 0;
+  for (const std::uint32_t id : {0u, 1u}) {
+    if (reg.is_ambiguous(id)) {
+      // An ambiguous id must never decompress to an arbitrary survivor.
+      EXPECT_EQ(reg.lookup(id), nullptr);
+      ++expected;
+    }
+  }
+  EXPECT_GT(expected, 0u);
+  EXPECT_EQ(reg.ambiguous_lookups(), expected);
+}
+
+TEST(PathRegistryTest, PigeonholeInfeasibleWidthIsAuditedNotChurned) {
+  Built b;
+  // 208 paths into 6 bits (64 values) cannot be injective; the build must
+  // record the census and skip resolution instead of spinning 64 rounds.
+  const PathRegistry reg(b.ft.topology, b.routing,
+                         {telemetry::HashKind::kCrc16, 6});
+  const PathAuditReport& a = reg.audit();
+  EXPECT_FALSE(a.conflict_free);
+  EXPECT_TRUE(a.pigeonhole_infeasible);
+  EXPECT_EQ(a.rounds, 0);
+  EXPECT_EQ(a.mat_entries, 0u);
+  EXPECT_EQ(a.residual_collisions, a.initial_collisions);
+  EXPECT_GE(a.initial_collisions, reg.path_count() - a.id_space);
+}
+
+TEST(PathRegistryTest, SeparateNeverOverwritesInstalledEntries) {
+  Built b;
+  // Dense widths stress the separate() fallback paths; a clobbered MAT
+  // entry would un-resolve a previously separated pair, so the overwrite
+  // counter must stay zero everywhere resolution is feasible.
+  for (const std::uint32_t width : {8u, 9u, 10u, 12u, 16u}) {
+    const PathRegistry reg(b.ft.topology, b.routing,
+                           {telemetry::HashKind::kCrc16, width});
+    EXPECT_EQ(reg.audit().mat_overwrites, 0u) << "width " << width;
+  }
+}
+
+TEST(PathRegistryTest, AuditReportMatchesRegistryCounts) {
+  Built b;
+  const PathRegistry reg(b.ft.topology, b.routing,
+                         {telemetry::HashKind::kCrc16, 10});
+  const PathAuditReport& a = reg.audit();
+  EXPECT_EQ(a.path_count, reg.path_count());
+  EXPECT_EQ(a.hop_count, 1008u);
+  EXPECT_EQ(a.id_space, 1024u);
+  EXPECT_EQ(a.initial_collisions, reg.initial_collisions());
+  EXPECT_EQ(a.conflict_free, reg.conflict_free());
+  EXPECT_EQ(a.mat_entries, reg.mat_entry_count());
+  EXPECT_EQ(a.mars_memory_bytes, reg.mars_memory_bytes());
+  EXPECT_EQ(a.intsight_memory_bytes, reg.intsight_memory_bytes());
+  EXPECT_EQ(a.build_threads, 1u);
+  if (a.conflict_free) {
+    EXPECT_EQ(a.residual_collisions, 0u);
+    EXPECT_EQ(a.ambiguous_ids, 0u);
+  }
+}
+
+TEST(PathRegistryTest, UnresolvedCollisionsEmitStructuredError) {
+  Built b;
+  const PathRegistry bad(b.ft.topology, b.routing,
+                         {telemetry::HashKind::kCrc16, 1});
+  obs::EventLog log;
+  bad.log_audit(log, 0);
+  bool saw_audit = false, saw_error = false;
+  for (const auto& e : log.events()) {
+    if (e.component != "pathid") continue;
+    if (e.event == "audit") saw_audit = true;
+    if (e.event == "unresolved_collisions") {
+      saw_error = true;
+      EXPECT_EQ(e.level, obs::LogLevel::kError);
+    }
+  }
+  EXPECT_TRUE(saw_audit);
+  EXPECT_TRUE(saw_error);
+
+  const PathRegistry good(b.ft.topology, b.routing,
+                          {telemetry::HashKind::kCrc16, 16});
+  obs::EventLog clean_log;
+  good.log_audit(clean_log, 0);
+  for (const auto& e : clean_log.events()) {
+    EXPECT_NE(e.event, "unresolved_collisions");
+  }
 }
 
 TEST(PathRegistryTest, HopPortsAreConsistentWithTopology) {

@@ -134,6 +134,31 @@ TEST(ScenarioValidationTest, RejectsPinnedPortWithoutSwitch) {
   EXPECT_FALSE(validate_scenario(cfg).empty());
 }
 
+TEST(ScenarioValidationTest, RejectsOutOfRangePathIdWidth) {
+  auto cfg = default_scenario(faults::FaultKind::kDrop, 1);
+  cfg.mars.pipeline.path_id.width_bits = 33;
+  const auto errors = validate_scenario(cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("path_id.width_bits"), std::string::npos);
+}
+
+TEST(ScenarioValidationTest, RejectsNonConflictFreePathIdRegistry) {
+  // 6-bit ids cannot cover the K=4 fat-tree's 208 paths, so the registry
+  // audit is not conflict-free and deployment must be refused up front —
+  // an ambiguous PathID would decompress diagnoses to the wrong path.
+  auto cfg = default_scenario(faults::FaultKind::kDrop, 1);
+  cfg.mars.pipeline.path_id = {telemetry::HashKind::kCrc16, 6};
+  const auto errors = validate_scenario(cfg);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("not conflict-free"), std::string::npos);
+  EXPECT_NE(errors.front().find("pigeonhole"), std::string::npos);
+  EXPECT_THROW((void)run_scenario(cfg), std::invalid_argument);
+
+  // Without MARS deployed the PathID shape is irrelevant: no rejection.
+  cfg.systems = {"syndb"};
+  EXPECT_TRUE(validate_scenario(cfg).empty());
+}
+
 TEST(ScenarioValidationTest, RunScenarioThrowsOnInvalidConfig) {
   auto cfg = default_scenario(faults::FaultKind::kDrop, 1);
   cfg.queue_capacity = 0;

@@ -189,6 +189,10 @@ TEST(ShardedSpecTest, FatTree16RegistryEntryBuildsTheBigFabric) {
   // (16/2)^2 = 64 cores + 16 pods x 16 switches = 320 switches.
   ScenarioConfig cfg = sharded_base(8);
   cfg.topology.name = "fat-tree-16";
+  // 990208 paths pigeonhole the default crc16/16 PathID space, and the
+  // registry audit refuses to deploy MARS on an ambiguous shape — the
+  // big fabric needs the full-width hash (as datacenter_scale.json pins).
+  cfg.mars.pipeline.path_id = {telemetry::HashKind::kCrc32, 32};
   EXPECT_TRUE(validate_scenario(cfg).empty());
   const auto fabric = net::TopologyRegistry::instance().build(cfg.topology);
   EXPECT_EQ(fabric.topology.switch_count(), 320u);

@@ -49,6 +49,8 @@ ScenarioSpec full_spec() {
   spec.telemetry.histogram.trigger_enter = 0.2;
   spec.telemetry.histogram.trigger_exit = 0.05;
   spec.telemetry.histogram.digest_capacity = 256;
+  spec.telemetry.path_id.hash = "crc32";
+  spec.telemetry.path_id.width_bits = 24;
   spec.obs.log_level = "debug";
   spec.obs.log_rate_limit_per_s = 25.0;
   spec.obs.log_rate_limit_burst = 8;
@@ -421,6 +423,58 @@ TEST(ScenarioSpecTest, TelemetryBlockRoundTripsAndLowers) {
   // Unset keeps the paper's postcard rings.
   EXPECT_EQ(parse_scenario_spec("{}").to_config().mars.pipeline.backend.kind,
             telemetry::BackendKind::kPostcard);
+}
+
+TEST(ScenarioSpecTest, TelemetryPathIdRoundTripsAndLowers) {
+  ScenarioSpec spec;
+  spec.telemetry.path_id.hash = "crc32";
+  spec.telemetry.path_id.width_bits = 24;
+  const ScenarioSpec reparsed = parse_scenario_spec(to_json(spec));
+  EXPECT_EQ(reparsed, spec);
+
+  const ScenarioConfig cfg = spec.to_config();
+  EXPECT_EQ(cfg.mars.pipeline.path_id.hash, telemetry::HashKind::kCrc32);
+  EXPECT_EQ(cfg.mars.pipeline.path_id.width_bits, 24u);
+  EXPECT_TRUE(spec.validate().empty());
+
+  // Unset keeps the paper default (crc16 / 16 bits).
+  const ScenarioConfig plain = parse_scenario_spec("{}").to_config();
+  EXPECT_EQ(plain.mars.pipeline.path_id.hash, telemetry::HashKind::kCrc16);
+  EXPECT_EQ(plain.mars.pipeline.path_id.width_bits, 16u);
+}
+
+TEST(ScenarioSpecTest, TelemetryPathIdUnknownHashIsPathNamed) {
+  ScenarioSpec spec;
+  spec.telemetry.path_id.hash = "crc64";
+  const auto errors = spec.validate();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors.front().find("spec.telemetry.path_id.hash"),
+            std::string::npos);
+  EXPECT_NE(errors.front().find("crc16, crc32"), std::string::npos);
+  EXPECT_THROW((void)spec.to_config(), std::invalid_argument);
+}
+
+TEST(ScenarioSpecTest, TelemetryPathIdWidthOutOfRangeIsRejected) {
+  for (const std::uint32_t width : {0u, 33u}) {
+    ScenarioSpec spec;
+    spec.telemetry.path_id.width_bits = width;
+    const auto errors = spec.validate();
+    ASSERT_FALSE(errors.empty()) << "width " << width;
+    EXPECT_NE(errors.front().find("spec.telemetry.path_id.width_bits"),
+              std::string::npos);
+  }
+}
+
+TEST(ScenarioSpecTest, TelemetryPathIdUnknownKeyNamesItsPath) {
+  try {
+    (void)parse_scenario_spec(
+        R"({"telemetry": {"path_id": {"width": 16}}})");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.telemetry.path_id"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("width"), std::string::npos);
+  }
 }
 
 TEST(ScenarioSpecTest, TelemetryIntMdFieldsLower) {
